@@ -1,0 +1,36 @@
+//! Ablation: Pretzel's across-row packing (§4.2) versus GLLM's legacy per-row
+//! packing, on the client's per-email dot-product computation (spam shape,
+//! B = 2). Complements the storage comparison of Figure 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use pretzel_core::PretzelConfig;
+use pretzel_sdp::rlwe_pack::{client_dot_product, encrypt_model, Packing};
+use pretzel_sdp::{ModelMatrix, SparseFeatures};
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let config = PretzelConfig::test();
+    let params = config.rlwe_params();
+    let mut rng = rand::thread_rng();
+    let (_, pk) = pretzel_rlwe::keygen(&params, None, &mut rng);
+
+    let rows = 2_000usize;
+    let cols = 2usize;
+    let data: Vec<u64> = (0..rows * cols).map(|i| (i % 1000) as u64).collect();
+    let model = ModelMatrix::from_rows(rows, cols, data);
+    let features: SparseFeatures = (0..300).map(|i| ((i * 7) % rows, (i % 15 + 1) as u64)).collect();
+
+    for packing in [Packing::AcrossRow, Packing::LegacyPerRow] {
+        let enc = encrypt_model(&pk, &model, packing, &mut rng).unwrap();
+        group.bench_function(format!("dot_product_{packing:?}"), |b| {
+            b.iter(|| client_dot_product(&pk, &enc, &features).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 9: spam-filtering accuracy, precision and recall for GR-NB, LR,
+//! SVM and the original Graham scheme on the three (synthetic stand-in)
+//! spam corpora.
+
+use pretzel_bench::{parse_scale, print_header, print_row};
+use pretzel_classifiers::lr::BinaryLrTrainer;
+use pretzel_classifiers::nb::{GrNbTrainer, GrahamTrainer};
+use pretzel_classifiers::svm::BinarySvmTrainer;
+use pretzel_classifiers::{precision_recall, Trainer};
+use pretzel_core::Scale;
+use pretzel_datasets::{enron_like, gmail_like, ling_spam_like};
+
+fn main() {
+    let scale = parse_scale();
+    let corpus_scale = match scale {
+        Scale::Test => 0.08,
+        Scale::Paper => 1.0,
+    };
+    // enron-like is ~33k documents at paper scale, so it gets an extra 0.3x.
+    let corpora = vec![
+        ling_spam_like(corpus_scale).generate(),
+        enron_like(corpus_scale * 0.3).generate(),
+        gmail_like(corpus_scale).generate(),
+    ];
+
+    let trainers: Vec<(&str, Box<dyn Trainer>)> = vec![
+        ("GR-NB", Box::new(GrNbTrainer::default())),
+        ("LR", Box::new(BinaryLrTrainer::default())),
+        ("SVM", Box::new(BinarySvmTrainer::default())),
+        ("GR", Box::new(GrahamTrainer::default())),
+    ];
+
+    println!("Figure 9: spam filtering accuracy / precision / recall (synthetic stand-in corpora, scale {scale:?})\n");
+    let widths = [8, 30, 30, 30];
+    print_header(
+        &["algo", &corpora[0].name, &corpora[1].name, &corpora[2].name],
+        &widths,
+    );
+    for (name, trainer) in &trainers {
+        let mut row = vec![name.to_string()];
+        for corpus in &corpora {
+            let (train, test) = corpus.train_test_split(0.7, 42);
+            let model = trainer.train(&train, corpus.num_features, 2);
+            let (acc, prec, rec) = precision_recall(&model, &test);
+            row.push(format!("acc {acc:.1}  prec {prec:.1}  rec {rec:.1}"));
+        }
+        print_row(&row, &widths);
+    }
+    println!("\nPaper shape: all algorithms in the high 90s on all three corpora");
+    println!("(e.g. GR-NB on Gmail: 98.1 / 99.7 / 95.2).");
+}

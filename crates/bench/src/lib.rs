@@ -1,0 +1,147 @@
+//! Shared helpers for the experiment harnesses (`src/bin/fig*.rs`) and the
+//! Criterion benches.
+//!
+//! Every harness regenerates one table or figure from the paper's §6. The
+//! common knobs are:
+//!
+//! * `--scale small` (default) — shrinks the workload sizes (N, corpus sizes)
+//!   by a documented factor so a full run finishes in seconds to minutes on a
+//!   laptop, while preserving every protocol code path.
+//! * `--scale paper` — the paper's native sizes (can take hours for the
+//!   largest points; used to spot-check individual rows).
+//!
+//! EXPERIMENTS.md records the scale used for the committed numbers.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pretzel_classifiers::LinearModel;
+use pretzel_core::Scale;
+
+/// Parses `--scale small|paper` from the process arguments.
+pub fn parse_scale() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--scale" {
+            match args.get(i + 1).map(|s| s.as_str()) {
+                Some("paper") => return Scale::Paper,
+                Some("small") | None => return Scale::Test,
+                Some(other) => {
+                    eprintln!("unknown scale {other:?}, using small");
+                    return Scale::Test;
+                }
+            }
+        }
+        if args[i] == "--scale=paper" {
+            return Scale::Paper;
+        }
+    }
+    Scale::Test
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Times a closure averaged over `iters` runs.
+pub fn time_avg(iters: usize, mut f: impl FnMut()) -> Duration {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters as u32
+}
+
+/// Builds a synthetic trained linear model with `num_features` features and
+/// `num_classes` classes (random log-probability-like weights). Used by the
+/// resource benchmarks, where accuracy is not the quantity under test but the
+/// model *shape* (N, B) drives every cost.
+pub fn synthetic_model(num_features: usize, num_classes: usize, seed: u64) -> LinearModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = (0..num_classes)
+        .map(|_| (0..num_features).map(|_| -rng.gen_range(0.1..12.0f64)).collect())
+        .collect();
+    let bias = (0..num_classes).map(|_| -rng.gen_range(0.1..4.0f64)).collect();
+    LinearModel { weights, bias }
+}
+
+/// Formats a byte count the way the paper's tables do (KB / MB / GB).
+pub fn human_bytes(bytes: f64) -> String {
+    if bytes >= 1e9 {
+        format!("{:.1} GB", bytes / 1e9)
+    } else if bytes >= 1e6 {
+        format!("{:.1} MB", bytes / 1e6)
+    } else if bytes >= 1e3 {
+        format!("{:.1} KB", bytes / 1e3)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Formats a duration in the unit the relevant figure uses.
+pub fn human_us(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.1} µs")
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths.iter()) {
+        line.push_str(&format!("{:<width$}  ", cell, width = width));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a table header followed by a separator line.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_model_shape() {
+        let m = synthetic_model(100, 5, 1);
+        assert_eq!(m.num_features(), 100);
+        assert_eq!(m.num_classes(), 5);
+        // Deterministic given the seed.
+        assert_eq!(m.weights, synthetic_model(100, 5, 1).weights);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human_bytes(512.0), "512 B");
+        assert_eq!(human_bytes(183.5e6), "183.5 MB");
+        assert_eq!(human_bytes(1.3e9), "1.3 GB");
+        assert_eq!(human_us(Duration::from_micros(650)), "650.0 µs");
+        assert_eq!(human_us(Duration::from_millis(358)), "358.00 ms");
+    }
+
+    #[test]
+    fn timing_helpers_run_the_closure() {
+        let (value, d) = time(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(d.as_nanos() > 0);
+        let avg = time_avg(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        let _ = avg;
+    }
+}

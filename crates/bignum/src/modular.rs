@@ -1,0 +1,370 @@
+//! Modular arithmetic: Montgomery multiplication/exponentiation, modular
+//! inverse via the binary extended GCD, and convenience helpers.
+
+use crate::{BigUint, BignumError};
+
+/// `(a + b) mod m`.
+pub fn mod_add(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    (a.clone() % m.clone() + b.clone() % m.clone()) % m.clone()
+}
+
+/// `(a - b) mod m`.
+pub fn mod_sub(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    let a = a.clone() % m.clone();
+    let b = b.clone() % m.clone();
+    if a >= b {
+        a - b
+    } else {
+        a + m.clone() - b
+    }
+}
+
+/// `(a * b) mod m`.
+pub fn mod_mul(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    (a.clone() % m.clone()) * (b.clone() % m.clone()) % m.clone()
+}
+
+/// `base^exp mod modulus`.
+///
+/// Dispatches to Montgomery exponentiation for odd moduli (the common case
+/// for RSA/Paillier/DH moduli) and to square-and-multiply with explicit
+/// reductions otherwise.
+pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero(), "mod_pow: zero modulus");
+    if modulus.is_one() {
+        return BigUint::zero();
+    }
+    if modulus.is_odd() {
+        let mont = Montgomery::new(modulus.clone());
+        return mont.pow(base, exp);
+    }
+    // Generic square-and-multiply for even moduli (rare in this codebase).
+    let mut result = BigUint::one();
+    let mut acc = base.clone() % modulus.clone();
+    for i in 0..exp.bits() {
+        if exp.bit(i) {
+            result = mod_mul(&result, &acc, modulus);
+        }
+        acc = mod_mul(&acc, &acc, modulus);
+    }
+    result
+}
+
+/// Modular inverse of `a` modulo `m` using the binary extended GCD
+/// (no divisions). Returns [`BignumError::NotInvertible`] when
+/// `gcd(a, m) != 1`.
+pub fn mod_inv(a: &BigUint, m: &BigUint) -> Result<BigUint, BignumError> {
+    if m.is_zero() {
+        return Err(BignumError::DivisionByZero);
+    }
+    if m.is_one() {
+        return Ok(BigUint::zero());
+    }
+    let a = a.clone() % m.clone();
+    if a.is_zero() {
+        return Err(BignumError::NotInvertible);
+    }
+
+    // Signed values are represented as (value, negative?) pairs over BigUint.
+    // We run the classic iterative extended Euclid using div_rem; the numbers
+    // shrink quickly so the cost is acceptable for setup-time key generation.
+    let mut r0 = m.clone();
+    let mut r1 = a.clone();
+    let mut s0 = (BigUint::zero(), false);
+    let mut s1 = (BigUint::one(), false);
+
+    while !r1.is_zero() {
+        let (q, r) = r0.div_rem(&r1);
+        r0 = r1;
+        r1 = r;
+        let qs1 = signed_mul(&q, &s1);
+        let next = signed_sub(&s0, &qs1);
+        s0 = s1;
+        s1 = next;
+    }
+    if !r0.is_one() {
+        return Err(BignumError::NotInvertible);
+    }
+    // s0 now holds the Bezout coefficient of `a`; normalize into [0, m).
+    let (mag, neg) = s0;
+    let mag = mag % m.clone();
+    Ok(if neg && !mag.is_zero() {
+        m.clone() - mag
+    } else {
+        mag
+    })
+}
+
+fn signed_mul(q: &BigUint, s: &(BigUint, bool)) -> (BigUint, bool) {
+    (q.clone() * s.0.clone(), s.1)
+}
+
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.clone() - b.0.clone(), false)
+            } else {
+                (b.0.clone() - a.0.clone(), true)
+            }
+        }
+        // (-a) - (-b) = b - a
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.clone() - a.0.clone(), false)
+            } else {
+                (a.0.clone() - b.0.clone(), true)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (a.0.clone() + b.0.clone(), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.clone() + b.0.clone(), true),
+    }
+}
+
+/// Montgomery arithmetic context for a fixed odd modulus.
+///
+/// Montgomery form represents `x` as `x * R mod n` where `R = 2^(64 * limbs)`.
+/// Multiplication in Montgomery form avoids per-step long division, which is
+/// the difference between milliseconds and seconds for 2048-bit Paillier
+/// exponentiations.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    n: BigUint,
+    /// Number of 64-bit limbs in the modulus; R = 2^(64 * limbs).
+    limbs: usize,
+    /// -n^{-1} mod 2^64.
+    n_prime: u64,
+    /// R^2 mod n, used to convert into Montgomery form.
+    r2: BigUint,
+}
+
+impl Montgomery {
+    /// Creates a context. Panics if `modulus` is even or < 3.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(modulus.is_odd(), "Montgomery requires an odd modulus");
+        assert!(modulus > BigUint::from(2u64), "modulus too small");
+        let limbs = modulus.limbs().len();
+        let n0 = modulus.limbs()[0];
+        let n_prime = inv64(n0).wrapping_neg();
+        // R^2 mod n computed by repeated doubling of R mod n.
+        let r_mod_n = (BigUint::one() << (64 * limbs)) % modulus.clone();
+        let mut r2 = r_mod_n;
+        for _ in 0..(64 * limbs) {
+            r2 = r2.clone() + r2;
+            if r2 >= modulus {
+                r2 = r2 - modulus.clone();
+            }
+        }
+        Montgomery {
+            n: modulus,
+            limbs,
+            n_prime,
+            r2,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Converts `x` into Montgomery form (`x * R mod n`).
+    pub fn to_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(&(x.clone() % self.n.clone()), &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back to the ordinary representation.
+    pub fn from_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(x, &BigUint::one())
+    }
+
+    /// Montgomery product: `a * b * R^{-1} mod n` (CIOS method).
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let s = self.limbs;
+        let n = self.n.limbs();
+        let a_limbs = a.limbs();
+        let b_limbs = b.limbs();
+        let mut t = vec![0u64; s + 2];
+
+        for i in 0..s {
+            let ai = *a_limbs.get(i).unwrap_or(&0);
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..s {
+                let bj = *b_limbs.get(j).unwrap_or(&0);
+                let cur = t[j] as u128 + (ai as u128) * (bj as u128) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s] = cur as u64;
+            t[s + 1] = (cur >> 64) as u64;
+
+            // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let cur = t[0] as u128 + (m as u128) * (n[0] as u128);
+            let mut carry = cur >> 64;
+            for j in 1..s {
+                let cur = t[j] as u128 + (m as u128) * (n[j] as u128) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[s] as u128 + carry;
+            t[s - 1] = cur as u64;
+            carry = cur >> 64;
+            let cur = t[s + 1] as u128 + carry;
+            t[s] = cur as u64;
+            t[s + 1] = (cur >> 64) as u64;
+        }
+        debug_assert_eq!(t[s + 1], 0);
+        let mut result = BigUint::from_limbs(t[..=s].to_vec());
+        if result >= self.n {
+            result = result - self.n.clone();
+        }
+        result
+    }
+
+    /// `base^exp mod n` with left-to-right square-and-multiply in Montgomery
+    /// form.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one() % self.n.clone();
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = self.to_mont(&BigUint::one());
+        for i in (0..exp.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Modular multiplication `a * b mod n` through Montgomery form.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+/// Inverse of an odd `u64` modulo 2^64 (Newton iteration).
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn inv64_small_values() {
+        for x in [1u64, 3, 5, 7, 0xdeadbeefu64 | 1, u64::MAX] {
+            assert_eq!(x.wrapping_mul(inv64(x)), 1);
+        }
+    }
+
+    #[test]
+    fn mod_add_sub_mul_small() {
+        let m = big(97);
+        assert_eq!(mod_add(&big(90), &big(20), &m), big(13));
+        assert_eq!(mod_sub(&big(5), &big(20), &m), big(82));
+        assert_eq!(mod_mul(&big(90), &big(90), &m), big(8100 % 97));
+    }
+
+    #[test]
+    fn mod_pow_small_odd_modulus() {
+        // 5^117 mod 19 = 1 (Fermat: 5^18 = 1, 117 = 6*18 + 9; 5^9 mod 19)
+        let expected = {
+            let mut acc = 1u64;
+            for _ in 0..117 {
+                acc = acc * 5 % 19;
+            }
+            acc
+        };
+        assert_eq!(mod_pow(&big(5), &big(117), &big(19)), big(expected));
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        let expected = {
+            let mut acc = 1u64;
+            for _ in 0..77 {
+                acc = acc * 7 % 100;
+            }
+            acc
+        };
+        assert_eq!(mod_pow(&big(7), &big(77), &big(100)), big(expected));
+    }
+
+    #[test]
+    fn mod_pow_zero_exponent_is_one() {
+        assert_eq!(mod_pow(&big(123), &BigUint::zero(), &big(97)), big(1));
+        assert_eq!(mod_pow(&big(123), &BigUint::zero(), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_fermat_little_theorem_large() {
+        // p is a 128-bit prime; a^(p-1) mod p == 1.
+        let p = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef").unwrap();
+        let exp = p.clone() - BigUint::one();
+        assert_eq!(mod_pow(&a, &exp, &p), BigUint::one());
+    }
+
+    #[test]
+    fn montgomery_roundtrip() {
+        let m = Montgomery::new(BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap());
+        let x = BigUint::from_hex("abcdef0123456789").unwrap();
+        assert_eq!(m.from_mont(&m.to_mont(&x)), x);
+    }
+
+    #[test]
+    fn montgomery_mul_matches_naive() {
+        let modulus = BigUint::from_hex("f123456789abcdef1").unwrap();
+        let m = Montgomery::new(modulus.clone());
+        let a = BigUint::from_hex("deadbeefcafebabe12").unwrap();
+        let b = BigUint::from_hex("9876543210fedcba98").unwrap();
+        assert_eq!(m.mul(&a, &b), mod_mul(&a, &b, &modulus));
+    }
+
+    #[test]
+    fn mod_inv_small() {
+        // 3 * 6 = 18 = 1 mod 17
+        assert_eq!(mod_inv(&big(3), &big(17)).unwrap(), big(6));
+        assert_eq!(mod_inv(&big(10), &big(17)).unwrap(), big(12));
+    }
+
+    #[test]
+    fn mod_inv_not_invertible() {
+        assert_eq!(mod_inv(&big(6), &big(9)), Err(BignumError::NotInvertible));
+        assert_eq!(mod_inv(&BigUint::zero(), &big(9)), Err(BignumError::NotInvertible));
+    }
+
+    #[test]
+    fn mod_inv_large_prime() {
+        let p = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let a = BigUint::from_hex("deadbeefdeadbeefdeadbeef").unwrap();
+        let inv = mod_inv(&a, &p).unwrap();
+        assert_eq!(mod_mul(&a, &inv, &p), BigUint::one());
+    }
+
+    #[test]
+    fn mod_inv_modulus_one() {
+        assert_eq!(mod_inv(&big(5), &BigUint::one()).unwrap(), BigUint::zero());
+    }
+}

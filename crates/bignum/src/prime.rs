@@ -1,0 +1,161 @@
+//! Probabilistic primality testing and random prime generation.
+
+use rand::Rng;
+
+use crate::{mod_pow, BigUint};
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: &[u64] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// The error probability is at most 4^(-rounds) for composite inputs; 25
+/// rounds (the default used by the generators below) is the conventional
+/// choice for cryptographic key generation.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n < &BigUint::from(2u64) {
+        return false;
+    }
+    for &p in SMALL_PRIMES {
+        let p_big = BigUint::from(p);
+        if n == &p_big {
+            return true;
+        }
+        if (n.clone() % p_big).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.clone() - BigUint::one();
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d >> 1;
+        s += 1;
+    }
+
+    let two = BigUint::from(2u64);
+    let n_minus_3 = n.clone() - BigUint::from(3u64);
+    'witness: for _ in 0..rounds {
+        // a in [2, n-2]
+        let a = BigUint::random_below(rng, &n_minus_3) + two.clone();
+        let mut x = mod_pow(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mod_pow(&x, &two, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "a prime needs at least 2 bits");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        // Force odd (except for the 2-bit case where 2 or 3 are both fine).
+        if candidate.is_even() {
+            candidate = candidate + BigUint::one();
+            if candidate.bits() != bits {
+                continue;
+            }
+        }
+        if is_probable_prime(&candidate, 25, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a safe prime `p = 2q + 1` (with `q` also prime) of `bits` bits.
+///
+/// Safe primes give prime-order subgroups for Diffie–Hellman, Schnorr
+/// signatures and the base oblivious transfer.
+pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 3, "a safe prime needs at least 3 bits");
+    loop {
+        let q = gen_prime(bits - 1, rng);
+        let p = (q.clone() << 1) + BigUint::one();
+        if p.bits() == bits && is_probable_prime(&p, 25, rng) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = rand::thread_rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 101, 65537, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from(p), 25, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut rng = rand::thread_rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 1105, 65535, 1_000_000_000] {
+            assert!(
+                !is_probable_prime(&BigUint::from(c), 25, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller–Rabin.
+        let mut rng = rand::thread_rng();
+        for c in [561u64, 41041, 825265, 321197185] {
+            assert!(!is_probable_prime(&BigUint::from(c), 25, &mut rng));
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = rand::thread_rng();
+        let p = (BigUint::one() << 127) - BigUint::one();
+        assert!(is_probable_prime(&p, 15, &mut rng));
+        // 2^128 - 1 is composite.
+        let c = (BigUint::one() << 128) - BigUint::one();
+        assert!(!is_probable_prime(&c, 15, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_size_and_is_odd() {
+        let mut rng = rand::thread_rng();
+        for bits in [32usize, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(p.is_odd() || p == BigUint::from(2u64));
+            assert!(is_probable_prime(&p, 25, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut rng = rand::thread_rng();
+        let p = gen_safe_prime(64, &mut rng);
+        assert_eq!(p.bits(), 64);
+        let q = (p.clone() - BigUint::one()) >> 1;
+        assert!(is_probable_prime(&q, 25, &mut rng));
+        assert!(is_probable_prime(&p, 25, &mut rng));
+    }
+}

@@ -1,0 +1,800 @@
+//! [`BigUint`]: an arbitrary-precision unsigned integer stored as
+//! little-endian `u64` limbs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Rem, Shl, Shr, Sub};
+
+use rand::Rng;
+
+/// Arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` never has trailing zero limbs (the canonical
+/// representation of zero is an empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian limbs, trimming trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// True if the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// True if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Converts a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Converts a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        Self::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+
+    /// Returns the value as a `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a `u128`, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Parses a big-endian byte string.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut chunk_iter = bytes.rchunks(8);
+        while let Some(chunk) = chunk_iter.next() {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Serializes to a minimal big-endian byte string (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the most-significant limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip.min(7)..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to a fixed-width big-endian byte string, left-padded with
+    /// zeros. Panics if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no prefix).
+    pub fn from_hex(s: &str) -> Result<Self, crate::BignumError> {
+        let s = s.trim();
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let chars: Vec<u8> = s.bytes().collect();
+        let mut idx = 0;
+        // Handle odd-length strings by treating the first nibble alone.
+        if chars.len() % 2 == 1 {
+            bytes.push(hex_val(chars[0]).ok_or_else(|| parse_err(s))?);
+            idx = 1;
+        }
+        while idx + 1 < chars.len() + 1 && idx < chars.len() {
+            let hi = hex_val(chars[idx]).ok_or_else(|| parse_err(s))?;
+            let lo = hex_val(chars[idx + 1]).ok_or_else(|| parse_err(s))?;
+            bytes.push((hi << 4) | lo);
+            idx += 2;
+        }
+        Ok(Self::from_bytes_be(&bytes))
+    }
+
+    /// Lower-case hexadecimal rendering ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Uniformly random value with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        if bits == 0 {
+            return Self::zero();
+        }
+        let limbs_needed = bits.div_ceil(64);
+        let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs_needed - 1) * 64;
+        let top = &mut limbs[limbs_needed - 1];
+        if top_bits < 64 {
+            *top &= (1u64 << top_bits) - 1;
+        }
+        *top |= 1u64 << (top_bits - 1);
+        Self::from_limbs(limbs)
+    }
+
+    /// Uniformly random value in `[0, bound)`. Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> Self {
+        assert!(!bound.is_zero(), "random_below requires a non-zero bound");
+        let bits = bound.bits();
+        let limbs_needed = bits.div_ceil(64);
+        let top_bits = bits - (limbs_needed - 1) * 64;
+        let mask = if top_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << top_bits) - 1
+        };
+        // Rejection sampling: each iteration succeeds with probability > 1/2.
+        loop {
+            let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.gen()).collect();
+            *limbs.last_mut().unwrap() &= mask;
+            let candidate = Self::from_limbs(limbs);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// `self + other`, allocating.
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign_ref(other);
+        out
+    }
+
+    fn add_assign_ref(&mut self, other: &BigUint) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let o = *other.limbs.get(i).unwrap_or(&0);
+            let (s1, c1) = self.limbs[i].overflowing_add(o);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self - other`; panics if `other > self`.
+    pub fn sub_ref(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// `self - other`, or `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for i in 0..limbs.len() {
+            let o = *other.limbs.get(i).unwrap_or(&0);
+            let (d1, b1) = limbs[i].overflowing_sub(o);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Self::from_limbs(limbs))
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Multiplies by a single `u64` limb.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &a in &self.limbs {
+            let cur = (a as u128) * (m as u128) + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Squares the value (delegates to [`BigUint::mul_ref`]).
+    pub fn square(&self) -> BigUint {
+        self.mul_ref(self)
+    }
+
+    /// Quotient and remainder: `(self / divisor, self % divisor)`.
+    ///
+    /// Uses single-limb short division when the divisor fits a limb and Knuth
+    /// Algorithm D otherwise. Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, Self::from_u64(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Short division by a single limb.
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (Self::from_limbs(quotient), rem as u64)
+    }
+
+    /// Knuth Algorithm D (TAOCP 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let d = divisor.clone() << shift;
+        let mut u = (self.clone() << shift).limbs;
+        let n = d.limbs.len();
+        let m = u.len() - n;
+        u.push(0); // u has m + n + 1 limbs
+        let v = &d.limbs;
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top two limbs of the current remainder.
+            let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut q_hat = num / v[n - 1] as u128;
+            let mut r_hat = num % v[n - 1] as u128;
+            while q_hat >> 64 != 0
+                || q_hat * v[n - 2] as u128 > ((r_hat << 64) | u[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += v[n - 1] as u128;
+                if r_hat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract: u[j..j+n+1] -= q_hat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = q_hat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            q[j] = q_hat as u64;
+            if borrow < 0 {
+                // q_hat was one too large: add the divisor back.
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let sum = u[j + i] as u128 + v[i] as u128 + carry;
+                    u[j + i] = sum as u64;
+                    carry = sum >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+        }
+        let remainder = Self::from_limbs(u[..n].to_vec()) >> shift;
+        (Self::from_limbs(q), remainder)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a >> 1;
+            b = b >> 1;
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a >> 1;
+        }
+        loop {
+            while b.is_even() {
+                b = b >> 1;
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub_ref(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        a << shift
+    }
+
+    /// Least common multiple.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let g = self.gcd(other);
+        (self.clone() / g) * other.clone()
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn parse_err(s: &str) -> crate::BignumError {
+    crate::BignumError::Parse(format!("invalid hex string: {s:?}"))
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_u128(v)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        self.add_ref(&rhs)
+    }
+}
+
+impl Add<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_ref(rhs)
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        self.sub_ref(&rhs)
+    }
+}
+
+impl Sub<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.sub_ref(rhs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+
+impl std::ops::Div for BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: BigUint) -> BigUint {
+        self.div_rem(&rhs).0
+    }
+}
+
+impl Rem for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: BigUint) -> BigUint {
+        self.div_rem(&rhs).1
+    }
+}
+
+impl Rem<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self;
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                limbs.push(carry);
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self;
+        }
+        let limb_shift = shift / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = shift % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(1u64);
+        let sum = a + b;
+        assert_eq!(sum.limbs(), &[0, 1]);
+        assert_eq!(sum.bits(), 65);
+    }
+
+    #[test]
+    fn sub_with_borrow_across_limbs() {
+        let a = BigUint::from_limbs(vec![0, 1]);
+        let b = BigUint::from(1u64);
+        assert_eq!(a - b, BigUint::from(u64::MAX));
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        let a = BigUint::from(3u64);
+        let b = BigUint::from(5u64);
+        assert!(a.checked_sub(&b).is_none());
+        assert_eq!(b.checked_sub(&a), Some(BigUint::from(2u64)));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(u64::MAX);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = BigUint::from_u128(u128::MAX - 2 * (u64::MAX as u128) - 1 + (u64::MAX as u128));
+        // Compute expected directly instead: (2^64-1)^2 = 0xFFFFFFFFFFFFFFFE0000000000000001
+        let expected2 = BigUint::from_hex("fffffffffffffffe0000000000000001").unwrap();
+        assert_eq!(a.clone() * b, expected2);
+        let _ = expected;
+    }
+
+    #[test]
+    fn div_rem_single_limb() {
+        let a = BigUint::from(1_000_000_007u64);
+        let (q, r) = a.div_rem(&BigUint::from(13u64));
+        assert_eq!(q, BigUint::from(76923077u64));
+        assert_eq!(r, BigUint::from(6u64));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from_hex("1fffffffffffffffffffffffffffffffffffffff").unwrap();
+        let b = BigUint::from_hex("ffffffffffffffffff").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.clone() * b.clone() + r.clone(), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_requires_nonzero_divisor() {
+        let a = BigUint::from(7u64);
+        let result = std::panic::catch_unwind(|| a.div_rem(&BigUint::zero()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = BigUint::from_hex("deadbeef0123456789abcdef").unwrap();
+        assert_eq!(v.to_hex(), "deadbeef0123456789abcdef");
+        assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
+    }
+
+    #[test]
+    fn hex_rejects_invalid() {
+        assert!(BigUint::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn bytes_be_roundtrip_and_padding() {
+        let v = BigUint::from(0x0102030405u64);
+        assert_eq!(v.to_bytes_be(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(v.to_bytes_be_padded(8), vec![0, 0, 0, 1, 2, 3, 4, 5]);
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn shifts_match_mul_div_by_powers_of_two() {
+        let v = BigUint::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        assert_eq!(v.clone() << 3, v.clone() * BigUint::from(8u64));
+        assert_eq!(v.clone() >> 5, v.clone() / BigUint::from(32u64));
+        assert_eq!(v.clone() >> 1000, BigUint::zero());
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = BigUint::from(0b1010u64);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert!(!v.bit(200));
+    }
+
+    #[test]
+    fn gcd_and_lcm() {
+        let a = BigUint::from(48u64);
+        let b = BigUint::from(36u64);
+        assert_eq!(a.gcd(&b), BigUint::from(12u64));
+        assert_eq!(a.lcm(&b), BigUint::from(144u64));
+        assert_eq!(BigUint::zero().gcd(&b), b);
+        assert_eq!(a.gcd(&BigUint::zero()), a);
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = rand::thread_rng();
+        let bound = BigUint::from(1000u64);
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_sets_top_bit() {
+        let mut rng = rand::thread_rng();
+        for bits in [1usize, 7, 64, 65, 130] {
+            let v = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(v.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let a = BigUint::from_hex("ffffffffffffffff").unwrap();
+        let b = BigUint::from_hex("10000000000000000").unwrap();
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn mul_u64_matches_full_mul() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(a.mul_u64(12345), a.clone() * BigUint::from(12345u64));
+        assert_eq!(a.mul_u64(0), BigUint::zero());
+    }
+}

@@ -1,0 +1,224 @@
+//! Logistic regression trained with stochastic gradient descent.
+//!
+//! The paper uses LIBLINEAR's trust-region solvers; any trainer that produces
+//! linear weight vectors exercises the same protocol code, so we use plain
+//! SGD with L2 regularization (binary LR for spam, softmax/multinomial LR for
+//! topics — the "LR" rows of Figures 9 and 13).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{LabeledExample, LinearModel, Trainer};
+
+/// Binary logistic regression (class 1 = positive/spam).
+#[derive(Clone, Copy, Debug)]
+pub struct BinaryLrTrainer {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Initial learning rate (decayed as 1/(1 + t·decay)).
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed for shuffling (deterministic training).
+    pub seed: u64,
+}
+
+impl Default for BinaryLrTrainer {
+    fn default() -> Self {
+        BinaryLrTrainer {
+            epochs: 30,
+            learning_rate: 0.5,
+            l2: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Trainer for BinaryLrTrainer {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn train(
+        &self,
+        examples: &[LabeledExample],
+        num_features: usize,
+        num_classes: usize,
+    ) -> LinearModel {
+        assert_eq!(num_classes, 2, "binary LR requires exactly two classes");
+        let mut w = vec![0f64; num_features];
+        let mut b = 0f64;
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut step = 0usize;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let ex = &examples[idx];
+                let y = if ex.label == 1 { 1.0 } else { 0.0 };
+                let mut z = b;
+                for (i, c) in ex.features.iter() {
+                    if i < num_features {
+                        z += w[i] * c as f64;
+                    }
+                }
+                let err = sigmoid(z) - y;
+                let lr = self.learning_rate / (1.0 + 0.01 * step as f64);
+                for (i, c) in ex.features.iter() {
+                    if i < num_features {
+                        w[i] -= lr * (err * c as f64 + self.l2 * w[i]);
+                    }
+                }
+                b -= lr * err;
+                step += 1;
+            }
+        }
+        // Express as a two-class argmax model: class 0 weights are zero,
+        // class 1 weights are the LR weights (score difference = logit).
+        LinearModel {
+            weights: vec![vec![0.0; num_features], w],
+            bias: vec![0.0, b],
+        }
+    }
+}
+
+/// Multinomial (softmax) logistic regression for topic extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct MultinomialLrTrainer {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for MultinomialLrTrainer {
+    fn default() -> Self {
+        MultinomialLrTrainer {
+            epochs: 20,
+            learning_rate: 0.3,
+            l2: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+impl Trainer for MultinomialLrTrainer {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn train(
+        &self,
+        examples: &[LabeledExample],
+        num_features: usize,
+        num_classes: usize,
+    ) -> LinearModel {
+        let mut weights = vec![vec![0f64; num_features]; num_classes];
+        let mut bias = vec![0f64; num_classes];
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut step = 0usize;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let ex = &examples[idx];
+                // Scores and softmax over classes.
+                let mut scores: Vec<f64> = bias.clone();
+                for (i, c) in ex.features.iter() {
+                    if i < num_features {
+                        for (k, s) in scores.iter_mut().enumerate() {
+                            *s += weights[k][i] * c as f64;
+                        }
+                    }
+                }
+                let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+                let sum: f64 = exps.iter().sum();
+                let lr = self.learning_rate / (1.0 + 0.01 * step as f64);
+                for k in 0..num_classes {
+                    let p = exps[k] / sum;
+                    let err = p - if ex.label == k { 1.0 } else { 0.0 };
+                    for (i, c) in ex.features.iter() {
+                        if i < num_features {
+                            weights[k][i] -= lr * (err * c as f64 + self.l2 * weights[k][i]);
+                        }
+                    }
+                    bias[k] -= lr * err;
+                }
+                step += 1;
+            }
+        }
+        LinearModel { weights, bias }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseVector;
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    #[test]
+    fn binary_lr_learns_a_separable_problem() {
+        // Feature 0 and 1 indicate spam; 2 and 3 indicate ham.
+        let mut corpus = Vec::new();
+        for _ in 0..20 {
+            corpus.push(example(&[(0, 1), (1, 2)], 1));
+            corpus.push(example(&[(0, 2)], 1));
+            corpus.push(example(&[(2, 1), (3, 2)], 0));
+            corpus.push(example(&[(3, 1)], 0));
+        }
+        let model = BinaryLrTrainer::default().train(&corpus, 4, 2);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1)])), 1);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(2, 2)])), 0);
+        // Spam weights should be positive, ham weights negative (class-1 column).
+        assert!(model.weights[1][0] > 0.0);
+        assert!(model.weights[1][3] < 0.0);
+    }
+
+    #[test]
+    fn binary_lr_is_deterministic_given_seed() {
+        let corpus: Vec<LabeledExample> = (0..40)
+            .map(|i| example(&[(i % 4, 1 + (i % 3) as u32)], (i % 2) as usize))
+            .collect();
+        let a = BinaryLrTrainer::default().train(&corpus, 4, 2);
+        let b = BinaryLrTrainer::default().train(&corpus, 4, 2);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn multinomial_lr_learns_three_topics() {
+        let mut corpus = Vec::new();
+        for _ in 0..15 {
+            corpus.push(example(&[(0, 2), (1, 1)], 0));
+            corpus.push(example(&[(2, 2), (3, 1)], 1));
+            corpus.push(example(&[(4, 1), (5, 2)], 2));
+        }
+        let model = MultinomialLrTrainer::default().train(&corpus, 6, 3);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])), 0);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(2, 1)])), 1);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(5, 3)])), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn binary_lr_rejects_multiclass() {
+        let corpus = vec![example(&[(0, 1)], 0)];
+        let _ = BinaryLrTrainer::default().train(&corpus, 1, 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Classification metrics: accuracy, precision, recall (Figures 9, 13, 14).
+
+use crate::{LabeledExample, LinearModel};
+
+/// Binary confusion-matrix counts (positive class = 1, i.e. spam).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// Spam classified as spam.
+    pub true_positives: usize,
+    /// Ham classified as spam (drives precision down).
+    pub false_positives: usize,
+    /// Ham classified as ham.
+    pub true_negatives: usize,
+    /// Spam classified as ham (drives recall down).
+    pub false_negatives: usize,
+}
+
+impl BinaryConfusion {
+    /// Overall accuracy in [0, 1].
+    pub fn accuracy(&self) -> f64 {
+        let total =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// Precision = TP / (TP + FP); 1.0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when there were no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+}
+
+/// Evaluates a model's accuracy on labeled examples.
+pub fn accuracy(model: &LinearModel, examples: &[LabeledExample]) -> f64 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    let correct = examples
+        .iter()
+        .filter(|ex| model.predict(&ex.features) == ex.label)
+        .count();
+    correct as f64 / examples.len() as f64
+}
+
+/// Computes the binary confusion matrix of a model (class 1 = positive).
+pub fn confusion_binary(model: &LinearModel, examples: &[LabeledExample]) -> BinaryConfusion {
+    let mut c = BinaryConfusion::default();
+    for ex in examples {
+        let pred = model.predict(&ex.features);
+        match (ex.label, pred) {
+            (1, 1) => c.true_positives += 1,
+            (0, 1) => c.false_positives += 1,
+            (0, 0) => c.true_negatives += 1,
+            (1, 0) => c.false_negatives += 1,
+            _ => {}
+        }
+    }
+    c
+}
+
+/// Convenience: (accuracy, precision, recall) as percentages — the exact
+/// columns of Figure 9.
+pub fn precision_recall(model: &LinearModel, examples: &[LabeledExample]) -> (f64, f64, f64) {
+    let c = confusion_binary(model, examples);
+    (c.accuracy() * 100.0, c.precision() * 100.0, c.recall() * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseVector;
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    /// Model that predicts class 1 iff feature 0 is present.
+    fn feature0_model() -> LinearModel {
+        LinearModel {
+            weights: vec![vec![0.0, 0.0], vec![1.0, 0.0]],
+            bias: vec![0.5, 0.0],
+        }
+    }
+
+    #[test]
+    fn confusion_counts_all_four_cells() {
+        let model = feature0_model();
+        let examples = vec![
+            example(&[(0, 1)], 1), // TP
+            example(&[(0, 1)], 0), // FP
+            example(&[(1, 1)], 0), // TN
+            example(&[(1, 1)], 1), // FN
+        ];
+        let c = confusion_binary(&model, &examples);
+        assert_eq!(
+            c,
+            BinaryConfusion {
+                true_positives: 1,
+                false_positives: 1,
+                true_negatives: 1,
+                false_negatives: 1
+            }
+        );
+        assert!((c.accuracy() - 0.5).abs() < 1e-9);
+        assert!((c.precision() - 0.5).abs() < 1e-9);
+        assert!((c.recall() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_on_perfect_and_empty_sets() {
+        let model = feature0_model();
+        let examples = vec![example(&[(0, 1)], 1), example(&[(1, 1)], 0)];
+        assert!((accuracy(&model, &examples) - 1.0).abs() < 1e-9);
+        assert_eq!(accuracy(&model, &[]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_precision_and_recall_default_to_one() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn percentage_helper_scales_by_100() {
+        let model = feature0_model();
+        let examples = vec![example(&[(0, 1)], 1), example(&[(1, 1)], 0)];
+        let (a, p, r) = precision_recall(&model, &examples);
+        assert_eq!((a, p, r), (100.0, 100.0, 100.0));
+    }
+}

@@ -1,0 +1,278 @@
+//! Naive Bayes classifiers (paper §3.1 and Appendix A).
+//!
+//! * [`GrNbTrainer`] — the Graham–Robinson spam variant the paper calls
+//!   GR-NB: a Bernoulli model over feature *presence* with Laplace smoothing;
+//!   applying it computes expression (1), the difference of two per-class
+//!   log-score dot products.
+//! * [`GrahamTrainer`] — the original Graham formulation ("GR" row of
+//!   Figure 9): the same Bernoulli statistics, but with Graham's clamped
+//!   per-token spam probabilities.
+//! * [`MultinomialNbTrainer`] — multinomial NB over term frequencies for
+//!   topic extraction, computing expression (2).
+//!
+//! All trainers produce a [`LinearModel`] whose per-class score is a dot
+//! product, so the same secure protocol applies to each.
+
+use crate::{LabeledExample, LinearModel, Trainer};
+
+/// Graham–Robinson Naive Bayes (Bernoulli NB over presence features).
+#[derive(Clone, Copy, Debug)]
+pub struct GrNbTrainer {
+    /// Laplace smoothing constant.
+    pub alpha: f64,
+}
+
+impl Default for GrNbTrainer {
+    fn default() -> Self {
+        GrNbTrainer { alpha: 1.0 }
+    }
+}
+
+impl Trainer for GrNbTrainer {
+    fn name(&self) -> &'static str {
+        "GR-NB"
+    }
+
+    fn train(
+        &self,
+        examples: &[LabeledExample],
+        num_features: usize,
+        num_classes: usize,
+    ) -> LinearModel {
+        // Document counts per class and per (class, feature) presence.
+        let mut class_docs = vec![0f64; num_classes];
+        let mut presence = vec![vec![0f64; num_features]; num_classes];
+        for ex in examples {
+            class_docs[ex.label] += 1.0;
+            for (idx, _) in ex.features.iter() {
+                if idx < num_features {
+                    presence[ex.label][idx] += 1.0;
+                }
+            }
+        }
+        let total_docs: f64 = class_docs.iter().sum();
+        let mut weights = Vec::with_capacity(num_classes);
+        let mut bias = Vec::with_capacity(num_classes);
+        for c in 0..num_classes {
+            let denom = class_docs[c] + 2.0 * self.alpha;
+            let w: Vec<f64> = (0..num_features)
+                .map(|i| ((presence[c][i] + self.alpha) / denom).ln())
+                .collect();
+            weights.push(w);
+            bias.push(((class_docs[c] + self.alpha) / (total_docs + num_classes as f64 * self.alpha)).ln());
+        }
+        LinearModel { weights, bias }
+    }
+}
+
+/// Original Graham spam scoring ("GR" in Figure 9): per-token spam
+/// probabilities clamped to [0.01, 0.99], combined in log-odds space.
+#[derive(Clone, Copy, Debug)]
+pub struct GrahamTrainer {
+    /// Clamp applied to per-token probabilities.
+    pub clamp: f64,
+}
+
+impl Default for GrahamTrainer {
+    fn default() -> Self {
+        GrahamTrainer { clamp: 0.01 }
+    }
+}
+
+impl Trainer for GrahamTrainer {
+    fn name(&self) -> &'static str {
+        "GR"
+    }
+
+    fn train(
+        &self,
+        examples: &[LabeledExample],
+        num_features: usize,
+        num_classes: usize,
+    ) -> LinearModel {
+        assert_eq!(num_classes, 2, "Graham's original scheme is spam/non-spam only");
+        let mut spam_docs = 0f64;
+        let mut ham_docs = 0f64;
+        let mut spam_presence = vec![0f64; num_features];
+        let mut ham_presence = vec![0f64; num_features];
+        for ex in examples {
+            if ex.label == 1 {
+                spam_docs += 1.0;
+                for (idx, _) in ex.features.iter() {
+                    if idx < num_features {
+                        spam_presence[idx] += 1.0;
+                    }
+                }
+            } else {
+                ham_docs += 1.0;
+                for (idx, _) in ex.features.iter() {
+                    if idx < num_features {
+                        ham_presence[idx] += 1.0;
+                    }
+                }
+            }
+        }
+        // Graham's p(spam | token), clamped; expressed as log-odds weights on
+        // the spam class so the model stays a linear argmax.
+        let mut w_spam = vec![0f64; num_features];
+        let w_ham = vec![0f64; num_features];
+        for i in 0..num_features {
+            let p_t_spam = (spam_presence[i] + 1.0) / (spam_docs + 2.0);
+            let p_t_ham = (ham_presence[i] + 1.0) / (ham_docs + 2.0);
+            let p = p_t_spam / (p_t_spam + p_t_ham);
+            let p = p.clamp(self.clamp, 1.0 - self.clamp);
+            w_spam[i] = (p / (1.0 - p)).ln();
+        }
+        let prior = ((spam_docs + 1.0) / (ham_docs + 1.0)).ln();
+        LinearModel {
+            weights: vec![w_ham, w_spam],
+            bias: vec![0.0, prior],
+        }
+    }
+}
+
+/// Multinomial Naive Bayes over term frequencies (topic extraction).
+#[derive(Clone, Copy, Debug)]
+pub struct MultinomialNbTrainer {
+    /// Laplace smoothing constant.
+    pub alpha: f64,
+}
+
+impl Default for MultinomialNbTrainer {
+    fn default() -> Self {
+        MultinomialNbTrainer { alpha: 1.0 }
+    }
+}
+
+impl Trainer for MultinomialNbTrainer {
+    fn name(&self) -> &'static str {
+        "NB"
+    }
+
+    fn train(
+        &self,
+        examples: &[LabeledExample],
+        num_features: usize,
+        num_classes: usize,
+    ) -> LinearModel {
+        let mut class_docs = vec![0f64; num_classes];
+        let mut term_counts = vec![vec![0f64; num_features]; num_classes];
+        let mut class_total_terms = vec![0f64; num_classes];
+        for ex in examples {
+            class_docs[ex.label] += 1.0;
+            for (idx, count) in ex.features.iter() {
+                if idx < num_features {
+                    term_counts[ex.label][idx] += count as f64;
+                    class_total_terms[ex.label] += count as f64;
+                }
+            }
+        }
+        let total_docs: f64 = class_docs.iter().sum();
+        let mut weights = Vec::with_capacity(num_classes);
+        let mut bias = Vec::with_capacity(num_classes);
+        for c in 0..num_classes {
+            let denom = class_total_terms[c] + self.alpha * num_features as f64;
+            let w: Vec<f64> = (0..num_features)
+                .map(|i| ((term_counts[c][i] + self.alpha) / denom).ln())
+                .collect();
+            weights.push(w);
+            bias.push(((class_docs[c] + self.alpha) / (total_docs + num_classes as f64 * self.alpha)).ln());
+        }
+        LinearModel { weights, bias }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseVector;
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    /// A tiny separable spam corpus over 4 features:
+    /// 0 = "free", 1 = "viagra", 2 = "meeting", 3 = "agenda".
+    fn spam_corpus() -> Vec<LabeledExample> {
+        vec![
+            example(&[(0, 2), (1, 1)], 1),
+            example(&[(0, 1), (1, 2)], 1),
+            example(&[(0, 3)], 1),
+            example(&[(1, 1)], 1),
+            example(&[(2, 2), (3, 1)], 0),
+            example(&[(2, 1)], 0),
+            example(&[(3, 2)], 0),
+            example(&[(2, 1), (3, 1)], 0),
+        ]
+    }
+
+    #[test]
+    fn gr_nb_separates_spam_from_ham() {
+        let model = GrNbTrainer::default().train(&spam_corpus(), 4, 2);
+        assert_eq!(model.num_classes(), 2);
+        assert_eq!(model.num_features(), 4);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])), 1);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(2, 1), (3, 1)])), 0);
+    }
+
+    #[test]
+    fn graham_variant_agrees_on_clear_cases() {
+        let model = GrahamTrainer::default().train(&spam_corpus(), 4, 2);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(1, 2)])), 1);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(3, 2)])), 0);
+    }
+
+    #[test]
+    fn multinomial_nb_three_topics() {
+        // Topics: 0 = sports (features 0,1), 1 = tech (2,3), 2 = food (4,5).
+        let corpus = vec![
+            example(&[(0, 3), (1, 1)], 0),
+            example(&[(0, 1), (1, 2)], 0),
+            example(&[(2, 2), (3, 2)], 1),
+            example(&[(2, 3)], 1),
+            example(&[(4, 2), (5, 1)], 2),
+            example(&[(5, 3)], 2),
+        ];
+        let model = MultinomialNbTrainer::default().train(&corpus, 6, 3);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 2)])), 0);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(3, 1), (2, 1)])), 1);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(4, 1), (5, 1)])), 2);
+    }
+
+    #[test]
+    fn multinomial_nb_frequency_sensitivity() {
+        // With mixed evidence, the heavier term should win.
+        let corpus = vec![
+            example(&[(0, 5)], 0),
+            example(&[(0, 5)], 0),
+            example(&[(1, 5)], 1),
+            example(&[(1, 5)], 1),
+        ];
+        let model = MultinomialNbTrainer::default().train(&corpus, 2, 2);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 3), (1, 1)])), 0);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 3)])), 1);
+    }
+
+    #[test]
+    fn priors_break_ties_for_empty_documents() {
+        // 3:1 class imbalance; an empty email should go to the majority class.
+        let corpus = vec![
+            example(&[(0, 1)], 0),
+            example(&[(0, 1)], 0),
+            example(&[(0, 1)], 0),
+            example(&[(1, 1)], 1),
+        ];
+        let model = GrNbTrainer::default().train(&corpus, 2, 2);
+        assert_eq!(model.predict(&SparseVector::default()), 0);
+    }
+
+    #[test]
+    fn trainer_names() {
+        assert_eq!(GrNbTrainer::default().name(), "GR-NB");
+        assert_eq!(GrahamTrainer::default().name(), "GR");
+        assert_eq!(MultinomialNbTrainer::default().name(), "NB");
+    }
+}

@@ -1,0 +1,133 @@
+//! Hashed byte n-gram feature extraction.
+//!
+//! The paper lists virus scanning among the provider functions an encrypted
+//! mailbox would ideally still support (§1, §7). Malware detectors over email
+//! attachments are commonly linear models over *byte n-gram* features rather
+//! than word tokens, so this module provides the corresponding feature
+//! extractor: overlapping `n`-byte windows of the raw content, hashed into a
+//! fixed number of buckets ("feature hashing"). The resulting
+//! [`SparseVector`] feeds the exact same secure classification protocol as
+//! spam filtering — only the feature space differs.
+
+use crate::SparseVector;
+
+/// Extracts hashed byte n-gram features from raw bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NGramExtractor {
+    /// Window length in bytes (typically 3 or 4).
+    pub n: usize,
+    /// Number of hash buckets = number of model features (the paper's N).
+    pub buckets: usize,
+}
+
+impl NGramExtractor {
+    /// Creates an extractor for `n`-byte windows hashed into `buckets`
+    /// features.
+    pub fn new(n: usize, buckets: usize) -> Self {
+        assert!(n >= 1, "n-gram length must be at least 1");
+        assert!(buckets >= 1, "need at least one hash bucket");
+        NGramExtractor { n, buckets }
+    }
+
+    /// Extracts the hashed n-gram count vector of `content`.
+    ///
+    /// Content shorter than `n` bytes yields an empty vector (there is no
+    /// complete window to hash).
+    pub fn extract(&self, content: &[u8]) -> SparseVector {
+        if content.len() < self.n {
+            return SparseVector::from_pairs(Vec::new());
+        }
+        let mut pairs = Vec::with_capacity(content.len() - self.n + 1);
+        for window in content.windows(self.n) {
+            pairs.push((self.bucket(window), 1u32));
+        }
+        SparseVector::from_pairs(pairs)
+    }
+
+    /// Bucket index of one n-gram window (FNV-1a over the window bytes).
+    pub fn bucket(&self, window: &[u8]) -> usize {
+        debug_assert_eq!(window.len(), self.n);
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut hash = FNV_OFFSET;
+        for &b in window {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        (hash % self.buckets as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn extraction_counts_overlapping_windows() {
+        let ex = NGramExtractor::new(2, 1 << 16);
+        let v = ex.extract(b"aaaa");
+        // Three overlapping "aa" windows hash to the same bucket.
+        assert_eq!(v.iter().map(|(_, c)| c).sum::<u32>(), 3);
+        assert_eq!(v.iter().count(), 1);
+    }
+
+    #[test]
+    fn short_content_yields_empty_vector() {
+        let ex = NGramExtractor::new(4, 100);
+        assert_eq!(ex.extract(b"abc").iter().count(), 0);
+        assert_eq!(ex.extract(b"").iter().count(), 0);
+    }
+
+    #[test]
+    fn identical_content_extracts_identically() {
+        let ex = NGramExtractor::new(3, 4096);
+        let payload = b"MZ\x90\x00\x03\x00\x00\x00\x04PE header-ish bytes";
+        assert_eq!(ex.extract(payload), ex.extract(payload));
+    }
+
+    #[test]
+    fn different_bucket_counts_change_the_feature_space() {
+        let small = NGramExtractor::new(3, 8);
+        let large = NGramExtractor::new(3, 1 << 20);
+        let payload = b"some moderately long content with variety 0123456789";
+        let v_small = small.extract(payload);
+        let v_large = large.extract(payload);
+        // With only 8 buckets the distinct-feature count collapses.
+        assert!(v_small.iter().count() <= 8);
+        assert!(v_large.iter().count() > v_small.iter().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram length")]
+    fn zero_length_ngrams_are_rejected() {
+        NGramExtractor::new(0, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_indexes_stay_in_range(
+            content in proptest::collection::vec(any::<u8>(), 0..200),
+            n in 1usize..6,
+            buckets in 1usize..10_000,
+        ) {
+            let ex = NGramExtractor::new(n, buckets);
+            let v = ex.extract(&content);
+            for (idx, count) in v.iter() {
+                prop_assert!(idx < buckets);
+                prop_assert!(count >= 1);
+            }
+        }
+
+        #[test]
+        fn total_count_equals_number_of_windows(
+            content in proptest::collection::vec(any::<u8>(), 0..200),
+            n in 1usize..6,
+        ) {
+            let ex = NGramExtractor::new(n, 1 << 16);
+            let v = ex.extract(&content);
+            let expected = content.len().saturating_sub(n - 1);
+            prop_assert_eq!(v.iter().map(|(_, c)| c as usize).sum::<usize>(), expected);
+        }
+    }
+}

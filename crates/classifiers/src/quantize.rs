@@ -1,0 +1,231 @@
+//! Fixed-point quantization of trained models (paper §4.2's `b_in`-bit model
+//! parameters).
+//!
+//! The secure dot-product protocols operate on non-negative integers packed
+//! into AHE slots, while trained models have real-valued (and typically
+//! negative, log-probability) weights. Quantization maps every weight and
+//! bias through the same affine transform `q = round((w - min) · scale)`,
+//! which preserves the per-email argmax because the additive shift
+//! contributes identically to every class score (the email's feature count is
+//! the same for all classes).
+
+use crate::{LinearModel, SparseVector};
+
+/// A quantized model ready for the secure protocols: `(N+1) × B` non-negative
+/// integers where the last row is the bias row (applied with frequency 1,
+/// matching the paper's `(~x, 1)` convention in §3.3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedModel {
+    /// Row-major matrix data: `rows() × cols()`.
+    pub data: Vec<u64>,
+    /// Number of rows = num_features + 1 (bias row last).
+    pub rows: usize,
+    /// Number of columns = num_classes (the paper's B).
+    pub cols: usize,
+    /// Bits per quantized value (the paper's `b_in`).
+    pub weight_bits: u32,
+    /// Affine transform parameters (for documentation/diagnostics).
+    pub scale: f64,
+    /// Minimum original weight (subtracted before scaling).
+    pub offset: f64,
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained model to `weight_bits`-bit non-negative integers.
+    pub fn from_model(model: &LinearModel, weight_bits: u32) -> Self {
+        assert!(weight_bits >= 2 && weight_bits <= 32);
+        let cols = model.num_classes();
+        let features = model.num_features();
+        let rows = features + 1;
+
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for w in &model.weights {
+            for &v in w {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        for &b in &model.bias {
+            min = min.min(b);
+            max = max.max(b);
+        }
+        if !min.is_finite() {
+            min = 0.0;
+            max = 0.0;
+        }
+        let range = (max - min).max(1e-12);
+        let scale = ((1u64 << weight_bits) - 1) as f64 / range;
+
+        let q = |v: f64| -> u64 { ((v - min) * scale).round().max(0.0) as u64 };
+
+        let mut data = vec![0u64; rows * cols];
+        for j in 0..cols {
+            for i in 0..features {
+                data[i * cols + j] = q(model.weights[j][i]);
+            }
+            data[features * cols + j] = q(model.bias[j]);
+        }
+        QuantizedModel {
+            data,
+            rows,
+            cols,
+            weight_bits,
+            scale,
+            offset: min,
+        }
+    }
+
+    /// Element accessor.
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Index of the bias row.
+    pub fn bias_row(&self) -> usize {
+        self.rows - 1
+    }
+
+    /// Converts an email's sparse feature vector into the protocol's sparse
+    /// `(row, frequency)` form, clamping frequencies to `freq_bits` bits and
+    /// appending the bias row with frequency 1.
+    pub fn protocol_features(&self, x: &SparseVector, freq_bits: u32) -> Vec<(usize, u64)> {
+        let max_freq = (1u64 << freq_bits) - 1;
+        let mut out: Vec<(usize, u64)> = x
+            .iter()
+            .filter(|&(i, _)| i < self.rows - 1)
+            .map(|(i, c)| (i, (c as u64).min(max_freq)))
+            .collect();
+        out.push((self.bias_row(), 1));
+        out
+    }
+
+    /// Plaintext per-class scores using the quantized weights (the reference
+    /// the secure protocol must reproduce exactly).
+    pub fn scores(&self, features: &[(usize, u64)]) -> Vec<u64> {
+        let mut out = vec![0u64; self.cols];
+        for &(row, freq) in features {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.get(row, j) * freq;
+            }
+        }
+        out
+    }
+
+    /// Predicted class from quantized scores.
+    ///
+    /// Ties break toward the lowest class index, matching the strict
+    /// greater-than folds used by the Yao comparison and argmax circuits, so
+    /// that the secure protocols reproduce this reference exactly.
+    pub fn predict(&self, features: &[(usize, u64)]) -> usize {
+        let scores = self.scores(features);
+        let mut best = 0usize;
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Upper bound on the bits of any per-class score for an email with at
+    /// most `max_features` features and frequencies up to `max_freq` — the
+    /// paper's `b = log L + b_in + f_in` accounting (§4.2). Used to validate
+    /// that scores fit the AHE slot width.
+    pub fn score_bits(&self, max_features: u64, max_freq: u64) -> u32 {
+        let max_weight = (1u64 << self.weight_bits) - 1;
+        let bound = (max_features + 1) as u128 * max_weight as u128 * max_freq as u128;
+        128 - bound.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nb::MultinomialNbTrainer;
+    use crate::{LabeledExample, Trainer};
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    fn toy_model() -> LinearModel {
+        LinearModel {
+            weights: vec![vec![-3.0, -1.0], vec![-2.0, -5.0]],
+            bias: vec![-0.5, -0.7],
+        }
+    }
+
+    #[test]
+    fn quantized_values_are_bounded_and_ordered() {
+        let q = QuantizedModel::from_model(&toy_model(), 10);
+        assert_eq!(q.rows, 3);
+        assert_eq!(q.cols, 2);
+        let max = (1u64 << 10) - 1;
+        assert!(q.data.iter().all(|&v| v <= max));
+        // The smallest original weight maps to 0 and the largest to max.
+        assert_eq!(q.data.iter().copied().min().unwrap(), 0);
+        assert_eq!(q.data.iter().copied().max().unwrap(), max);
+        // Relative order preserved: w[0][0]=-3 < w[0][1]=-1 (class 0 column).
+        assert!(q.get(0, 0) < q.get(1, 0));
+    }
+
+    #[test]
+    fn quantized_argmax_matches_float_argmax_on_trained_model() {
+        // Train a small NB model and check agreement between float and
+        // quantized predictions on the training set.
+        let mut corpus = Vec::new();
+        for i in 0..30 {
+            corpus.push(example(&[(i % 5, 2), (5 + i % 3, 1)], 0));
+            corpus.push(example(&[(10 + i % 5, 2), (15 + i % 3, 1)], 1));
+            corpus.push(example(&[(20 + i % 5, 3)], 2));
+        }
+        let model = MultinomialNbTrainer::default().train(&corpus, 25, 3);
+        let q = QuantizedModel::from_model(&model, 16);
+        let mut agree = 0;
+        for ex in &corpus {
+            let float_pred = model.predict(&ex.features);
+            let q_pred = q.predict(&q.protocol_features(&ex.features, 8));
+            if float_pred == q_pred {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / corpus.len() as f64 > 0.95,
+            "quantization must not change predictions materially ({agree}/{})",
+            corpus.len()
+        );
+    }
+
+    #[test]
+    fn protocol_features_append_bias_and_clamp() {
+        let q = QuantizedModel::from_model(&toy_model(), 8);
+        let x = SparseVector::from_pairs(vec![(0, 300), (1, 1), (99, 5)]);
+        let f = q.protocol_features(&x, 8);
+        // Out-of-range feature 99 dropped; bias row appended with freq 1.
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0], (0, 255));
+        assert_eq!(f[1], (1, 1));
+        assert_eq!(f[2], (q.bias_row(), 1));
+    }
+
+    #[test]
+    fn score_bits_accounting() {
+        let q = QuantizedModel::from_model(&toy_model(), 16);
+        // L=1000 features, freq up to 255: bound = 1001 * 65535 * 255 ≈ 2^34
+        let bits = q.score_bits(1000, 255);
+        assert!(bits >= 33 && bits <= 35, "got {bits}");
+    }
+
+    #[test]
+    fn scores_match_manual_computation() {
+        let q = QuantizedModel::from_model(&toy_model(), 8);
+        let features = vec![(0usize, 2u64), (q.bias_row(), 1)];
+        let s = q.scores(&features);
+        assert_eq!(s[0], q.get(0, 0) * 2 + q.get(2, 0));
+        assert_eq!(s[1], q.get(0, 1) * 2 + q.get(2, 1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Chi-square feature selection (paper §4.3, Figure 13).
+//!
+//! Pretzel reduces the client-side storage cost — which is proportional to
+//! the number of model features N — by selecting the N′ features most
+//! correlated with the class labels. The paper uses the chi-square criterion
+//! [111] and observes that keeping ~25% of features costs only a marginal
+//! accuracy drop (Figure 13).
+
+use std::collections::HashMap;
+
+use crate::{LabeledExample, SparseVector};
+
+/// Per-feature chi-square scores against the class labels (computed on
+/// presence/absence, the standard formulation for text).
+pub fn chi_square_scores(
+    examples: &[LabeledExample],
+    num_features: usize,
+    num_classes: usize,
+) -> Vec<f64> {
+    let total = examples.len() as f64;
+    if total == 0.0 {
+        return vec![0.0; num_features];
+    }
+    // Class document counts and per-(feature, class) presence counts.
+    let mut class_count = vec![0f64; num_classes];
+    let mut present = vec![vec![0f64; num_classes]; num_features];
+    let mut feature_count = vec![0f64; num_features];
+    for ex in examples {
+        class_count[ex.label] += 1.0;
+        for (i, _) in ex.features.iter() {
+            if i < num_features {
+                present[i][ex.label] += 1.0;
+                feature_count[i] += 1.0;
+            }
+        }
+    }
+    (0..num_features)
+        .map(|i| {
+            let mut chi2 = 0.0;
+            for c in 0..num_classes {
+                // Observed counts of the 2x2 contingency table for (feature i, class c).
+                let a = present[i][c]; // feature present, class c
+                let b = feature_count[i] - a; // present, other class
+                let c_ = class_count[c] - a; // absent, class c
+                let d = total - a - b - c_; // absent, other class
+                let num = total * (a * d - c_ * b).powi(2);
+                let den = (a + c_) * (b + d) * (a + b) * (c_ + d);
+                if den > 0.0 {
+                    chi2 += num / den;
+                }
+            }
+            chi2
+        })
+        .collect()
+}
+
+/// Selects the `keep` highest-scoring features; returns their original
+/// indices in descending score order.
+pub fn select_top_features(
+    examples: &[LabeledExample],
+    num_features: usize,
+    num_classes: usize,
+    keep: usize,
+) -> Vec<usize> {
+    let scores = chi_square_scores(examples, num_features, num_classes);
+    let mut order: Vec<usize> = (0..num_features).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order.truncate(keep.min(num_features));
+    order
+}
+
+/// Builds the old-index → new-index mapping for a kept-feature list.
+pub fn remap_table(kept: &[usize]) -> HashMap<usize, usize> {
+    kept.iter().enumerate().map(|(new, &old)| (old, new)).collect()
+}
+
+/// Applies feature selection to a whole dataset: remaps every example to the
+/// reduced feature space (features not kept are dropped).
+pub fn apply_selection(examples: &[LabeledExample], kept: &[usize]) -> Vec<LabeledExample> {
+    let table = remap_table(kept);
+    examples
+        .iter()
+        .map(|ex| LabeledExample {
+            features: ex.features.remap(&table),
+            label: ex.label,
+        })
+        .collect()
+}
+
+/// Remaps a single feature vector into the reduced space.
+pub fn remap_vector(v: &SparseVector, kept: &[usize]) -> SparseVector {
+    v.remap(&remap_table(kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    /// Feature 0 perfectly predicts class 1, feature 1 perfectly predicts
+    /// class 0, features 2 and 3 are noise present everywhere.
+    fn corpus() -> Vec<LabeledExample> {
+        vec![
+            example(&[(0, 1), (2, 1), (3, 1)], 1),
+            example(&[(0, 1), (2, 1)], 1),
+            example(&[(0, 2), (3, 1)], 1),
+            example(&[(1, 1), (2, 1), (3, 1)], 0),
+            example(&[(1, 1), (2, 1)], 0),
+            example(&[(1, 3), (3, 1)], 0),
+        ]
+    }
+
+    #[test]
+    fn discriminative_features_score_highest() {
+        let scores = chi_square_scores(&corpus(), 4, 2);
+        assert!(scores[0] > scores[2], "feature 0 beats noise feature 2");
+        assert!(scores[1] > scores[3], "feature 1 beats noise feature 3");
+        assert!(scores[0] > 1.0 && scores[1] > 1.0);
+    }
+
+    #[test]
+    fn top_k_selection_keeps_the_discriminative_features() {
+        let kept = select_top_features(&corpus(), 4, 2, 2);
+        let mut sorted = kept.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn selection_never_exceeds_feature_count() {
+        let kept = select_top_features(&corpus(), 4, 2, 100);
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn apply_selection_remaps_examples() {
+        let kept = vec![1usize, 0];
+        let reduced = apply_selection(&corpus(), &kept);
+        // Old feature 1 is now 0, old feature 0 is now 1; noise features dropped.
+        assert_eq!(reduced[0].features.iter().collect::<Vec<_>>(), vec![(1, 1)]);
+        assert_eq!(reduced[3].features.iter().collect::<Vec<_>>(), vec![(0, 1)]);
+        assert_eq!(reduced[0].label, 1);
+    }
+
+    #[test]
+    fn empty_corpus_yields_zero_scores() {
+        let scores = chi_square_scores(&[], 3, 2);
+        assert_eq!(scores, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn remap_vector_drops_unselected_features() {
+        let v = SparseVector::from_pairs(vec![(0, 2), (3, 1)]);
+        let r = remap_vector(&v, &[3]);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Linear support vector machines trained with Pegasos-style SGD.
+//!
+//! The paper uses two-class SVM for spam filtering and one-versus-all SVM for
+//! topic extraction (§3.1, trained with LIBLINEAR). As with LR, only the
+//! resulting weight vectors matter to the protocols; we train with the
+//! Pegasos sub-gradient method on the hinge loss.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{LabeledExample, LinearModel, Trainer};
+
+/// Two-class linear SVM (class 1 = positive/spam).
+#[derive(Clone, Copy, Debug)]
+pub struct BinarySvmTrainer {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Regularization parameter λ of Pegasos.
+    pub lambda: f64,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for BinarySvmTrainer {
+    fn default() -> Self {
+        BinarySvmTrainer {
+            epochs: 30,
+            lambda: 1e-3,
+            seed: 11,
+        }
+    }
+}
+
+fn train_binary_hinge(
+    examples: &[LabeledExample],
+    num_features: usize,
+    positive_class: usize,
+    epochs: usize,
+    lambda: f64,
+    seed: u64,
+) -> (Vec<f64>, f64) {
+    let mut w = vec![0f64; num_features];
+    let mut b = 0f64;
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = 1usize;
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        for &idx in &order {
+            let ex = &examples[idx];
+            let y = if ex.label == positive_class { 1.0 } else { -1.0 };
+            let mut z = b;
+            for (i, c) in ex.features.iter() {
+                if i < num_features {
+                    z += w[i] * c as f64;
+                }
+            }
+            let eta = 1.0 / (lambda * t as f64);
+            // Regularization shrink (the bias is treated as a regular weight
+            // attached to a constant-1 feature so it shrinks with the rest).
+            let shrink = 1.0 - eta * lambda;
+            for wi in w.iter_mut() {
+                *wi *= shrink;
+            }
+            b *= shrink;
+            if y * z < 1.0 {
+                for (i, c) in ex.features.iter() {
+                    if i < num_features {
+                        w[i] += eta * y * c as f64;
+                    }
+                }
+                b += eta * y;
+            }
+            t += 1;
+        }
+    }
+    (w, b)
+}
+
+impl Trainer for BinarySvmTrainer {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn train(
+        &self,
+        examples: &[LabeledExample],
+        num_features: usize,
+        num_classes: usize,
+    ) -> LinearModel {
+        assert_eq!(num_classes, 2, "binary SVM requires exactly two classes");
+        let (w, b) = train_binary_hinge(examples, num_features, 1, self.epochs, self.lambda, self.seed);
+        LinearModel {
+            weights: vec![vec![0.0; num_features], w],
+            bias: vec![0.0, b],
+        }
+    }
+}
+
+/// One-versus-all linear SVM for multi-class topic extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct OneVsAllSvmTrainer {
+    /// Number of passes per binary sub-problem.
+    pub epochs: usize,
+    /// Regularization parameter λ.
+    pub lambda: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OneVsAllSvmTrainer {
+    fn default() -> Self {
+        OneVsAllSvmTrainer {
+            epochs: 15,
+            lambda: 1e-3,
+            seed: 11,
+        }
+    }
+}
+
+impl Trainer for OneVsAllSvmTrainer {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn train(
+        &self,
+        examples: &[LabeledExample],
+        num_features: usize,
+        num_classes: usize,
+    ) -> LinearModel {
+        let mut weights = Vec::with_capacity(num_classes);
+        let mut bias = Vec::with_capacity(num_classes);
+        for class in 0..num_classes {
+            let (w, b) = train_binary_hinge(
+                examples,
+                num_features,
+                class,
+                self.epochs,
+                self.lambda,
+                self.seed.wrapping_add(class as u64),
+            );
+            weights.push(w);
+            bias.push(b);
+        }
+        LinearModel { weights, bias }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseVector;
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    #[test]
+    fn binary_svm_separates_simple_spam() {
+        let mut corpus = Vec::new();
+        for _ in 0..20 {
+            corpus.push(example(&[(0, 2), (1, 1)], 1));
+            corpus.push(example(&[(1, 3)], 1));
+            corpus.push(example(&[(2, 2), (3, 1)], 0));
+            corpus.push(example(&[(2, 1)], 0));
+        }
+        let model = BinarySvmTrainer::default().train(&corpus, 4, 2);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])), 1);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(2, 1), (3, 1)])), 0);
+    }
+
+    #[test]
+    fn one_vs_all_svm_three_topics() {
+        let mut corpus = Vec::new();
+        for _ in 0..20 {
+            corpus.push(example(&[(0, 2), (1, 1)], 0));
+            corpus.push(example(&[(2, 1), (3, 2)], 1));
+            corpus.push(example(&[(4, 2), (5, 2)], 2));
+        }
+        let model = OneVsAllSvmTrainer::default().train(&corpus, 6, 3);
+        assert_eq!(model.num_classes(), 3);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1)])), 0);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(3, 2)])), 1);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(4, 1), (5, 1)])), 2);
+    }
+
+    #[test]
+    fn svm_training_is_deterministic() {
+        let corpus: Vec<LabeledExample> = (0..30)
+            .map(|i| example(&[(i % 5, 1)], (i % 2) as usize))
+            .collect();
+        let a = BinarySvmTrainer::default().train(&corpus, 5, 2);
+        let b = BinarySvmTrainer::default().train(&corpus, 5, 2);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn margin_violations_move_weights_in_the_right_direction() {
+        let corpus = vec![example(&[(0, 1)], 1), example(&[(1, 1)], 0)];
+        let model = BinarySvmTrainer {
+            epochs: 50,
+            ..Default::default()
+        }
+        .train(&corpus, 2, 2);
+        assert!(model.weights[1][0] > 0.0, "spam-indicative weight positive");
+        assert!(model.weights[1][1] < 0.0, "ham-indicative weight negative");
+    }
+}

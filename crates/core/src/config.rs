@@ -1,0 +1,159 @@
+//! Parameter presets for the Pretzel protocols.
+//!
+//! The paper's deployment-scale parameters (1024-slot XPIR-BV ciphertexts,
+//! 1024-bit Paillier, the RFC 3526 OT group, millions of model features) make
+//! unit tests and CI-style runs needlessly slow, so every driver takes a
+//! [`PretzelConfig`] and the harnesses expose a `--scale` switch between the
+//! [`Scale::Test`] and [`Scale::Paper`] presets. The protocol code is
+//! identical at both scales; only sizes change. EXPERIMENTS.md records which
+//! scale produced the committed numbers.
+
+use pretzel_gc::OtGroup;
+use pretzel_rlwe::Params as RlweParams;
+
+/// Which parameter preset to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small, fast parameters for unit/integration tests.
+    Test,
+    /// The paper's parameters (§6 "Method and setup", §4.1–§4.2).
+    Paper,
+}
+
+/// All tunable parameters of the Pretzel function modules.
+#[derive(Clone, Debug)]
+pub struct PretzelConfig {
+    /// XPIR-BV ring degree (slots per ciphertext, the paper's p).
+    pub rlwe_degree: usize,
+    /// XPIR-BV plaintext slot width in bits (the packing width b).
+    pub rlwe_plain_bits: u32,
+    /// Paillier modulus size in bits (Baseline; the paper's 256-byte
+    /// ciphertexts correspond to 1024-bit moduli).
+    pub paillier_bits: usize,
+    /// Paillier packing slot width in bits (the Baseline's b).
+    pub paillier_slot_bits: u32,
+    /// Model parameter quantization width (the paper's b_in).
+    pub weight_bits: u32,
+    /// Feature frequency clamp width (the paper's f_in).
+    pub freq_bits: u32,
+    /// Number of candidate topics B′ for decomposed classification (§4.3).
+    pub candidate_topics: usize,
+    /// Bit width of the OT group's safe prime (test scale uses a small,
+    /// insecure group; paper scale uses RFC 3526's 1536-bit group).
+    pub ot_group_bits: usize,
+}
+
+impl PretzelConfig {
+    /// Fast parameters for tests: 64-slot ciphertexts, 256-bit Paillier,
+    /// a 64-bit OT group.
+    pub fn test() -> Self {
+        PretzelConfig {
+            rlwe_degree: 64,
+            rlwe_plain_bits: 30,
+            paillier_bits: 256,
+            paillier_slot_bits: 32,
+            weight_bits: 10,
+            freq_bits: 4,
+            candidate_topics: 5,
+            ot_group_bits: 64,
+        }
+    }
+
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        PretzelConfig {
+            rlwe_degree: 1024,
+            rlwe_plain_bits: 30,
+            paillier_bits: 1024,
+            paillier_slot_bits: 32,
+            weight_bits: 10,
+            freq_bits: 4,
+            candidate_topics: 20,
+            ot_group_bits: 1536,
+        }
+    }
+
+    /// Preset for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Self::test(),
+            Scale::Paper => Self::paper(),
+        }
+    }
+
+    /// Builds the XPIR-BV parameters this configuration implies.
+    pub fn rlwe_params(&self) -> RlweParams {
+        RlweParams::new(self.rlwe_degree, self.rlwe_plain_bits)
+    }
+
+    /// Builds the OT group this configuration implies.
+    ///
+    /// `seed` is the jointly derived randomness from the commit–reveal
+    /// exchange (§3.3 footnote 3). At paper scale the fixed RFC 3526 group is
+    /// used and the seed is ignored; at test scale the (insecure, small) group
+    /// is derived deterministically from the seed so that both parties agree
+    /// on the same group without either choosing it unilaterally.
+    pub fn ot_group(&self, seed: &[u8; 32]) -> OtGroup {
+        if self.ot_group_bits >= 1536 {
+            OtGroup::rfc3526_1536()
+        } else {
+            OtGroup::derive_test_group(self.ot_group_bits, seed)
+        }
+    }
+
+    /// Maximum feature frequency the protocol will transmit.
+    pub fn max_frequency(&self) -> u64 {
+        (1u64 << self.freq_bits) - 1
+    }
+}
+
+impl Default for PretzelConfig {
+    fn default() -> Self {
+        Self::test()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_headline_numbers() {
+        let paper = PretzelConfig::paper();
+        assert_eq!(paper.rlwe_degree, 1024);
+        assert_eq!(paper.rlwe_params().ciphertext_bytes(), 16 * 1024);
+        assert_eq!(paper.paillier_bits, 1024);
+        assert_eq!(paper.candidate_topics, 20);
+
+        let test = PretzelConfig::test();
+        assert!(test.rlwe_degree < paper.rlwe_degree);
+        assert_eq!(PretzelConfig::for_scale(Scale::Test).rlwe_degree, test.rlwe_degree);
+        assert_eq!(PretzelConfig::for_scale(Scale::Paper).rlwe_degree, paper.rlwe_degree);
+    }
+
+    #[test]
+    fn max_frequency_tracks_freq_bits() {
+        let cfg = PretzelConfig { freq_bits: 8, ..PretzelConfig::test() };
+        assert_eq!(cfg.max_frequency(), 255);
+    }
+
+    #[test]
+    fn test_ot_group_is_small() {
+        let cfg = PretzelConfig::test();
+        let _ = cfg.ot_group(&[7u8; 32]); // constructs without panicking
+        let _ = cfg.rlwe_params();
+    }
+
+    #[test]
+    fn both_parties_derive_the_same_test_group_from_the_same_seed() {
+        let cfg = PretzelConfig::test();
+        let seed = [42u8; 32];
+        let a = cfg.ot_group(&seed);
+        let b = cfg.ot_group(&seed);
+        assert_eq!(a.prime(), b.prime());
+        // A different seed gives a different group (with overwhelming
+        // probability for 64-bit safe primes).
+        let c = cfg.ot_group(&[43u8; 32]);
+        assert_ne!(a.prime(), c.prime());
+    }
+}

@@ -1,0 +1,108 @@
+//! Pretzel: end-to-end encrypted email with provider-supplied functions.
+//!
+//! This crate is the paper's primary contribution (§2–§4): it composes the
+//! substrate crates — `pretzel-e2e` (end-to-end encryption), `pretzel-rlwe`
+//! and `pretzel-paillier` (additively homomorphic encryption), `pretzel-sdp`
+//! (GLLM secure dot products with packing), `pretzel-gc` (Yao's garbled
+//! circuits with OT extension), and `pretzel-classifiers` (linear models) —
+//! into the two function modules the paper evaluates, plus the reference
+//! systems they are compared against:
+//!
+//! * [`spam`] — private spam filtering: the client learns a single spam/ham
+//!   bit per email, the provider learns nothing (§3.3, §4.1–§4.2, Figures
+//!   7–9).
+//! * [`topic`] — private topic extraction with decomposed classification: the
+//!   provider learns a single topic index per email, the client's candidate
+//!   set and email stay hidden (§4.3, Figure 5, Figures 10–14).
+//! * [`virus`] — private virus scanning of attachments, one of the functions
+//!   the paper lists as future work (§7); it reuses the spam machinery over a
+//!   hashed byte n-gram feature space.
+//! * [`noprivate`] — the NoPriv reference: a provider that classifies
+//!   plaintext, the paper's status-quo comparator.
+//! * [`costmodel`] — the analytic cost model of Figure 3.
+//! * [`setup`] — joint randomness for AHE parameter generation (§3.3,
+//!   footnote 3).
+//! * [`replay`] — the per-sender replay defense of §4.4.
+//! * [`config`] — parameter presets ("test" scale vs "paper" scale).
+
+pub mod config;
+pub mod costmodel;
+pub mod noprivate;
+pub mod replay;
+pub mod setup;
+pub mod spam;
+pub mod topic;
+pub mod virus;
+
+pub use config::{PretzelConfig, Scale};
+pub use noprivate::NoPrivProvider;
+pub use replay::ReplayGuard;
+
+/// Errors surfaced by the Pretzel function modules.
+#[derive(Debug)]
+pub enum PretzelError {
+    /// Transport failure.
+    Transport(pretzel_transport::TransportError),
+    /// Garbled-circuit / OT failure.
+    Gc(pretzel_gc::GcError),
+    /// Secure dot-product failure.
+    Sdp(pretzel_sdp::SdpError),
+    /// AHE failure.
+    Ahe(String),
+    /// A protocol message was malformed or out of order.
+    Protocol(String),
+    /// Replay detected (an email was fed to a function module twice).
+    Replay { sender: String, message_id: u64 },
+}
+
+impl std::fmt::Display for PretzelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PretzelError::Transport(e) => write!(f, "transport: {e}"),
+            PretzelError::Gc(e) => write!(f, "garbled circuits: {e}"),
+            PretzelError::Sdp(e) => write!(f, "secure dot product: {e}"),
+            PretzelError::Ahe(e) => write!(f, "AHE: {e}"),
+            PretzelError::Protocol(e) => write!(f, "protocol: {e}"),
+            PretzelError::Replay { sender, message_id } => {
+                write!(f, "replay detected from {sender} (message {message_id})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PretzelError {}
+
+impl From<pretzel_transport::TransportError> for PretzelError {
+    fn from(e: pretzel_transport::TransportError) -> Self {
+        PretzelError::Transport(e)
+    }
+}
+
+impl From<pretzel_gc::GcError> for PretzelError {
+    fn from(e: pretzel_gc::GcError) -> Self {
+        PretzelError::Gc(e)
+    }
+}
+
+impl From<pretzel_sdp::SdpError> for PretzelError {
+    fn from(e: pretzel_sdp::SdpError) -> Self {
+        PretzelError::Sdp(e)
+    }
+}
+
+/// Result alias for Pretzel operations.
+pub type Result<T> = std::result::Result<T, PretzelError>;
+
+/// Encodes a `u64` as 8 little-endian bytes (tiny helper for protocol
+/// metadata messages).
+pub(crate) fn u64_bytes(v: u64) -> [u8; 8] {
+    v.to_le_bytes()
+}
+
+/// Decodes a `u64` from a protocol message.
+pub(crate) fn parse_u64(bytes: &[u8]) -> Result<u64> {
+    bytes
+        .try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| PretzelError::Protocol("expected an 8-byte integer message".into()))
+}

@@ -1,0 +1,62 @@
+//! The NoPriv reference system (paper §6, "Method and setup").
+//!
+//! NoPriv models the status quo: the provider holds the plaintext email and
+//! its own model, and classifies locally — `L` feature lookups and `L·B`
+//! additions per email, no setup, no client cost. Every provider-CPU figure
+//! (7 and 10) and the headline ratios compare Pretzel against this.
+
+use pretzel_classifiers::{LinearModel, SparseVector};
+
+/// A provider that classifies plaintext emails locally.
+#[derive(Clone, Debug)]
+pub struct NoPrivProvider {
+    model: LinearModel,
+}
+
+impl NoPrivProvider {
+    /// Creates the provider from a trained model.
+    pub fn new(model: LinearModel) -> Self {
+        NoPrivProvider { model }
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    /// Classifies an email's feature vector (argmax over categories).
+    pub fn classify(&self, features: &SparseVector) -> usize {
+        self.model.predict(features)
+    }
+
+    /// Spam convenience wrapper: true when the email is classified as class 1.
+    pub fn is_spam(&self, features: &SparseVector) -> bool {
+        self.classify(features) == 1
+    }
+
+    /// Raw scores (used by tests to cross-check the private protocols).
+    pub fn scores(&self, features: &SparseVector) -> Vec<f64> {
+        self.model.scores(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_and_is_spam_agree_with_the_model() {
+        let model = LinearModel {
+            weights: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+            bias: vec![0.0, 0.0],
+        };
+        let provider = NoPrivProvider::new(model);
+        assert_eq!(provider.categories(), 2);
+        let spammy = SparseVector::from_pairs(vec![(0, 3)]);
+        let hammy = SparseVector::from_pairs(vec![(1, 3)]);
+        assert!(provider.is_spam(&spammy));
+        assert!(!provider.is_spam(&hammy));
+        assert_eq!(provider.classify(&spammy), 1);
+        assert_eq!(provider.scores(&spammy), vec![0.0, 3.0]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Joint randomness for AHE parameter generation (paper §3.3, footnote 3).
+//!
+//! Yao+GLLM assumes the AHE key generation is honest; Pretzel removes that
+//! assumption by having both parties inject randomness into the public
+//! parameters. We implement this as a commit-then-reveal seed exchange: each
+//! party commits to a fresh 32-byte seed (SHA-256 commitment), both reveal,
+//! and the XOR of the two seeds drives the derivation of the RLWE public
+//! polynomial `a` (see [`pretzel_rlwe::expand_uniform_poly`]). Neither party
+//! can bias the result without breaking the commitment.
+
+use rand::Rng;
+
+use pretzel_primitives::{ct_eq, sha256};
+use pretzel_transport::Channel;
+
+use crate::{PretzelError, Result};
+
+/// Runs the commit–reveal exchange as the party that commits first.
+pub fn joint_randomness_initiator<C: Channel>(
+    channel: &mut C,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<[u8; 32]> {
+    let my_seed: [u8; 32] = rng.gen();
+    let commitment = sha256(&my_seed);
+    channel.send(&commitment)?;
+    let their_seed_raw = channel.recv()?;
+    let their_seed: [u8; 32] = their_seed_raw
+        .as_slice()
+        .try_into()
+        .map_err(|_| PretzelError::Protocol("peer seed must be 32 bytes".into()))?;
+    channel.send(&my_seed)?;
+    Ok(combine(&my_seed, &their_seed))
+}
+
+/// Runs the commit–reveal exchange as the responding party.
+pub fn joint_randomness_responder<C: Channel>(
+    channel: &mut C,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<[u8; 32]> {
+    let commitment_raw = channel.recv()?;
+    let commitment: [u8; 32] = commitment_raw
+        .as_slice()
+        .try_into()
+        .map_err(|_| PretzelError::Protocol("commitment must be 32 bytes".into()))?;
+    let my_seed: [u8; 32] = rng.gen();
+    channel.send(&my_seed)?;
+    let their_seed_raw = channel.recv()?;
+    let their_seed: [u8; 32] = their_seed_raw
+        .as_slice()
+        .try_into()
+        .map_err(|_| PretzelError::Protocol("peer seed must be 32 bytes".into()))?;
+    // Verify the initiator's reveal against its commitment.
+    if !ct_eq(&sha256(&their_seed), &commitment) {
+        return Err(PretzelError::Protocol(
+            "peer's revealed seed does not match its commitment".into(),
+        ));
+    }
+    Ok(combine(&their_seed, &my_seed))
+}
+
+fn combine(a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for i in 0..32 {
+        out[i] = a[i] ^ b[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_transport::run_two_party;
+
+    #[test]
+    fn both_parties_derive_the_same_seed() {
+        let (a, b) = run_two_party(
+            |chan| joint_randomness_initiator(chan, &mut rand::thread_rng()).unwrap(),
+            |chan| joint_randomness_responder(chan, &mut rand::thread_rng()).unwrap(),
+        );
+        assert_eq!(a, b);
+        assert_ne!(a, [0u8; 32]);
+    }
+
+    #[test]
+    fn seeds_differ_across_runs() {
+        let run = || {
+            run_two_party(
+                |chan| joint_randomness_initiator(chan, &mut rand::thread_rng()).unwrap(),
+                |chan| joint_randomness_responder(chan, &mut rand::thread_rng()).unwrap(),
+            )
+            .0
+        };
+        assert_ne!(run(), run());
+    }
+
+    #[test]
+    fn responder_rejects_a_false_reveal() {
+        let (res, _) = run_two_party(
+            |chan| -> Result<[u8; 32]> {
+                // Malicious initiator: commits to one seed, reveals another.
+                let seed = [1u8; 32];
+                chan.send(&sha256(&seed))?;
+                let _their = chan.recv()?;
+                chan.send(&[2u8; 32])?;
+                Ok(seed)
+            },
+            |chan| joint_randomness_responder(chan, &mut rand::thread_rng()),
+        );
+        let _ = res;
+    }
+
+    #[test]
+    fn responder_error_on_false_reveal_is_protocol_error() {
+        let (_, responder_result) = run_two_party(
+            |chan| {
+                let seed = [1u8; 32];
+                chan.send(&sha256(&seed)).unwrap();
+                let _ = chan.recv().unwrap();
+                chan.send(&[2u8; 32]).unwrap();
+            },
+            |chan| joint_randomness_responder(chan, &mut rand::thread_rng()),
+        );
+        assert!(matches!(responder_result, Err(PretzelError::Protocol(_))));
+    }
+}

@@ -1,0 +1,442 @@
+//! Private spam filtering (paper §3.3 Baseline, §4.1–§4.2 Pretzel).
+//!
+//! Roles and information flow (Figure 2 applied to spam, B = 2):
+//!
+//! * **Setup phase** (run once per client): the two parties derive joint
+//!   randomness for the AHE parameters (§3.3 footnote 3), the provider
+//!   quantizes its model, encrypts it column-group-wise under its own AHE
+//!   key, and ships the encrypted model plus public key to the client (this
+//!   is the client-storage cost of Figure 8); both parties also run the base
+//!   OTs of the Yao session so per-email circuits only use cheap OT
+//!   extension.
+//! * **Per-email phase**: the client (who has the decrypted email) computes
+//!   the encrypted per-class dot products, blinds them and sends them to the
+//!   provider; the provider decrypts and the two parties run Yao's protocol
+//!   on a circuit that removes the blinding and compares the spam score to
+//!   the ham score. Only the client learns the resulting bit (Guarantee 2,
+//!   §4.4).
+//!
+//! Two variants share this module: [`AheVariant::Pretzel`] (XPIR-BV with
+//! across-row packing) and [`AheVariant::Baseline`] (Paillier with legacy
+//! packing), which is exactly the pair compared in Figures 7 and 8.
+
+use rand::Rng;
+
+use pretzel_classifiers::{LinearModel, QuantizedModel, SparseVector};
+use pretzel_gc::{spam_compare_circuit, to_bits, Circuit, OutputMode, YaoEvaluator, YaoGarbler};
+use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
+use pretzel_sdp::rlwe_pack::{self, Packing};
+use pretzel_sdp::ModelMatrix;
+use pretzel_transport::Channel;
+
+use crate::config::PretzelConfig;
+use crate::setup::{joint_randomness_initiator, joint_randomness_responder};
+use crate::{parse_u64, u64_bytes, PretzelError, Result};
+
+/// Which additively homomorphic cryptosystem (and packing) a session uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AheVariant {
+    /// XPIR-BV (Ring-LWE) with Pretzel's across-row packing (§4.1–§4.2).
+    Pretzel,
+    /// Paillier with GLLM's legacy packing — the §3.3 Baseline.
+    Baseline,
+    /// XPIR-BV with legacy per-row packing — the "Pretzel-NoOptimPack"
+    /// ablation of Figure 8.
+    PretzelNoOptimPack,
+}
+
+/// Builds the quantized model matrix (weights plus bias row) the secure
+/// protocols operate on.
+pub fn quantize_to_matrix(model: &LinearModel, weight_bits: u32) -> (QuantizedModel, ModelMatrix) {
+    let q = QuantizedModel::from_model(model, weight_bits);
+    let matrix = ModelMatrix::from_rows(q.rows, q.cols, q.data.clone());
+    (q, matrix)
+}
+
+enum ProviderCrypto {
+    Pretzel {
+        sk: pretzel_rlwe::SecretKey,
+    },
+    Baseline {
+        sk: pretzel_paillier::SecretKey,
+        slot_bits: u32,
+        slots_per_ct: usize,
+    },
+}
+
+/// Provider endpoint of the spam-filtering module.
+pub struct SpamProvider {
+    crypto: ProviderCrypto,
+    yao: YaoGarbler,
+    circuit: Circuit,
+    width: usize,
+}
+
+enum ClientCrypto {
+    Pretzel {
+        pk: pretzel_rlwe::PublicKey,
+        model: rlwe_pack::EncryptedModel,
+    },
+    Baseline {
+        pk: pretzel_paillier::PublicKey,
+        model: paillier_pack::PaillierEncryptedModel,
+    },
+}
+
+/// Client endpoint of the spam-filtering module.
+pub struct SpamClient {
+    crypto: ClientCrypto,
+    yao: YaoEvaluator,
+    circuit: Circuit,
+    width: usize,
+    /// Row index of the bias row (= number of model features).
+    bias_row: usize,
+    max_freq: u64,
+}
+
+impl SpamProvider {
+    /// Runs the setup phase as the provider: encrypts and ships the model,
+    /// then establishes the Yao session. `model` is the provider's trained
+    /// spam model (2 classes, class 1 = spam).
+    pub fn setup<C: Channel, R: Rng + ?Sized>(
+        channel: &mut C,
+        model: &LinearModel,
+        config: &PretzelConfig,
+        variant: AheVariant,
+        rng: &mut R,
+    ) -> Result<Self> {
+        assert_eq!(model.num_classes(), 2, "spam filtering uses two classes");
+        let (_, matrix) = quantize_to_matrix(model, config.weight_bits);
+        let seed = joint_randomness_initiator(channel, rng)?;
+
+        // Metadata: rows, cols.
+        channel.send(&u64_bytes(matrix.rows() as u64))?;
+        channel.send(&u64_bytes(matrix.cols() as u64))?;
+
+        let (crypto, width) = match variant {
+            AheVariant::Pretzel | AheVariant::PretzelNoOptimPack => {
+                let params = config.rlwe_params();
+                let (sk, pk) = pretzel_rlwe::keygen(&params, Some(&seed), rng);
+                let packing = if variant == AheVariant::Pretzel {
+                    Packing::AcrossRow
+                } else {
+                    Packing::LegacyPerRow
+                };
+                let enc = rlwe_pack::encrypt_model(&pk, &matrix, packing, rng)?;
+                channel.send(&pk.to_bytes())?;
+                channel.send(&u64_bytes(enc.ciphertext_count() as u64))?;
+                let mut blob = Vec::with_capacity(enc.ciphertext_count() * params.ciphertext_bytes());
+                for ct in enc.ciphertexts() {
+                    blob.extend_from_slice(&ct.to_bytes());
+                }
+                channel.send(&blob)?;
+                (
+                    ProviderCrypto::Pretzel { sk },
+                    config.rlwe_plain_bits as usize,
+                )
+            }
+            AheVariant::Baseline => {
+                let sk = pretzel_paillier::keygen(config.paillier_bits, rng);
+                let pk = sk.public().clone();
+                let pack = PaillierPackParams {
+                    slot_bits: config.paillier_slot_bits,
+                };
+                let slots_per_ct = pack.slots_per_ct(&pk);
+                let enc = paillier_pack::encrypt_model(&pk, &matrix, pack, rng)?;
+                channel.send(&pk.to_bytes())?;
+                channel.send(&u64_bytes(enc.ciphertext_count() as u64))?;
+                let ct_len = pretzel_paillier::Ciphertext::serialized_len(pk.n_bits());
+                let mut blob = Vec::with_capacity(enc.ciphertext_count() * ct_len);
+                for ct in enc.ciphertexts() {
+                    blob.extend_from_slice(&ct.to_bytes(&pk));
+                }
+                channel.send(&blob)?;
+                (
+                    ProviderCrypto::Baseline {
+                        sk,
+                        slot_bits: config.paillier_slot_bits,
+                        slots_per_ct,
+                    },
+                    config.paillier_slot_bits as usize,
+                )
+            }
+        };
+
+        let group = config.ot_group(&seed);
+        let yao = YaoGarbler::setup(channel, &group, rng)?;
+        Ok(SpamProvider {
+            crypto,
+            yao,
+            circuit: spam_compare_circuit(width),
+            width,
+        })
+    }
+
+    /// Per-email phase, provider side: decrypts the blinded dot products and
+    /// plays the garbler in the comparison circuit. The provider learns
+    /// nothing about the email or the result.
+    pub fn process_email<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        rng: &mut R,
+    ) -> Result<()> {
+        let blob = channel.recv()?;
+        let blinded = match &self.crypto {
+            ProviderCrypto::Pretzel { sk } => {
+                let ct = pretzel_rlwe::Ciphertext::from_bytes(sk.params(), &blob)
+                    .map_err(|e| PretzelError::Ahe(e.to_string()))?;
+                let dec = rlwe_pack::provider_decrypt(sk, &[ct], 2);
+                [dec[0][0], dec[0][1]]
+            }
+            ProviderCrypto::Baseline {
+                sk,
+                slot_bits,
+                slots_per_ct,
+            } => {
+                let ct = pretzel_paillier::Ciphertext::from_bytes(&blob);
+                let dec = paillier_pack::provider_decrypt(sk, 2, *slot_bits, *slots_per_ct, &[ct])?;
+                [dec[0], dec[1]]
+            }
+        };
+        let mask = bits_mask(self.width);
+        let mut garbler_bits = to_bits(blinded[1] & mask, self.width); // spam column
+        garbler_bits.extend(to_bits(blinded[0] & mask, self.width)); // ham column
+        self.yao
+            .run(channel, &self.circuit, &garbler_bits, OutputMode::EvaluatorOnly, rng)?;
+        Ok(())
+    }
+}
+
+impl SpamClient {
+    /// Runs the setup phase as the client: derives joint randomness, receives
+    /// and stores the encrypted model, and establishes the Yao session.
+    pub fn setup<C: Channel, R: Rng + ?Sized>(
+        channel: &mut C,
+        config: &PretzelConfig,
+        variant: AheVariant,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let seed = joint_randomness_responder(channel, rng)?;
+        let rows = parse_u64(&channel.recv()?)? as usize;
+        let cols = parse_u64(&channel.recv()?)? as usize;
+        if cols != 2 {
+            return Err(PretzelError::Protocol(format!(
+                "spam model must have 2 columns, got {cols}"
+            )));
+        }
+
+        let (crypto, width) = match variant {
+            AheVariant::Pretzel | AheVariant::PretzelNoOptimPack => {
+                let params = config.rlwe_params();
+                let pk = pretzel_rlwe::PublicKey::from_bytes(&params, &channel.recv()?)
+                    .map_err(|e| PretzelError::Ahe(e.to_string()))?;
+                let count = parse_u64(&channel.recv()?)? as usize;
+                let blob = channel.recv()?;
+                let ct_len = params.ciphertext_bytes();
+                if blob.len() != count * ct_len {
+                    return Err(PretzelError::Protocol("bad model blob size".into()));
+                }
+                let cts = blob
+                    .chunks_exact(ct_len)
+                    .map(|c| pretzel_rlwe::Ciphertext::from_bytes(&params, c))
+                    .collect::<std::result::Result<Vec<_>, _>>()
+                    .map_err(|e| PretzelError::Ahe(e.to_string()))?;
+                let packing = if variant == AheVariant::Pretzel {
+                    Packing::AcrossRow
+                } else {
+                    Packing::LegacyPerRow
+                };
+                let model =
+                    rlwe_pack::EncryptedModel::from_parts(packing, cts, rows, cols, params.slots());
+                (
+                    ClientCrypto::Pretzel { pk, model },
+                    config.rlwe_plain_bits as usize,
+                )
+            }
+            AheVariant::Baseline => {
+                let pk = pretzel_paillier::PublicKey::from_bytes(&channel.recv()?)
+                    .map_err(|e| PretzelError::Ahe(e.to_string()))?;
+                let count = parse_u64(&channel.recv()?)? as usize;
+                let blob = channel.recv()?;
+                let ct_len = pretzel_paillier::Ciphertext::serialized_len(pk.n_bits());
+                if blob.len() != count * ct_len {
+                    return Err(PretzelError::Protocol("bad model blob size".into()));
+                }
+                let cts: Vec<_> = blob
+                    .chunks_exact(ct_len)
+                    .map(pretzel_paillier::Ciphertext::from_bytes)
+                    .collect();
+                let pack = PaillierPackParams {
+                    slot_bits: config.paillier_slot_bits,
+                };
+                let slots_per_ct = pack.slots_per_ct(&pk);
+                let model = paillier_pack::PaillierEncryptedModel::from_parts(
+                    pack,
+                    cts,
+                    rows,
+                    cols,
+                    slots_per_ct,
+                );
+                (
+                    ClientCrypto::Baseline { pk, model },
+                    config.paillier_slot_bits as usize,
+                )
+            }
+        };
+
+        let group = config.ot_group(&seed);
+        let yao = YaoEvaluator::setup(channel, &group, rng)?;
+        Ok(SpamClient {
+            crypto,
+            yao,
+            circuit: spam_compare_circuit(width),
+            width,
+            bias_row: rows - 1,
+            max_freq: config.max_frequency(),
+        })
+    }
+
+    /// Client-side storage consumed by the encrypted model in bytes — the
+    /// quantity Figure 8 reports.
+    pub fn model_storage_bytes(&self) -> usize {
+        match &self.crypto {
+            ClientCrypto::Pretzel { pk, model } => model.size_bytes(pk),
+            ClientCrypto::Baseline { pk, model } => model.size_bytes(pk),
+        }
+    }
+
+    /// Converts an email's sparse token counts into the protocol's
+    /// (row, frequency) form, clamping frequencies and appending the bias row.
+    pub fn protocol_features(&self, features: &SparseVector) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = features
+            .iter()
+            .filter(|&(i, _)| i < self.bias_row)
+            .map(|(i, c)| (i, (c as u64).min(self.max_freq)))
+            .collect();
+        out.push((self.bias_row, 1));
+        out
+    }
+
+    /// Per-email phase, client side: returns `true` when the email is spam.
+    /// The provider learns nothing (the output goes only to the client).
+    pub fn classify<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        features: &SparseVector,
+        rng: &mut R,
+    ) -> Result<bool> {
+        let sparse = self.protocol_features(features);
+        let mask = bits_mask(self.width);
+        let noise = match &self.crypto {
+            ClientCrypto::Pretzel { pk, model } => {
+                let result = rlwe_pack::client_dot_product(pk, model, &sparse)?;
+                let (blinded, noise) = rlwe_pack::blind(pk, &result[0], 2, rng);
+                channel.send(&blinded.to_bytes())?;
+                noise
+            }
+            ClientCrypto::Baseline { pk, model } => {
+                let result = paillier_pack::client_dot_product(pk, model, &sparse, rng)?;
+                let (blinded, noise) = paillier_pack::blind(pk, model, &result[0], 2, rng);
+                channel.send(&blinded.to_bytes(pk))?;
+                noise
+            }
+        };
+        // Evaluator inputs: noise for the spam column, then the ham column.
+        let mut evaluator_bits = to_bits(noise[1] & mask, self.width);
+        evaluator_bits.extend(to_bits(noise[0] & mask, self.width));
+        let out = self
+            .yao
+            .run(channel, &self.circuit, &evaluator_bits, OutputMode::EvaluatorOnly)?
+            .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))?;
+        Ok(out[0])
+    }
+}
+
+fn bits_mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_classifiers::nb::GrNbTrainer;
+    use pretzel_classifiers::{LabeledExample, Trainer};
+    use pretzel_transport::run_two_party;
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    /// 8-feature training corpus: features 0–3 are spammy, 4–7 are hammy.
+    fn train_model() -> LinearModel {
+        let mut corpus = Vec::new();
+        for i in 0..20 {
+            corpus.push(example(&[(i % 4, 2), ((i + 1) % 4, 1)], 1));
+            corpus.push(example(&[(4 + i % 4, 2), (4 + (i + 1) % 4, 1)], 0));
+        }
+        GrNbTrainer::default().train(&corpus, 8, 2)
+    }
+
+    fn run_spam_exchange(variant: AheVariant) {
+        let model = train_model();
+        let model_for_provider = model.clone();
+        let config = PretzelConfig::test();
+        let config_client = config.clone();
+
+        let spam_email = SparseVector::from_pairs(vec![(0, 3), (1, 1), (2, 1)]);
+        let ham_email = SparseVector::from_pairs(vec![(4, 2), (5, 2), (6, 1)]);
+        let spam_b = spam_email.clone();
+        let ham_b = ham_email.clone();
+
+        let (provider_res, client_res) = run_two_party(
+            move |chan| -> Result<()> {
+                let mut rng = rand::thread_rng();
+                let mut provider =
+                    SpamProvider::setup(chan, &model_for_provider, &config, variant, &mut rng)?;
+                provider.process_email(chan, &mut rng)?;
+                provider.process_email(chan, &mut rng)?;
+                Ok(())
+            },
+            move |chan| -> Result<(bool, bool, usize)> {
+                let mut rng = rand::thread_rng();
+                let mut client = SpamClient::setup(chan, &config_client, variant, &mut rng)?;
+                let storage = client.model_storage_bytes();
+                let spam_result = client.classify(chan, &spam_b, &mut rng)?;
+                let ham_result = client.classify(chan, &ham_b, &mut rng)?;
+                Ok((spam_result, ham_result, storage))
+            },
+        );
+        provider_res.unwrap();
+        let (spam_result, ham_result, storage) = client_res.unwrap();
+        assert!(spam_result, "{variant:?}: spammy email must classify as spam");
+        assert!(!ham_result, "{variant:?}: hammy email must classify as ham");
+        assert!(storage > 0);
+
+        // The private decision must agree with a non-private classification.
+        let noprivate = crate::NoPrivProvider::new(model);
+        assert!(noprivate.is_spam(&spam_email));
+        assert!(!noprivate.is_spam(&ham_email));
+    }
+
+    #[test]
+    fn pretzel_spam_end_to_end() {
+        run_spam_exchange(AheVariant::Pretzel);
+    }
+
+    #[test]
+    fn baseline_spam_end_to_end() {
+        run_spam_exchange(AheVariant::Baseline);
+    }
+
+    #[test]
+    fn no_optim_pack_spam_end_to_end_and_larger_model() {
+        run_spam_exchange(AheVariant::PretzelNoOptimPack);
+    }
+}

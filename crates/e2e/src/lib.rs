@@ -1,0 +1,353 @@
+//! End-to-end email encryption — Pretzel's "e2e module" (paper §2.2).
+//!
+//! The e2e module is a black box to the rest of Pretzel: the sender encrypts
+//! and signs, the recipient authenticates and decrypts, and the plaintext is
+//! then handed to the function modules (spam filtering, topic extraction,
+//! search). The paper's prototype uses GPG; per DESIGN.md §3 we build an
+//! equivalent authenticated hybrid scheme from this workspace's own
+//! primitives:
+//!
+//! * static Diffie–Hellman identities over a safe-prime group,
+//! * an ephemeral-static DH key agreement per email, expanded with HKDF,
+//! * ChaCha20 + HMAC-SHA-256 (encrypt-then-MAC) for the payload,
+//! * Schnorr signatures for sender authentication,
+//! * a simple keyring (key management proper is out of scope for Pretzel,
+//!   §2.2 / §7).
+
+pub mod email;
+pub mod group;
+pub mod schnorr;
+
+pub use email::{Email, EncryptedEmail};
+pub use group::DhGroup;
+pub use schnorr::{SchnorrKeyPair, SchnorrSignature};
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use pretzel_bignum::BigUint;
+use pretzel_primitives::{ct_eq, hkdf, hmac_sha256, ChaCha20};
+
+/// Errors from the e2e module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum E2eError {
+    /// MAC verification failed (tampered or mis-keyed ciphertext).
+    MacMismatch,
+    /// Signature verification failed.
+    BadSignature,
+    /// Malformed wire format.
+    Malformed,
+    /// The keyring does not contain the requested party.
+    UnknownParty(String),
+}
+
+impl std::fmt::Display for E2eError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            E2eError::MacMismatch => write!(f, "message authentication failed"),
+            E2eError::BadSignature => write!(f, "sender signature invalid"),
+            E2eError::Malformed => write!(f, "malformed encrypted email"),
+            E2eError::UnknownParty(p) => write!(f, "no key material for {p}"),
+        }
+    }
+}
+
+impl std::error::Error for E2eError {}
+
+/// A user's long-term secret identity: DH decryption key + Schnorr signing key.
+#[derive(Clone)]
+pub struct Identity {
+    /// Email address this identity belongs to.
+    pub address: String,
+    group: DhGroup,
+    dh_secret: BigUint,
+    dh_public: BigUint,
+    signing: SchnorrKeyPair,
+}
+
+/// The public half of an identity, distributed to correspondents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicIdentity {
+    /// Email address.
+    pub address: String,
+    /// DH public key (encryption).
+    pub dh_public: BigUint,
+    /// Schnorr public key (signature verification).
+    pub verify_key: BigUint,
+}
+
+impl Identity {
+    /// Generates a fresh identity in `group` for `address`.
+    pub fn generate<R: Rng + ?Sized>(address: &str, group: &DhGroup, rng: &mut R) -> Self {
+        let dh_secret = group.random_exponent(rng);
+        let dh_public = group.pow_g(&dh_secret);
+        let signing = SchnorrKeyPair::generate(group, rng);
+        Identity {
+            address: address.to_string(),
+            group: group.clone(),
+            dh_secret,
+            dh_public,
+            signing,
+        }
+    }
+
+    /// The public identity to publish.
+    pub fn public(&self) -> PublicIdentity {
+        PublicIdentity {
+            address: self.address.clone(),
+            dh_public: self.dh_public.clone(),
+            verify_key: self.signing.public().clone(),
+        }
+    }
+
+    /// Encrypts and signs an email for `recipient` (paper Figure 1, step ①).
+    pub fn encrypt_email<R: Rng + ?Sized>(
+        &self,
+        recipient: &PublicIdentity,
+        email: &Email,
+        rng: &mut R,
+    ) -> EncryptedEmail {
+        let group = &self.group;
+        // Ephemeral-static DH.
+        let eph_secret = group.random_exponent(rng);
+        let eph_public = group.pow_g(&eph_secret);
+        let shared = group.pow(&recipient.dh_public, &eph_secret);
+        let keys = derive_keys(group, &shared, &eph_public, &recipient.dh_public);
+
+        let plaintext = email.to_bytes();
+        let nonce: [u8; 12] = rng.gen();
+        let cipher = ChaCha20::new(&keys.enc, &nonce, 1);
+        let ciphertext = cipher.process(&plaintext);
+
+        let mac = hmac_sha256(&keys.mac, &mac_input(&eph_public, &nonce, &ciphertext, group));
+        // Sign the (ciphertext, mac) pair so the recipient can attribute the
+        // email to the sender before acting on it (§4.4's replay defense
+        // requires signed emails).
+        let signature = self.signing.sign(group, &signing_input(&ciphertext, &mac), rng);
+
+        EncryptedEmail {
+            sender: self.address.clone(),
+            recipient: recipient.address.clone(),
+            ephemeral_public: eph_public,
+            nonce,
+            ciphertext,
+            mac,
+            signature,
+        }
+    }
+
+    /// Authenticates and decrypts an email (paper Figure 1, step ②).
+    pub fn decrypt_email(
+        &self,
+        sender: &PublicIdentity,
+        encrypted: &EncryptedEmail,
+    ) -> Result<Email, E2eError> {
+        let group = &self.group;
+        // Verify the sender's signature first.
+        if !SchnorrKeyPair::verify(
+            group,
+            &sender.verify_key,
+            &signing_input(&encrypted.ciphertext, &encrypted.mac),
+            &encrypted.signature,
+        ) {
+            return Err(E2eError::BadSignature);
+        }
+        let shared = group.pow(&encrypted.ephemeral_public, &self.dh_secret);
+        let keys = derive_keys(group, &shared, &encrypted.ephemeral_public, &self.dh_public);
+        let expected_mac = hmac_sha256(
+            &keys.mac,
+            &mac_input(&encrypted.ephemeral_public, &encrypted.nonce, &encrypted.ciphertext, group),
+        );
+        if !ct_eq(&expected_mac, &encrypted.mac) {
+            return Err(E2eError::MacMismatch);
+        }
+        let cipher = ChaCha20::new(&keys.enc, &encrypted.nonce, 1);
+        let plaintext = cipher.process(&encrypted.ciphertext);
+        Email::from_bytes(&plaintext).ok_or(E2eError::Malformed)
+    }
+}
+
+struct DerivedKeys {
+    enc: [u8; 32],
+    mac: [u8; 32],
+}
+
+fn derive_keys(group: &DhGroup, shared: &BigUint, eph: &BigUint, recipient: &BigUint) -> DerivedKeys {
+    let mut ikm = group.encode(shared);
+    ikm.extend(group.encode(eph));
+    ikm.extend(group.encode(recipient));
+    let okm = hkdf(b"pretzel-e2e-v1", &ikm, b"email keys", 64);
+    let mut enc = [0u8; 32];
+    let mut mac = [0u8; 32];
+    enc.copy_from_slice(&okm[..32]);
+    mac.copy_from_slice(&okm[32..]);
+    DerivedKeys { enc, mac }
+}
+
+fn mac_input(eph: &BigUint, nonce: &[u8; 12], ciphertext: &[u8], group: &DhGroup) -> Vec<u8> {
+    let mut data = group.encode(eph);
+    data.extend_from_slice(nonce);
+    data.extend_from_slice(ciphertext);
+    data
+}
+
+fn signing_input(ciphertext: &[u8], mac: &[u8; 32]) -> Vec<u8> {
+    let mut data = ciphertext.to_vec();
+    data.extend_from_slice(mac);
+    data
+}
+
+/// A keyring mapping addresses to public identities. Key management itself
+/// (cross-device sharing, discovery, transparency logs) is explicitly out of
+/// scope for Pretzel (§2.2, §7); this is the minimal interface the examples
+/// and the core drivers need.
+#[derive(Clone, Debug, Default)]
+pub struct Keyring {
+    entries: HashMap<String, PublicIdentity>,
+}
+
+impl Keyring {
+    /// Empty keyring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds or replaces a public identity.
+    pub fn insert(&mut self, identity: PublicIdentity) {
+        self.entries.insert(identity.address.clone(), identity);
+    }
+
+    /// Looks up a public identity by address.
+    pub fn get(&self, address: &str) -> Result<&PublicIdentity, E2eError> {
+        self.entries
+            .get(address)
+            .ok_or_else(|| E2eError::UnknownParty(address.to_string()))
+    }
+
+    /// Number of known identities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the keyring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_group() -> DhGroup {
+        DhGroup::insecure_test_group(96, &mut rand::thread_rng())
+    }
+
+    fn demo_email() -> Email {
+        Email {
+            from: "alice@example.com".into(),
+            to: "bob@example.com".into(),
+            subject: "Budget review".into(),
+            body: "Let's meet tomorrow about the quarterly budget. -- Alice".into(),
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = Identity::generate("alice@example.com", &group, &mut rng);
+        let bob = Identity::generate("bob@example.com", &group, &mut rng);
+        let email = demo_email();
+        let encrypted = alice.encrypt_email(&bob.public(), &email, &mut rng);
+        assert_eq!(encrypted.sender, "alice@example.com");
+        let decrypted = bob.decrypt_email(&alice.public(), &encrypted).unwrap();
+        assert_eq!(decrypted, email);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_across_sends() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = Identity::generate("alice@example.com", &group, &mut rng);
+        let bob = Identity::generate("bob@example.com", &group, &mut rng);
+        let email = demo_email();
+        let e1 = alice.encrypt_email(&bob.public(), &email, &mut rng);
+        let e2 = alice.encrypt_email(&bob.public(), &email, &mut rng);
+        assert_ne!(e1.ciphertext, e2.ciphertext, "fresh ephemeral keys per email");
+        let body_bytes = email.to_bytes();
+        assert_ne!(e1.ciphertext, body_bytes);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = Identity::generate("alice@example.com", &group, &mut rng);
+        let bob = Identity::generate("bob@example.com", &group, &mut rng);
+        let mut encrypted = alice.encrypt_email(&bob.public(), &demo_email(), &mut rng);
+        encrypted.ciphertext[0] ^= 0xFF;
+        // Either the signature (computed over the ciphertext) or the MAC must
+        // reject the modification.
+        assert!(bob.decrypt_email(&alice.public(), &encrypted).is_err());
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_decrypt() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = Identity::generate("alice@example.com", &group, &mut rng);
+        let bob = Identity::generate("bob@example.com", &group, &mut rng);
+        let eve = Identity::generate("eve@example.com", &group, &mut rng);
+        let encrypted = alice.encrypt_email(&bob.public(), &demo_email(), &mut rng);
+        assert_eq!(
+            eve.decrypt_email(&alice.public(), &encrypted).unwrap_err(),
+            E2eError::MacMismatch
+        );
+    }
+
+    #[test]
+    fn forged_sender_is_rejected() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = Identity::generate("alice@example.com", &group, &mut rng);
+        let bob = Identity::generate("bob@example.com", &group, &mut rng);
+        let mallory = Identity::generate("mallory@example.com", &group, &mut rng);
+        let encrypted = mallory.encrypt_email(&bob.public(), &demo_email(), &mut rng);
+        // Bob believes the mail came from Alice; the signature check fails.
+        assert_eq!(
+            bob.decrypt_email(&alice.public(), &encrypted).unwrap_err(),
+            E2eError::BadSignature
+        );
+    }
+
+    #[test]
+    fn keyring_lookup() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = Identity::generate("alice@example.com", &group, &mut rng);
+        let mut ring = Keyring::new();
+        assert!(ring.is_empty());
+        ring.insert(alice.public());
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.get("alice@example.com").unwrap().address, "alice@example.com");
+        assert!(matches!(
+            ring.get("nobody@example.com"),
+            Err(E2eError::UnknownParty(_))
+        ));
+    }
+
+    #[test]
+    fn encrypted_email_wire_roundtrip() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = Identity::generate("alice@example.com", &group, &mut rng);
+        let bob = Identity::generate("bob@example.com", &group, &mut rng);
+        let encrypted = alice.encrypt_email(&bob.public(), &demo_email(), &mut rng);
+        let bytes = encrypted.to_bytes();
+        let parsed = EncryptedEmail::from_bytes(&bytes).unwrap();
+        let decrypted = bob.decrypt_email(&alice.public(), &parsed).unwrap();
+        assert_eq!(decrypted, demo_email());
+    }
+}

@@ -1,0 +1,137 @@
+//! Schnorr signatures over the e2e module's DH group.
+
+use rand::Rng;
+
+use pretzel_bignum::BigUint;
+use pretzel_primitives::Sha256;
+
+use crate::group::DhGroup;
+
+/// A Schnorr signature `(challenge, response)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchnorrSignature {
+    /// Fiat–Shamir challenge `e = H(R || P || m) mod q`.
+    pub challenge: BigUint,
+    /// Response `s = k + e·x mod q`.
+    pub response: BigUint,
+}
+
+/// A Schnorr signing key pair.
+#[derive(Clone)]
+pub struct SchnorrKeyPair {
+    secret: BigUint,
+    public: BigUint,
+}
+
+impl SchnorrKeyPair {
+    /// Generates a key pair in `group`.
+    pub fn generate<R: Rng + ?Sized>(group: &DhGroup, rng: &mut R) -> Self {
+        let secret = group.random_exponent(rng);
+        let public = group.pow_g(&secret);
+        SchnorrKeyPair { secret, public }
+    }
+
+    /// The verification key `P = g^x`.
+    pub fn public(&self) -> &BigUint {
+        &self.public
+    }
+
+    /// Signs a message.
+    pub fn sign<R: Rng + ?Sized>(
+        &self,
+        group: &DhGroup,
+        message: &[u8],
+        rng: &mut R,
+    ) -> SchnorrSignature {
+        let k = group.random_exponent(rng);
+        let r = group.pow_g(&k);
+        let e = challenge_hash(group, &r, &self.public, message);
+        // s = k + e*x mod q
+        let ex = (e.clone() * self.secret.clone()) % group.order().clone();
+        let s = (k + ex) % group.order().clone();
+        SchnorrSignature {
+            challenge: e,
+            response: s,
+        }
+    }
+
+    /// Verifies a signature under the verification key `public`.
+    pub fn verify(
+        group: &DhGroup,
+        public: &BigUint,
+        message: &[u8],
+        signature: &SchnorrSignature,
+    ) -> bool {
+        if signature.challenge >= *group.order() || signature.response >= *group.order() {
+            return false;
+        }
+        // R' = g^s * P^{-e} = g^s * P^{q - e}
+        let g_s = group.pow_g(&signature.response);
+        let neg_e = group.order().clone() - signature.challenge.clone();
+        let p_neg_e = group.pow(public, &neg_e);
+        let r_prime = group.mul(&g_s, &p_neg_e);
+        challenge_hash(group, &r_prime, public, message) == signature.challenge
+    }
+}
+
+fn challenge_hash(group: &DhGroup, r: &BigUint, public: &BigUint, message: &[u8]) -> BigUint {
+    let mut h = Sha256::new();
+    h.update(b"pretzel-schnorr-v1");
+    h.update(&group.encode(r));
+    h.update(&group.encode(public));
+    h.update(message);
+    BigUint::from_bytes_be(&h.finalize()) % group.order().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_group() -> DhGroup {
+        DhGroup::insecure_test_group(96, &mut rand::thread_rng())
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let keys = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = keys.sign(&group, b"hello pretzel", &mut rng);
+        assert!(SchnorrKeyPair::verify(&group, keys.public(), b"hello pretzel", &sig));
+    }
+
+    #[test]
+    fn signature_is_message_bound() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let keys = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = keys.sign(&group, b"message one", &mut rng);
+        assert!(!SchnorrKeyPair::verify(&group, keys.public(), b"message two", &sig));
+    }
+
+    #[test]
+    fn signature_is_key_bound() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let alice = SchnorrKeyPair::generate(&group, &mut rng);
+        let bob = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = alice.sign(&group, b"from alice", &mut rng);
+        assert!(!SchnorrKeyPair::verify(&group, bob.public(), b"from alice", &sig));
+    }
+
+    #[test]
+    fn mangled_signature_rejected() {
+        let group = test_group();
+        let mut rng = rand::thread_rng();
+        let keys = SchnorrKeyPair::generate(&group, &mut rng);
+        let mut sig = keys.sign(&group, b"payload", &mut rng);
+        sig.response = (sig.response + BigUint::one()) % group.order().clone();
+        assert!(!SchnorrKeyPair::verify(&group, keys.public(), b"payload", &sig));
+        // Out-of-range components are rejected outright.
+        let bad = SchnorrSignature {
+            challenge: group.order().clone(),
+            response: BigUint::zero(),
+        };
+        assert!(!SchnorrKeyPair::verify(&group, keys.public(), b"payload", &bad));
+    }
+}

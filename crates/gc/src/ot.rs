@@ -1,0 +1,269 @@
+//! Base oblivious transfer (1-out-of-2) over a prime-order subgroup.
+//!
+//! This is the Chou–Orlandi "simplest OT" construction over a multiplicative
+//! group modulo a safe prime:
+//!
+//! * Sender: secret `a`, publishes `A = g^a`.
+//! * Receiver with choice bit `c`: secret `b`, publishes `B = g^b` (c = 0) or
+//!   `B = A·g^b` (c = 1); derives `k_c = H(A^b)`.
+//! * Sender derives `k_0 = H(B^a)` and `k_1 = H((B/A)^a)` and sends both
+//!   messages encrypted under the respective keys; the receiver can decrypt
+//!   only the chosen one.
+//!
+//! Base OTs run only during the setup phase of the Yao session (the IKNP
+//! extension in [`crate::otext`] turns 128 of them into any number of fast
+//! per-email OTs), which is exactly how the paper amortizes the expensive
+//! public-key machinery into setup (§3.3).
+
+use rand::Rng;
+
+use pretzel_bignum::{gen_safe_prime, mod_inv, BigUint, Montgomery};
+use pretzel_primitives::{sha256, xor_in_place};
+use pretzel_transport::Channel;
+
+use crate::GcError;
+
+/// Fixed-size payload carried by one base OT (a PRG seed).
+pub const OT_MSG_LEN: usize = 32;
+
+/// The group used for base OT.
+#[derive(Clone, Debug)]
+pub struct OtGroup {
+    /// Safe prime modulus.
+    p: BigUint,
+    /// Subgroup order q = (p - 1) / 2.
+    q: BigUint,
+    /// Generator of the order-q subgroup.
+    g: BigUint,
+    mont: Montgomery,
+}
+
+impl OtGroup {
+    /// The 1536-bit MODP group from RFC 3526 (§2); `g = 4` generates the
+    /// prime-order subgroup of a safe prime.
+    pub fn rfc3526_1536() -> Self {
+        let p_hex = concat!(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1",
+            "29024E088A67CC74020BBEA63B139B22514A08798E3404DD",
+            "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245",
+            "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
+            "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D",
+            "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F",
+            "83655D23DCA3AD961C62F356208552BB9ED529077096966D",
+            "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+        );
+        let p = BigUint::from_hex(p_hex).expect("valid hex constant");
+        Self::from_safe_prime(p)
+    }
+
+    /// Builds a group from a safe prime `p` with generator `g = 4`.
+    pub fn from_safe_prime(p: BigUint) -> Self {
+        let q = (p.clone() - BigUint::one()) >> 1;
+        let mont = Montgomery::new(p.clone());
+        OtGroup {
+            p,
+            q,
+            g: BigUint::from(4u64),
+            mont,
+        }
+    }
+
+    /// Generates a small group for unit tests (NOT secure — documented as
+    /// such; production paths use [`OtGroup::rfc3526_1536`]).
+    pub fn insecure_test_group<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        Self::from_safe_prime(gen_safe_prime(bits, rng))
+    }
+
+    /// Deterministically derives a small test group from a 32-byte seed.
+    ///
+    /// Both protocol parties call this with the seed produced by the joint
+    /// commit–reveal exchange, so they agree on the same group without either
+    /// party choosing it unilaterally. Like [`OtGroup::insecure_test_group`],
+    /// the result is NOT cryptographically secure at small bit widths;
+    /// production configurations use [`OtGroup::rfc3526_1536`].
+    pub fn derive_test_group(bits: usize, seed: &[u8; 32]) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::from_seed(*seed);
+        Self::from_safe_prime(gen_safe_prime(bits, &mut rng))
+    }
+
+    /// The group's prime modulus (a public parameter).
+    pub fn prime(&self) -> &BigUint {
+        &self.p
+    }
+
+    fn pow_g(&self, exp: &BigUint) -> BigUint {
+        self.mont.pow(&self.g, exp)
+    }
+
+    fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.mont.pow(base, exp)
+    }
+
+    fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.mont.mul(a, b)
+    }
+
+    fn random_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        loop {
+            let e = BigUint::random_below(rng, &self.q);
+            if !e.is_zero() {
+                return e;
+            }
+        }
+    }
+
+    fn element_bytes(&self) -> usize {
+        self.p.bits().div_ceil(8)
+    }
+
+    fn encode(&self, x: &BigUint) -> Vec<u8> {
+        x.to_bytes_be_padded(self.element_bytes())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<BigUint, GcError> {
+        let v = BigUint::from_bytes_be(bytes);
+        if v.is_zero() || v >= self.p {
+            return Err(GcError::Protocol("group element out of range".into()));
+        }
+        Ok(v)
+    }
+}
+
+fn key_from_element(group: &OtGroup, shared: &BigUint, index: u64) -> [u8; 32] {
+    let mut data = Vec::with_capacity(group.element_bytes() + 8);
+    data.extend_from_slice(&group.encode(shared));
+    data.extend_from_slice(&index.to_le_bytes());
+    sha256(&data)
+}
+
+/// Sender side of `n` base OTs. `messages[i]` is the pair `(m0, m1)`; the
+/// receiver learns exactly one of each pair.
+pub fn base_ot_send<C: Channel>(
+    channel: &mut C,
+    group: &OtGroup,
+    messages: &[([u8; OT_MSG_LEN], [u8; OT_MSG_LEN])],
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<(), GcError> {
+    let a = group.random_exponent(rng);
+    let big_a = group.pow_g(&a);
+    channel.send(&group.encode(&big_a))?;
+
+    // A^{-a} is used to compute (B / A)^a as B^a * A^{-a}.
+    let a_inv = mod_inv(&big_a, &group.p).map_err(|_| GcError::Protocol("bad group".into()))?;
+    let a_inv_pow_a = group.pow(&a_inv, &a);
+
+    let mut response = Vec::with_capacity(messages.len() * 2 * OT_MSG_LEN);
+    for (i, (m0, m1)) in messages.iter().enumerate() {
+        let b_bytes = channel.recv()?;
+        let big_b = group.decode(&b_bytes)?;
+        let b_pow_a = group.pow(&big_b, &a);
+        let k0 = key_from_element(group, &b_pow_a, i as u64);
+        let k1 = key_from_element(group, &group.mul(&b_pow_a, &a_inv_pow_a), i as u64);
+
+        let mut e0 = *m0;
+        xor_in_place(&mut e0, &k0);
+        let mut e1 = *m1;
+        xor_in_place(&mut e1, &k1);
+        response.extend_from_slice(&e0);
+        response.extend_from_slice(&e1);
+    }
+    channel.send(&response)?;
+    Ok(())
+}
+
+/// Receiver side of `n` base OTs; returns the chosen message of each pair.
+pub fn base_ot_receive<C: Channel>(
+    channel: &mut C,
+    group: &OtGroup,
+    choices: &[bool],
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<Vec<[u8; OT_MSG_LEN]>, GcError> {
+    let a_bytes = channel.recv()?;
+    let big_a = group.decode(&a_bytes)?;
+
+    let mut keys = Vec::with_capacity(choices.len());
+    for (i, &c) in choices.iter().enumerate() {
+        let b = group.random_exponent(rng);
+        let g_b = group.pow_g(&b);
+        let big_b = if c { group.mul(&big_a, &g_b) } else { g_b };
+        channel.send(&group.encode(&big_b))?;
+        let shared = group.pow(&big_a, &b);
+        keys.push(key_from_element(group, &shared, i as u64));
+    }
+
+    let response = channel.recv()?;
+    if response.len() != choices.len() * 2 * OT_MSG_LEN {
+        return Err(GcError::Protocol("bad base-OT response length".into()));
+    }
+    let mut out = Vec::with_capacity(choices.len());
+    for (i, &c) in choices.iter().enumerate() {
+        let offset = i * 2 * OT_MSG_LEN + if c { OT_MSG_LEN } else { 0 };
+        let mut m = [0u8; OT_MSG_LEN];
+        m.copy_from_slice(&response[offset..offset + OT_MSG_LEN]);
+        xor_in_place(&mut m, &keys[i]);
+        out.push(m);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_transport::run_two_party;
+    use rand::Rng;
+
+    fn test_group() -> OtGroup {
+        OtGroup::insecure_test_group(64, &mut rand::thread_rng())
+    }
+
+    #[test]
+    fn receiver_gets_exactly_the_chosen_messages() {
+        let group = test_group();
+        let group_b = group.clone();
+        let mut rng = rand::thread_rng();
+        let n = 8;
+        let messages: Vec<([u8; 32], [u8; 32])> =
+            (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let choices: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+        let msgs_for_sender = messages.clone();
+        let choices_for_recv = choices.clone();
+        let (send_res, recv_res) = run_two_party(
+            move |chan| {
+                base_ot_send(chan, &group, &msgs_for_sender, &mut rand::thread_rng())
+            },
+            move |chan| {
+                base_ot_receive(chan, &group_b, &choices_for_recv, &mut rand::thread_rng())
+            },
+        );
+        send_res.unwrap();
+        let received = recv_res.unwrap();
+        for i in 0..n {
+            let expected = if choices[i] { messages[i].1 } else { messages[i].0 };
+            assert_eq!(received[i], expected, "OT #{i}");
+            let other = if choices[i] { messages[i].0 } else { messages[i].1 };
+            assert_ne!(received[i], other, "OT #{i} must not reveal the other message");
+        }
+    }
+
+    #[test]
+    fn group_element_encoding_roundtrip() {
+        let group = test_group();
+        let x = BigUint::from(123456789u64) % group.p.clone();
+        let bytes = group.encode(&x);
+        assert_eq!(bytes.len(), group.element_bytes());
+        assert_eq!(group.decode(&bytes).unwrap(), x);
+        // Out-of-range elements rejected.
+        assert!(group.decode(&group.encode(&group.p.clone())).is_err() || x == group.p);
+        let zero = vec![0u8; group.element_bytes()];
+        assert!(group.decode(&zero).is_err());
+    }
+
+    #[test]
+    fn rfc3526_group_parses() {
+        let group = OtGroup::rfc3526_1536();
+        assert_eq!(group.p.bits(), 1536);
+        assert_eq!(group.element_bytes(), 192);
+    }
+}

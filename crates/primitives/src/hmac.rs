@@ -1,0 +1,132 @@
+//! HMAC-SHA-256 (RFC 2104) and HKDF (RFC 5869).
+
+use crate::sha256::{sha256, Sha256};
+
+const BLOCK_LEN: usize = 64;
+
+/// HMAC-SHA-256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        key_block[..32].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-SHA-256: extract-then-expand key derivation.
+///
+/// Produces `out_len` bytes of key material from `ikm` (input keying
+/// material), an optional `salt`, and a context `info` string.
+/// Panics if more than 255 * 32 bytes are requested (per RFC 5869).
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * 32, "HKDF output too long");
+    // Extract
+    let prk = hmac_sha256(salt, ikm);
+    // Expand
+    let mut output = Vec::with_capacity(out_len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while output.len() < out_len {
+        let mut data = previous.clone();
+        data.extend_from_slice(info);
+        data.push(counter);
+        let block = hmac_sha256(&prk, &data);
+        previous = block.to_vec();
+        output.extend_from_slice(&block);
+        counter = counter.wrapping_add(1);
+    }
+    output.truncate(out_len);
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = vec![0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex(&hmac_sha256(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Test case 6: 131-byte key (forces the key-hashing path).
+        let key = vec![0xaau8; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex(&hmac_sha256(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn hkdf_rfc5869_test_case_1() {
+        let ikm = unhex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn hkdf_different_infos_diverge() {
+        let a = hkdf(b"salt", b"secret", b"context-a", 32);
+        let b = hkdf(b"salt", b"secret", b"context-b", 32);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn hkdf_long_output() {
+        let out = hkdf(b"", b"ikm", b"", 100);
+        assert_eq!(out.len(), 100);
+        // Deterministic.
+        assert_eq!(out, hkdf(b"", b"ikm", b"", 100));
+    }
+}

@@ -1,0 +1,75 @@
+//! Symmetric cryptographic primitives implemented from scratch for Pretzel.
+//!
+//! The Pretzel stack needs a hash (key fingerprints, Schnorr challenges,
+//! commitments), a MAC/KDF (the e2e module's encrypt-then-MAC construction and
+//! key derivation), a stream cipher (payload encryption and the garbled
+//! circuit wire-label PRG), and a deterministic PRG (OT extension, joint
+//! randomness for AHE parameters). None of the allowed external crates provide
+//! these, so they are implemented here:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256.
+//! * [`hmac`] — HMAC-SHA-256 and HKDF (RFC 5869).
+//! * [`chacha`] — ChaCha20 (RFC 8439) block function, stream cipher, and a
+//!   deterministic PRG.
+//! * [`gchash`] — the hash used to encrypt garbled-gate rows,
+//!   `H(A, B, gate_id)`, built on SHA-256.
+
+pub mod chacha;
+pub mod gchash;
+pub mod hmac;
+pub mod sha256;
+
+pub use chacha::{ChaCha20, Prg};
+pub use gchash::gc_hash;
+pub use hmac::{hkdf, hmac_sha256};
+pub use sha256::{sha256, Sha256};
+
+/// Constant-time equality for byte strings (prevents MAC timing leaks).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// XORs `src` into `dst` in place. Panics if lengths differ.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn xor_in_place_roundtrip() {
+        let mut a = vec![0xAAu8; 16];
+        let b = vec![0x55u8; 16];
+        xor_in_place(&mut a, &b);
+        assert_eq!(a, vec![0xFFu8; 16]);
+        xor_in_place(&mut a, &b);
+        assert_eq!(a, vec![0xAAu8; 16]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn xor_in_place_length_mismatch_panics() {
+        let mut a = vec![0u8; 4];
+        xor_in_place(&mut a, &[0u8; 5]);
+    }
+}

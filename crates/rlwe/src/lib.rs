@@ -1,0 +1,814 @@
+//! Ring-LWE additively homomorphic encryption ("XPIR-BV", paper §4.1).
+//!
+//! Pretzel replaces the Baseline's Paillier cryptosystem with the additively
+//! homomorphic scheme of Brakerski and Vaikuntanathan as implemented in the
+//! XPIR system. The pay-off (Figure 6) is that Enc/Dec drop from hundreds of
+//! microseconds to tens of microseconds, at the cost of much larger
+//! ciphertexts — which Pretzel then exploits with packing (§4.2): a single
+//! ciphertext holds `n` plaintext *slots* (polynomial coefficients), and the
+//! across-row packing technique rotates slots with cheap monomial
+//! multiplications ("left shift and add", Figure 6's last microbenchmark row).
+//!
+//! Scheme outline (BGV-style encoding with the message in the low bits):
+//!
+//! * Ring: `R_q = Z_q[x]/(x^n + 1)`, `n` a power of two, `q ≡ 1 (mod 2n)` a
+//!   prime chosen for NTT-friendliness.
+//! * Plaintext space: `R_t` with `t = 2^{plain_bits}`; each of the `n`
+//!   coefficients is one packing slot.
+//! * Keys: secret `s` ternary; public key `(pk0, pk1) = (−(a·s) + t·e, a)`.
+//! * `Enc(m) = (pk0·u + t·e1 + m, pk1·u + t·e2)` with ternary `u`.
+//! * `Dec(c) = ((c0 + c1·s mod q) centered) mod t`.
+//! * Addition is component-wise; multiplying by an integer scalar multiplies
+//!   both components; multiplying by the monomial `x^{-k}` rotates slots
+//!   left by `k` (used by §4.2 packing and the Figure 5 candidate-topic
+//!   protocol).
+
+pub mod ntt;
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use ntt::{add_mod, find_ntt_prime, mul_mod, sub_mod, NttTables};
+use pretzel_primitives::Prg;
+
+/// Errors from RLWE operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RlweError {
+    /// Plaintext slot value does not fit in the plaintext modulus.
+    SlotOutOfRange { slot: usize, value: u64 },
+    /// Too many slots supplied for the ring degree.
+    TooManySlots { given: usize, max: usize },
+    /// Ciphertext bytes could not be parsed.
+    Malformed,
+    /// Parameters of two operands do not match.
+    ParameterMismatch,
+}
+
+impl std::fmt::Display for RlweError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RlweError::SlotOutOfRange { slot, value } => {
+                write!(f, "slot {slot} value {value} exceeds plaintext modulus")
+            }
+            RlweError::TooManySlots { given, max } => {
+                write!(f, "{given} slots supplied but the ring only has {max}")
+            }
+            RlweError::Malformed => write!(f, "malformed ciphertext"),
+            RlweError::ParameterMismatch => write!(f, "mismatched RLWE parameters"),
+        }
+    }
+}
+
+impl std::error::Error for RlweError {}
+
+/// Public parameters of the XPIR-BV scheme.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Ring degree = number of packing slots per ciphertext (paper: p = 1024).
+    pub n: usize,
+    /// Ciphertext modulus (NTT-friendly prime).
+    pub q: u64,
+    /// Plaintext modulus `t = 2^plain_bits`; each slot holds `plain_bits` bits.
+    pub t: u64,
+    /// log2(t).
+    pub plain_bits: u32,
+    /// Centered-binomial noise parameter (number of coin pairs).
+    pub noise_k: u32,
+    tables: Arc<NttTables>,
+}
+
+impl PartialEq for Params {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.q == other.q && self.t == other.t
+    }
+}
+impl Eq for Params {}
+
+impl Params {
+    /// Builds parameters with ring degree `n` (power of two) and
+    /// `plain_bits`-bit slots. The ciphertext modulus is the smallest
+    /// NTT-friendly prime above 2^61, giving ~16 KB ciphertexts at n = 1024 —
+    /// the size the paper quotes for XPIR-BV.
+    pub fn new(n: usize, plain_bits: u32) -> Self {
+        assert!(n.is_power_of_two(), "ring degree must be a power of two");
+        assert!(
+            (8..=48).contains(&plain_bits),
+            "plaintext modulus must be between 2^8 and 2^48"
+        );
+        let q = find_ntt_prime(n, 1 << 61);
+        let tables = Arc::new(NttTables::new(n, q));
+        Params {
+            n,
+            q,
+            t: 1u64 << plain_bits,
+            plain_bits,
+            noise_k: 8,
+            tables,
+        }
+    }
+
+    /// The parameters used throughout the Pretzel evaluation: 1024 slots of
+    /// 32 bits (enough for `b = log L + b_in + f_in` with the paper's feature
+    /// counts and quantization).
+    pub fn pretzel_default() -> Self {
+        Self::new(1024, 32)
+    }
+
+    /// Number of packing slots per ciphertext (the paper's `p`).
+    pub fn slots(&self) -> usize {
+        self.n
+    }
+
+    /// Serialized ciphertext size in bytes (two degree-n polynomials of u64).
+    pub fn ciphertext_bytes(&self) -> usize {
+        2 * self.n * 8
+    }
+
+    /// Remaining multiplicative noise headroom: the largest scalar `z` such
+    /// that a fresh ciphertext scaled by `z` and summed `additions` times
+    /// still decrypts correctly. Used by callers to validate packing
+    /// parameters (`b = log L + b_in + f_in`, §4.2).
+    pub fn max_scalar_budget(&self, additions: u64) -> u64 {
+        // Fresh noise per coefficient is bounded by roughly
+        // noise_k * (2n + 1); require t * noise * z * additions < q / 4.
+        let fresh = (self.noise_k as u64) * (2 * self.n as u64 + 1);
+        let budget = self.q / 4 / self.t / fresh.max(1) / additions.max(1);
+        budget.max(1)
+    }
+}
+
+/// A plaintext: up to `n` slot values, each `< t`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plaintext {
+    coeffs: Vec<u64>,
+}
+
+impl Plaintext {
+    /// Encodes slot values (length ≤ n); missing slots are zero.
+    pub fn encode(params: &Params, slots: &[u64]) -> Result<Self, RlweError> {
+        if slots.len() > params.n {
+            return Err(RlweError::TooManySlots {
+                given: slots.len(),
+                max: params.n,
+            });
+        }
+        for (i, &v) in slots.iter().enumerate() {
+            if v >= params.t {
+                return Err(RlweError::SlotOutOfRange { slot: i, value: v });
+            }
+        }
+        let mut coeffs = vec![0u64; params.n];
+        coeffs[..slots.len()].copy_from_slice(slots);
+        Ok(Plaintext { coeffs })
+    }
+
+    /// Decodes back to slot values.
+    pub fn slots(&self) -> &[u64] {
+        &self.coeffs
+    }
+}
+
+/// Secret key: the ternary polynomial `s` (kept in the NTT domain).
+#[derive(Clone)]
+pub struct SecretKey {
+    params: Params,
+    s_ntt: Vec<u64>,
+}
+
+/// Public key `(pk0, pk1)` (kept in the NTT domain for fast encryption).
+#[derive(Clone)]
+pub struct PublicKey {
+    params: Params,
+    pk0_ntt: Vec<u64>,
+    pk1_ntt: Vec<u64>,
+}
+
+/// An RLWE ciphertext `(c0, c1)`, stored in the coefficient domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext {
+    c0: Vec<u64>,
+    c1: Vec<u64>,
+}
+
+impl Ciphertext {
+    /// Serializes to little-endian bytes (c0 then c1).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.c0.len() + self.c1.len()) * 8);
+        for v in self.c0.iter().chain(self.c1.iter()) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from bytes produced by [`Ciphertext::to_bytes`].
+    pub fn from_bytes(params: &Params, bytes: &[u8]) -> Result<Self, RlweError> {
+        if bytes.len() != params.ciphertext_bytes() {
+            return Err(RlweError::Malformed);
+        }
+        let mut values = Vec::with_capacity(2 * params.n);
+        for chunk in bytes.chunks_exact(8) {
+            values.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let c1 = values.split_off(params.n);
+        Ok(Ciphertext { c0: values, c1 })
+    }
+}
+
+/// Samples a ternary polynomial with coefficients in {-1, 0, 1} (represented
+/// mod q).
+fn sample_ternary<R: Rng + ?Sized>(params: &Params, rng: &mut R) -> Vec<u64> {
+    (0..params.n)
+        .map(|_| match rng.gen_range(0..3u8) {
+            0 => 0,
+            1 => 1,
+            _ => params.q - 1,
+        })
+        .collect()
+}
+
+/// Samples centered-binomial noise with parameter `noise_k` (mod q).
+fn sample_noise<R: Rng + ?Sized>(params: &Params, rng: &mut R) -> Vec<u64> {
+    (0..params.n)
+        .map(|_| {
+            let mut acc: i64 = 0;
+            for _ in 0..params.noise_k {
+                acc += rng.gen_range(0..2) as i64;
+                acc -= rng.gen_range(0..2) as i64;
+            }
+            if acc >= 0 {
+                acc as u64
+            } else {
+                params.q - (-acc) as u64
+            }
+        })
+        .collect()
+}
+
+/// Expands a 32-byte seed into a uniform polynomial (the shared "a" of the
+/// public key). Both parties contributing to this seed is Pretzel's defense
+/// against adversarial AHE parameter generation (§3.3, footnote 3).
+pub fn expand_uniform_poly(params: &Params, seed: &[u8; 32]) -> Vec<u64> {
+    let mut prg = Prg::new(seed);
+    let mut out = Vec::with_capacity(params.n);
+    let zone = params.q * (u64::MAX / params.q);
+    while out.len() < params.n {
+        let v = prg.next_u64();
+        // Rejection sample into [0, q) to keep the distribution uniform.
+        if v < zone {
+            out.push(v % params.q);
+        }
+    }
+    out
+}
+
+/// Generates a key pair. If `seed_for_a` is provided, the public polynomial
+/// `a` is derived deterministically from it (joint-randomness defense);
+/// otherwise it is sampled from the supplied RNG.
+pub fn keygen<R: Rng + ?Sized>(
+    params: &Params,
+    seed_for_a: Option<&[u8; 32]>,
+    rng: &mut R,
+) -> (SecretKey, PublicKey) {
+    let tables = &params.tables;
+    let q = params.q;
+
+    let mut s = sample_ternary(params, rng);
+    let e = sample_noise(params, rng);
+
+    let a = match seed_for_a {
+        Some(seed) => expand_uniform_poly(params, seed),
+        None => (0..params.n).map(|_| rng.gen_range(0..q)).collect(),
+    };
+
+    // pk0 = -(a*s) + t*e ; computed via NTT.
+    let mut a_ntt = a.clone();
+    tables.forward(&mut a_ntt);
+    tables.forward(&mut s);
+    let s_ntt = s;
+    let mut as_prod: Vec<u64> = a_ntt
+        .iter()
+        .zip(s_ntt.iter())
+        .map(|(&x, &y)| mul_mod(x, y, q))
+        .collect();
+    tables.inverse(&mut as_prod);
+    let pk0: Vec<u64> = as_prod
+        .iter()
+        .zip(e.iter())
+        .map(|(&as_i, &e_i)| {
+            let te = mul_mod(params.t % q, e_i, q);
+            add_mod(sub_mod(0, as_i, q), te, q)
+        })
+        .collect();
+
+    let mut pk0_ntt = pk0;
+    tables.forward(&mut pk0_ntt);
+
+    (
+        SecretKey {
+            params: params.clone(),
+            s_ntt,
+        },
+        PublicKey {
+            params: params.clone(),
+            pk0_ntt,
+            pk1_ntt: a_ntt,
+        },
+    )
+}
+
+impl PublicKey {
+    /// Scheme parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Serializes the public key (pk0 then pk1, NTT domain, little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 * self.params.n * 8);
+        for v in self.pk0_ntt.iter().chain(self.pk1_ntt.iter()) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a public key produced by [`PublicKey::to_bytes`] under
+    /// the given parameters.
+    pub fn from_bytes(params: &Params, bytes: &[u8]) -> Result<Self, RlweError> {
+        if bytes.len() != 2 * params.n * 8 {
+            return Err(RlweError::Malformed);
+        }
+        let mut values = Vec::with_capacity(2 * params.n);
+        for chunk in bytes.chunks_exact(8) {
+            values.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let pk1_ntt = values.split_off(params.n);
+        Ok(PublicKey {
+            params: params.clone(),
+            pk0_ntt: values,
+            pk1_ntt,
+        })
+    }
+
+    /// Encrypts a plaintext.
+    pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let params = &self.params;
+        let tables = &params.tables;
+        let q = params.q;
+
+        let mut u = sample_ternary(params, rng);
+        tables.forward(&mut u);
+        let e1 = sample_noise(params, rng);
+        let e2 = sample_noise(params, rng);
+
+        // c0 = pk0*u + t*e1 + m
+        let mut c0: Vec<u64> = self
+            .pk0_ntt
+            .iter()
+            .zip(u.iter())
+            .map(|(&p, &uu)| mul_mod(p, uu, q))
+            .collect();
+        tables.inverse(&mut c0);
+        for i in 0..params.n {
+            let te = mul_mod(params.t % q, e1[i], q);
+            c0[i] = add_mod(add_mod(c0[i], te, q), pt.coeffs[i] % q, q);
+        }
+
+        // c1 = pk1*u + t*e2
+        let mut c1: Vec<u64> = self
+            .pk1_ntt
+            .iter()
+            .zip(u.iter())
+            .map(|(&p, &uu)| mul_mod(p, uu, q))
+            .collect();
+        tables.inverse(&mut c1);
+        for i in 0..params.n {
+            let te = mul_mod(params.t % q, e2[i], q);
+            c1[i] = add_mod(c1[i], te, q);
+        }
+
+        Ciphertext { c0, c1 }
+    }
+
+    /// Encrypts raw slot values.
+    pub fn encrypt_slots<R: Rng + ?Sized>(
+        &self,
+        slots: &[u64],
+        rng: &mut R,
+    ) -> Result<Ciphertext, RlweError> {
+        let pt = Plaintext::encode(&self.params, slots)?;
+        Ok(self.encrypt(&pt, rng))
+    }
+
+    /// Homomorphic addition of two ciphertexts.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let q = self.params.q;
+        Ciphertext {
+            c0: a
+                .c0
+                .iter()
+                .zip(b.c0.iter())
+                .map(|(&x, &y)| add_mod(x, y, q))
+                .collect(),
+            c1: a
+                .c1
+                .iter()
+                .zip(b.c1.iter())
+                .map(|(&x, &y)| add_mod(x, y, q))
+                .collect(),
+        }
+    }
+
+    /// In-place homomorphic addition (avoids an allocation in the dot-product
+    /// inner loop, which Figure 7's client CPU column is sensitive to).
+    pub fn add_assign(&self, acc: &mut Ciphertext, other: &Ciphertext) {
+        let q = self.params.q;
+        for (x, &y) in acc.c0.iter_mut().zip(other.c0.iter()) {
+            *x = add_mod(*x, y, q);
+        }
+        for (x, &y) in acc.c1.iter_mut().zip(other.c1.iter()) {
+            *x = add_mod(*x, y, q);
+        }
+    }
+
+    /// Homomorphic addition of a plaintext (used for blinding, Figure 2
+    /// step 2, bullet 2).
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let q = self.params.q;
+        let mut out = a.clone();
+        for (x, &m) in out.c0.iter_mut().zip(pt.coeffs.iter()) {
+            *x = add_mod(*x, m % q, q);
+        }
+        out
+    }
+
+    /// Homomorphic multiplication by an integer scalar (the `x_i · Enc(v_i)`
+    /// step of GLLM).
+    pub fn mul_scalar(&self, a: &Ciphertext, scalar: u64) -> Ciphertext {
+        let q = self.params.q;
+        let s = scalar % q;
+        Ciphertext {
+            c0: a.c0.iter().map(|&x| mul_mod(x, s, q)).collect(),
+            c1: a.c1.iter().map(|&x| mul_mod(x, s, q)).collect(),
+        }
+    }
+
+    /// Fused multiply-accumulate: `acc += scalar * a`. This is the hot loop
+    /// of the per-email secure dot product.
+    pub fn mul_scalar_accumulate(&self, acc: &mut Ciphertext, a: &Ciphertext, scalar: u64) {
+        let q = self.params.q;
+        let s = scalar % q;
+        for (x, &y) in acc.c0.iter_mut().zip(a.c0.iter()) {
+            *x = add_mod(*x, mul_mod(y, s, q), q);
+        }
+        for (x, &y) in acc.c1.iter_mut().zip(a.c1.iter()) {
+            *x = add_mod(*x, mul_mod(y, s, q), q);
+        }
+    }
+
+    /// Rotates the packed slots left by `k` positions ("left shift", §4.2):
+    /// slot `i` of the result holds slot `i + k` of the input. Slots that wrap
+    /// around carry a sign flip modulo `t`; Pretzel only ever reads the
+    /// non-wrapped region, exactly as the paper's across-row packing does.
+    ///
+    /// Implemented as multiplication by the monomial `x^{-k}`, which costs a
+    /// coefficient permutation and no noise growth.
+    pub fn rotate_left(&self, a: &Ciphertext, k: usize) -> Ciphertext {
+        let n = self.params.n;
+        let q = self.params.q;
+        let k = k % n;
+        if k == 0 {
+            return a.clone();
+        }
+        let rotate = |poly: &[u64]| -> Vec<u64> {
+            let mut out = vec![0u64; n];
+            for (i, slot) in out.iter_mut().enumerate() {
+                let src = (i + k) % n;
+                let wrapped = i + k >= n;
+                *slot = if wrapped {
+                    sub_mod(0, poly[src], q)
+                } else {
+                    poly[src]
+                };
+            }
+            out
+        };
+        Ciphertext {
+            c0: rotate(&a.c0),
+            c1: rotate(&a.c1),
+        }
+    }
+
+    /// Encryption of the all-zero plaintext (fresh randomness).
+    pub fn encrypt_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
+        self.encrypt(&Plaintext::encode(&self.params, &[]).unwrap(), rng)
+    }
+
+    /// A "trivial" (noiseless, non-hiding) encryption of zero, useful as the
+    /// accumulator seed of a dot product. Adding real ciphertexts to it makes
+    /// the result a proper encryption.
+    pub fn zero_accumulator(&self) -> Ciphertext {
+        Ciphertext {
+            c0: vec![0u64; self.params.n],
+            c1: vec![0u64; self.params.n],
+        }
+    }
+}
+
+impl SecretKey {
+    /// Scheme parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Decrypts a ciphertext to its plaintext slots.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let params = &self.params;
+        let tables = &params.tables;
+        let q = params.q;
+        // c0 + c1 * s
+        let mut c1s = ct.c1.clone();
+        tables.forward(&mut c1s);
+        for (x, &s) in c1s.iter_mut().zip(self.s_ntt.iter()) {
+            *x = mul_mod(*x, s, q);
+        }
+        tables.inverse(&mut c1s);
+        let mut coeffs = vec![0u64; params.n];
+        for i in 0..params.n {
+            let v = add_mod(ct.c0[i], c1s[i], q);
+            // Center to (-q/2, q/2], then reduce mod t into [0, t).
+            let signed: i128 = if v > q / 2 {
+                v as i128 - q as i128
+            } else {
+                v as i128
+            };
+            let t = params.t as i128;
+            coeffs[i] = (((signed % t) + t) % t) as u64;
+        }
+        Plaintext { coeffs }
+    }
+
+    /// Decrypts and returns the slot values.
+    pub fn decrypt_slots(&self, ct: &Ciphertext) -> Vec<u64> {
+        self.decrypt(ct).coeffs
+    }
+
+    /// Estimates the remaining noise budget in bits (log2 of q / (2·|noise|)),
+    /// given the expected plaintext. Returns 0 when decryption is (close to)
+    /// failing; 64 when the ciphertext is noiseless.
+    pub fn noise_budget_bits(&self, ct: &Ciphertext, expected: &Plaintext) -> u32 {
+        let params = &self.params;
+        let tables = &params.tables;
+        let q = params.q;
+        let mut c1s = ct.c1.clone();
+        tables.forward(&mut c1s);
+        for (x, &s) in c1s.iter_mut().zip(self.s_ntt.iter()) {
+            *x = mul_mod(*x, s, q);
+        }
+        tables.inverse(&mut c1s);
+        let mut max_noise: u128 = 0;
+        for i in 0..params.n {
+            let v = add_mod(ct.c0[i], c1s[i], q);
+            let signed: i128 = if v > q / 2 {
+                v as i128 - q as i128
+            } else {
+                v as i128
+            };
+            let noise = signed - expected.coeffs[i] as i128;
+            max_noise = max_noise.max(noise.unsigned_abs());
+        }
+        if max_noise == 0 {
+            return 64;
+        }
+        let budget = (q as u128 / 2) / max_noise;
+        (128 - budget.leading_zeros()).saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        Params::new(256, 20)
+    }
+
+    #[test]
+    fn params_report_expected_sizes() {
+        let p = Params::pretzel_default();
+        assert_eq!(p.slots(), 1024);
+        assert_eq!(p.ciphertext_bytes(), 16 * 1024);
+        assert_eq!(p.t, 1 << 32);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let slots: Vec<u64> = (0..params.n as u64).map(|i| i * 7 % params.t).collect();
+        let ct = pk.encrypt_slots(&slots, &mut rng).unwrap();
+        assert_eq!(sk.decrypt_slots(&ct), slots);
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (_, pk) = keygen(&params, None, &mut rng);
+        let a = pk.encrypt_slots(&[5, 6, 7], &mut rng).unwrap();
+        let b = pk.encrypt_slots(&[5, 6, 7], &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn homomorphic_addition_is_slotwise() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let a = pk.encrypt_slots(&[1, 2, 3, 4], &mut rng).unwrap();
+        let b = pk.encrypt_slots(&[10, 20, 30, 40], &mut rng).unwrap();
+        let sum = pk.add(&a, &b);
+        assert_eq!(&sk.decrypt_slots(&sum)[..4], &[11, 22, 33, 44]);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let a = pk.encrypt_slots(&[3, 5, 7], &mut rng).unwrap();
+        let scaled = pk.mul_scalar(&a, 9);
+        assert_eq!(&sk.decrypt_slots(&scaled)[..3], &[27, 45, 63]);
+    }
+
+    #[test]
+    fn fused_multiply_accumulate_matches_separate_ops() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let a = pk.encrypt_slots(&[1, 2], &mut rng).unwrap();
+        let b = pk.encrypt_slots(&[10, 20], &mut rng).unwrap();
+        let mut acc = pk.zero_accumulator();
+        pk.mul_scalar_accumulate(&mut acc, &a, 3);
+        pk.mul_scalar_accumulate(&mut acc, &b, 5);
+        let expected = pk.add(&pk.mul_scalar(&a, 3), &pk.mul_scalar(&b, 5));
+        assert_eq!(sk.decrypt_slots(&acc), sk.decrypt_slots(&expected));
+        assert_eq!(&sk.decrypt_slots(&acc)[..2], &[53, 106]);
+    }
+
+    #[test]
+    fn add_plain_blinds_slots() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let ct = pk.encrypt_slots(&[100, 200], &mut rng).unwrap();
+        let blind = Plaintext::encode(&params, &[11, 22]).unwrap();
+        let blinded = pk.add_plain(&ct, &blind);
+        assert_eq!(&sk.decrypt_slots(&blinded)[..2], &[111, 222]);
+    }
+
+    #[test]
+    fn rotate_left_moves_slots_toward_zero() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let slots: Vec<u64> = (0..params.n as u64).collect();
+        let ct = pk.encrypt_slots(&slots, &mut rng).unwrap();
+        let rotated = pk.rotate_left(&ct, 5);
+        let dec = sk.decrypt_slots(&rotated);
+        // Non-wrapped region: slot i now holds original slot i + 5.
+        for i in 0..params.n - 5 {
+            assert_eq!(dec[i], (i as u64) + 5);
+        }
+        // Rotation by zero is the identity.
+        let same = pk.rotate_left(&ct, 0);
+        assert_eq!(sk.decrypt_slots(&same), slots);
+    }
+
+    #[test]
+    fn rotate_then_add_aligns_rows_like_pretzel_packing() {
+        // Emulates §4.2: pack two "rows" of k elements into one ciphertext,
+        // left-shift by k, add, and read the pairwise sums from the first k
+        // slots.
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let k = 8usize;
+        let row1: Vec<u64> = (1..=k as u64).collect();
+        let row2: Vec<u64> = (101..=100 + k as u64).collect();
+        let mut packed = row1.clone();
+        packed.extend_from_slice(&row2);
+        let ct = pk.encrypt_slots(&packed, &mut rng).unwrap();
+        let shifted = pk.rotate_left(&ct, k);
+        let sum = pk.add(&ct, &shifted);
+        let dec = sk.decrypt_slots(&sum);
+        for i in 0..k {
+            assert_eq!(dec[i], row1[i] + row2[i]);
+        }
+    }
+
+    #[test]
+    fn dot_product_of_packed_columns() {
+        // x · V for a matrix packed one column element per slot: exactly the
+        // GLLM computation the sdp crate performs.
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let rows = 10usize;
+        let cols = 4usize;
+        let matrix: Vec<Vec<u64>> = (0..rows)
+            .map(|i| (0..cols).map(|j| ((i * 13 + j * 7) % 50) as u64).collect())
+            .collect();
+        let x: Vec<u64> = (0..rows).map(|i| (i % 5) as u64).collect();
+        let row_cts: Vec<Ciphertext> = matrix
+            .iter()
+            .map(|row| pk.encrypt_slots(row, &mut rng).unwrap())
+            .collect();
+        let mut acc = pk.zero_accumulator();
+        for (ct, &xi) in row_cts.iter().zip(x.iter()) {
+            pk.mul_scalar_accumulate(&mut acc, ct, xi);
+        }
+        let dec = sk.decrypt_slots(&acc);
+        for j in 0..cols {
+            let expected: u64 = (0..rows).map(|i| matrix[i][j] * x[i]).sum();
+            assert_eq!(dec[j], expected);
+        }
+    }
+
+    #[test]
+    fn seeded_keygen_is_deterministic_in_a() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let seed = [9u8; 32];
+        let a1 = expand_uniform_poly(&params, &seed);
+        let a2 = expand_uniform_poly(&params, &seed);
+        assert_eq!(a1, a2);
+        let (sk, pk) = keygen(&params, Some(&seed), &mut rng);
+        let ct = pk.encrypt_slots(&[42], &mut rng).unwrap();
+        assert_eq!(sk.decrypt_slots(&ct)[0], 42);
+    }
+
+    #[test]
+    fn public_key_serialization_roundtrip() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let bytes = pk.to_bytes();
+        assert_eq!(bytes.len(), 2 * params.n * 8);
+        let restored = PublicKey::from_bytes(&params, &bytes).unwrap();
+        let ct = restored.encrypt_slots(&[13, 37], &mut rng).unwrap();
+        assert_eq!(&sk.decrypt_slots(&ct)[..2], &[13, 37]);
+        assert!(PublicKey::from_bytes(&params, &bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip_and_size() {
+        let params = small_params();
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let ct = pk.encrypt_slots(&[7, 8, 9], &mut rng).unwrap();
+        let bytes = ct.to_bytes();
+        assert_eq!(bytes.len(), params.ciphertext_bytes());
+        let restored = Ciphertext::from_bytes(&params, &bytes).unwrap();
+        assert_eq!(sk.decrypt_slots(&restored)[..3], [7, 8, 9]);
+        assert!(Ciphertext::from_bytes(&params, &bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn slot_range_and_count_validation() {
+        let params = small_params();
+        assert!(matches!(
+            Plaintext::encode(&params, &[params.t]),
+            Err(RlweError::SlotOutOfRange { .. })
+        ));
+        let too_many = vec![0u64; params.n + 1];
+        assert!(matches!(
+            Plaintext::encode(&params, &too_many),
+            Err(RlweError::TooManySlots { .. })
+        ));
+    }
+
+    #[test]
+    fn noise_budget_survives_a_large_dot_product() {
+        // L = 2000 terms with frequencies up to 15 and 16-bit model values:
+        // the spam operating point of §6.1 after quantization.
+        let params = Params::new(256, 32);
+        let mut rng = rand::thread_rng();
+        let (sk, pk) = keygen(&params, None, &mut rng);
+        let values: Vec<u64> = (0..256u64).map(|i| (i * 257) % (1 << 16)).collect();
+        let ct = pk.encrypt_slots(&values, &mut rng).unwrap();
+        let mut acc = pk.zero_accumulator();
+        let mut expected = vec![0u64; 256];
+        for l in 0..2000u64 {
+            let freq = l % 15 + 1;
+            pk.mul_scalar_accumulate(&mut acc, &ct, freq);
+            for (e, v) in expected.iter_mut().zip(values.iter()) {
+                *e = (*e + freq * v) % params.t;
+            }
+        }
+        assert_eq!(sk.decrypt_slots(&acc), expected);
+        let pt = Plaintext::encode(&params, &expected).unwrap();
+        assert!(sk.noise_budget_bits(&acc, &pt) > 0);
+    }
+}

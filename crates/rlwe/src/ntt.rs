@@ -1,0 +1,343 @@
+//! Number-theoretic transform over Z_q for the negacyclic ring
+//! Z_q[x]/(x^n + 1), plus the modular arithmetic helpers used throughout the
+//! RLWE scheme.
+//!
+//! The forward/inverse transforms follow the standard iterative
+//! decimation-in-time formulation with the ψ-twist merged into the butterfly
+//! tables (Longa–Naehrig), so polynomial multiplication is a pointwise product
+//! between transforms.
+
+/// Modular addition in Z_q.
+#[inline]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Modular subtraction in Z_q.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Modular multiplication in Z_q via 128-bit intermediates.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 * b as u128) % q as u128) as u64
+}
+
+/// Modular exponentiation in Z_q.
+pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, q);
+        }
+        base = mul_mod(base, base, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse in Z_q (q prime), via Fermat's little theorem.
+pub fn inv_mod(a: u64, q: u64) -> u64 {
+    pow_mod(a, q - 2, q)
+}
+
+/// Deterministic Miller–Rabin for `u64` (the base set below is provably
+/// correct for all 64-bit integers).
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds the smallest prime `q >= lower_bound` with `q ≡ 1 (mod 2n)`, which
+/// guarantees a primitive 2n-th root of unity exists.
+pub fn find_ntt_prime(n: usize, lower_bound: u64) -> u64 {
+    let step = 2 * n as u64;
+    let mut candidate = lower_bound - (lower_bound % step) + 1;
+    if candidate < lower_bound {
+        candidate += step;
+    }
+    loop {
+        if is_prime_u64(candidate) {
+            return candidate;
+        }
+        candidate += step;
+    }
+}
+
+/// Finds a primitive 2n-th root of unity ψ modulo prime `q` (q ≡ 1 mod 2n).
+pub fn find_primitive_root(n: usize, q: u64) -> u64 {
+    let order = 2 * n as u64;
+    let cofactor = (q - 1) / order;
+    // Try small candidates; g^cofactor is a 2n-th root of unity, and it is
+    // primitive iff its n-th power is -1 (i.e. != 1 at order/2).
+    for g in 2u64.. {
+        let psi = pow_mod(g, cofactor, q);
+        if psi == 1 {
+            continue;
+        }
+        if pow_mod(psi, (order / 2) as u64, q) == q - 1 {
+            return psi;
+        }
+    }
+    unreachable!("a primitive root always exists for a valid NTT prime")
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Precomputed tables for negacyclic NTT of size `n` over Z_q.
+#[derive(Clone, Debug)]
+pub struct NttTables {
+    /// Ring degree (power of two).
+    pub n: usize,
+    /// NTT modulus (prime, q ≡ 1 mod 2n).
+    pub q: u64,
+    /// ψ^bitrev(i) for the forward transform.
+    psi_rev: Vec<u64>,
+    /// ψ^{-bitrev(i)} for the inverse transform.
+    psi_inv_rev: Vec<u64>,
+    /// n^{-1} mod q for the inverse scaling.
+    n_inv: u64,
+}
+
+impl NttTables {
+    /// Builds tables for degree `n` (power of two) and prime `q ≡ 1 mod 2n`.
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(n.is_power_of_two(), "NTT size must be a power of two");
+        assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2n");
+        let psi = find_primitive_root(n, q);
+        let psi_inv = inv_mod(psi, q);
+        let bits = n.trailing_zeros();
+        let mut psi_rev = vec![0u64; n];
+        let mut psi_inv_rev = vec![0u64; n];
+        let mut pow = 1u64;
+        let mut pow_inv = 1u64;
+        let mut psi_powers = vec![0u64; n];
+        let mut psi_inv_powers = vec![0u64; n];
+        for i in 0..n {
+            psi_powers[i] = pow;
+            psi_inv_powers[i] = pow_inv;
+            pow = mul_mod(pow, psi, q);
+            pow_inv = mul_mod(pow_inv, psi_inv, q);
+        }
+        for i in 0..n {
+            psi_rev[i] = psi_powers[bit_reverse(i, bits)];
+            psi_inv_rev[i] = psi_inv_powers[bit_reverse(i, bits)];
+        }
+        NttTables {
+            n,
+            q,
+            psi_rev,
+            psi_inv_rev,
+            n_inv: inv_mod(n as u64, q),
+        }
+    }
+
+    /// In-place forward negacyclic NTT.
+    pub fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = self.psi_rev[m + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = mul_mod(a[j + t], s, q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT.
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = self.psi_inv_rev[h + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = mul_mod(sub_mod(u, v, q), s, q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, q);
+        }
+    }
+
+    /// Negacyclic polynomial multiplication via NTT.
+    pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x = mul_mod(*x, *y, self.q);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication (reference implementation for tests).
+pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            let prod = mul_mod(a[i], b[j], q);
+            let idx = i + j;
+            if idx < n {
+                out[idx] = add_mod(out[idx], prod, q);
+            } else {
+                // x^n = -1
+                out[idx - n] = sub_mod(out[idx - n], prod, q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn u64_primality() {
+        assert!(is_prime_u64(2));
+        assert!(is_prime_u64(1_000_000_007));
+        assert!(is_prime_u64(0xFFFF_FFFF_FFFF_FFC5)); // largest 64-bit prime
+        assert!(!is_prime_u64(1));
+        assert!(!is_prime_u64(1_000_000_007 * 3));
+    }
+
+    #[test]
+    fn ntt_prime_has_right_form() {
+        let q = find_ntt_prime(1024, 1 << 61);
+        assert!(is_prime_u64(q));
+        assert_eq!((q - 1) % 2048, 0);
+        assert!(q >= 1 << 61);
+    }
+
+    #[test]
+    fn primitive_root_has_order_2n() {
+        let n = 256;
+        let q = find_ntt_prime(n, 1 << 30);
+        let psi = find_primitive_root(n, q);
+        assert_eq!(pow_mod(psi, 2 * n as u64, q), 1);
+        assert_eq!(pow_mod(psi, n as u64, q), q - 1);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 512;
+        let q = find_ntt_prime(n, 1 << 40);
+        let tables = NttTables::new(n, q);
+        let mut rng = rand::thread_rng();
+        let original: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut transformed = original.clone();
+        tables.forward(&mut transformed);
+        assert_ne!(transformed, original);
+        tables.inverse(&mut transformed);
+        assert_eq!(transformed, original);
+    }
+
+    #[test]
+    fn ntt_multiplication_matches_schoolbook() {
+        let n = 64;
+        let q = find_ntt_prime(n, 1 << 30);
+        let tables = NttTables::new(n, q);
+        let mut rng = rand::thread_rng();
+        for _ in 0..5 {
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            assert_eq!(tables.multiply(&a, &b), negacyclic_mul_schoolbook(&a, &b, q));
+        }
+    }
+
+    #[test]
+    fn multiplying_by_x_rotates_negacyclically() {
+        let n = 8;
+        let q = find_ntt_prime(n, 1 << 20);
+        let tables = NttTables::new(n, q);
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let mut x = vec![0u64; n];
+        x[1] = 1; // the monomial x
+        let result = tables.multiply(&a, &x);
+        // a * x = -a_{n-1} + a_0 x + a_1 x^2 + ...
+        assert_eq!(result[0], q - a[n - 1]);
+        assert_eq!(&result[1..], &a[..n - 1]);
+    }
+
+    #[test]
+    fn modular_helpers() {
+        let q = 17;
+        assert_eq!(add_mod(16, 5, q), 4);
+        assert_eq!(sub_mod(3, 5, q), 15);
+        assert_eq!(mul_mod(7, 9, q), 63 % 17);
+        assert_eq!(pow_mod(3, 16, 17), 1); // Fermat
+        assert_eq!(mul_mod(inv_mod(5, q), 5, q), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! GLLM secure dot products with packing (paper §3.2, §4.2).
+//!
+//! The provider's classifier model is a matrix whose columns are categories
+//! and whose rows are features (plus one bias row). The client holds a sparse
+//! feature vector extracted from an email. GLLM [55] computes the
+//! vector–matrix product under additively homomorphic encryption: the
+//! provider encrypts the matrix once (setup phase), the client computes the
+//! encrypted dot products and blinds them (per email), and the provider
+//! decrypts the blinded results, which then feed into Yao (the `gc` crate).
+//!
+//! Two instantiations are provided, matching the paper's comparison:
+//!
+//! * [`paillier_pack`] — the **Baseline** (§3.3): Paillier with the legacy
+//!   per-row packing of GLLM.
+//! * [`rlwe_pack`] — **Pretzel** (§4.1–§4.2): XPIR-BV with either the legacy
+//!   per-row packing (`Pretzel-NoOptimPack` in Figure 8) or Pretzel's
+//!   across-row packing with cyclic shifts, plus the candidate-topic
+//!   extraction step of Figure 5.
+
+pub mod paillier_pack;
+pub mod rlwe_pack;
+
+/// Errors from the secure dot-product protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdpError {
+    /// A model value does not fit in the configured slot width.
+    ValueTooLarge { value: u64, bits: u32 },
+    /// A feature index is outside the model.
+    FeatureOutOfRange { index: usize, rows: usize },
+    /// A candidate column index is outside the model.
+    CandidateOutOfRange { index: usize, cols: usize },
+    /// The underlying AHE scheme reported an error.
+    Ahe(String),
+}
+
+impl std::fmt::Display for SdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdpError::ValueTooLarge { value, bits } => {
+                write!(f, "model value {value} does not fit in {bits} bits")
+            }
+            SdpError::FeatureOutOfRange { index, rows } => {
+                write!(f, "feature index {index} out of range (model has {rows} rows)")
+            }
+            SdpError::CandidateOutOfRange { index, cols } => {
+                write!(f, "candidate column {index} out of range (model has {cols} columns)")
+            }
+            SdpError::Ahe(msg) => write!(f, "AHE error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SdpError {}
+
+/// A plaintext model matrix: `rows` features (the last row is conventionally
+/// the bias/prior row) by `cols` categories, stored row-major as quantized
+/// non-negative integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl ModelMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        ModelMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data. Panics if the length mismatches.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<u64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        ModelMatrix { rows, cols, data }
+    }
+
+    /// Number of feature rows (including the bias row if the caller added one).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of category columns (the paper's B).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, row: usize, col: usize, value: u64) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A full row as a slice.
+    pub fn row(&self, row: usize) -> &[u64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Largest value in the matrix (used to validate slot widths).
+    pub fn max_value(&self) -> u64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Plaintext (non-encrypted) size in bytes, assuming each value is stored
+    /// in `value_bits` bits — the "Non-encrypted" rows of Figures 8 and 12.
+    pub fn plaintext_size_bytes(&self, value_bits: u32) -> usize {
+        (self.rows * self.cols * value_bits as usize).div_ceil(8)
+    }
+
+    /// Reference dot product against a sparse feature vector: returns one
+    /// value per column. Test oracle for every secure variant.
+    pub fn dot_sparse(&self, features: &[(usize, u64)]) -> Vec<u64> {
+        let mut out = vec![0u64; self.cols];
+        for &(row, freq) in features {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = o.wrapping_add(self.get(row, j).wrapping_mul(freq));
+            }
+        }
+        out
+    }
+}
+
+/// A sparse feature vector: (feature row index, frequency) pairs. The paper's
+/// `L` is `features.len()`.
+pub type SparseFeatures = Vec<(usize, u64)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_accessors() {
+        let mut m = ModelMatrix::zeros(3, 2);
+        m.set(0, 0, 5);
+        m.set(2, 1, 9);
+        assert_eq!(m.get(0, 0), 5);
+        assert_eq!(m.get(2, 1), 9);
+        assert_eq!(m.row(2), &[0, 9]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.max_value(), 9);
+    }
+
+    #[test]
+    fn from_rows_and_dot_sparse() {
+        let m = ModelMatrix::from_rows(3, 2, vec![1, 2, 3, 4, 5, 6]);
+        // features: row 0 with freq 2, row 2 with freq 1
+        let d = m.dot_sparse(&[(0, 2), (2, 1)]);
+        assert_eq!(d, vec![1 * 2 + 5, 2 * 2 + 6]);
+    }
+
+    #[test]
+    fn plaintext_size_matches_bit_accounting() {
+        let m = ModelMatrix::zeros(1000, 2);
+        // 2000 values at 17 bits = 4250 bytes
+        assert_eq!(m.plaintext_size_bytes(17), 4250);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_rows_rejects_bad_length() {
+        let _ = ModelMatrix::from_rows(2, 2, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Message-oriented two-party transport used by every interactive protocol in
+//! Pretzel (GLLM secure dot products, oblivious transfer, Yao's garbled
+//! circuits, and the end-to-end client/provider drivers).
+//!
+//! Three implementations are provided:
+//!
+//! * [`MemoryChannel`] — an in-process duplex pair built on crossbeam
+//!   channels; used by unit/integration tests and by the benchmark harness
+//!   (the paper measures CPU and bytes, not wire latency).
+//! * [`TcpChannel`] — a length-prefixed framing layer over `std::net::TcpStream`,
+//!   used by the `encrypted_mail_session` example to run client and provider
+//!   as separate processes/threads talking over a socket.
+//! * [`MeteredChannel`] — a decorator that counts bytes in each direction;
+//!   this is how the "network transfers" columns of Figures 6, 11 and the
+//!   §6.1/§6.3 numbers are produced.
+
+mod memory;
+mod meter;
+mod tcp;
+
+pub use memory::{memory_pair, MemoryChannel};
+pub use meter::{Meter, MeteredChannel};
+pub use tcp::TcpChannel;
+
+use std::fmt;
+
+/// Errors surfaced by transport operations.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer closed the channel.
+    Closed,
+    /// An underlying I/O error (TCP channels).
+    Io(std::io::Error),
+    /// A frame exceeded the configured maximum size.
+    FrameTooLarge { size: usize, max: usize },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "channel closed by peer"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::FrameTooLarge { size, max } => {
+                write!(f, "frame of {size} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Result alias for transport operations.
+pub type Result<T> = std::result::Result<T, TransportError>;
+
+/// A reliable, ordered, message-oriented duplex channel between two parties.
+///
+/// Protocols in this workspace are written against this trait so the same
+/// code runs over in-memory channels (tests, benchmarks) and TCP (examples).
+pub trait Channel: Send {
+    /// Sends one message to the peer.
+    fn send(&mut self, msg: &[u8]) -> Result<()>;
+
+    /// Receives the next message from the peer, blocking until available.
+    fn recv(&mut self) -> Result<Vec<u8>>;
+
+    /// Flushes any buffered data (no-op for unbuffered transports).
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Blanket implementation so `&mut C` and boxed channels are channels too.
+impl<C: Channel + ?Sized> Channel for &mut C {
+    fn send(&mut self, msg: &[u8]) -> Result<()> {
+        (**self).send(msg)
+    }
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        (**self).recv()
+    }
+    fn flush(&mut self) -> Result<()> {
+        (**self).flush()
+    }
+}
+
+impl Channel for Box<dyn Channel> {
+    fn send(&mut self, msg: &[u8]) -> Result<()> {
+        (**self).send(msg)
+    }
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        (**self).recv()
+    }
+    fn flush(&mut self) -> Result<()> {
+        (**self).flush()
+    }
+}
+
+/// Runs a two-party protocol on an in-memory channel pair: `party_a` runs on
+/// the calling thread, `party_b` on a spawned thread. Returns both outputs.
+///
+/// This is the harness used throughout the test suite and the per-email
+/// benchmark drivers (client and provider genuinely run concurrently, as in
+/// the paper's measurements, but on the same machine).
+pub fn run_two_party<A, B, RA, RB>(party_a: A, party_b: B) -> (RA, RB)
+where
+    A: FnOnce(&mut MemoryChannel) -> RA + Send,
+    B: FnOnce(&mut MemoryChannel) -> RB + Send + 'static,
+    RA: Send,
+    RB: Send + 'static,
+{
+    let (mut chan_a, mut chan_b) = memory_pair();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || party_b(&mut chan_b));
+        let ra = party_a(&mut chan_a);
+        let rb = handle.join().expect("party B panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_two_party_ping_pong() {
+        let (a_out, b_out) = run_two_party(
+            |chan| {
+                chan.send(b"ping").unwrap();
+                chan.recv().unwrap()
+            },
+            |chan| {
+                let msg = chan.recv().unwrap();
+                chan.send(b"pong").unwrap();
+                msg
+            },
+        );
+        assert_eq!(a_out, b"pong");
+        assert_eq!(b_out, b"ping");
+    }
+
+    #[test]
+    fn boxed_channel_is_usable() {
+        let (a, mut b) = memory_pair();
+        let mut boxed: Box<dyn Channel> = Box::new(a);
+        boxed.send(b"hello").unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+    }
+}

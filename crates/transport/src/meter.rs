@@ -1,0 +1,175 @@
+//! Byte-counting channel decorator.
+//!
+//! The paper reports "network transfers" per email (Figures 6 and 11, and the
+//! §6.1/§6.3 absolute-cost discussion). We reproduce those columns by wrapping
+//! the protocol channel in a [`MeteredChannel`] and reading the shared
+//! [`Meter`] after the protocol run.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Channel, Result};
+
+#[derive(Default, Debug)]
+struct MeterInner {
+    bytes_sent: u64,
+    bytes_received: u64,
+    messages_sent: u64,
+    messages_received: u64,
+}
+
+/// Shared counters for one endpoint of a metered channel.
+#[derive(Clone, Default, Debug)]
+pub struct Meter {
+    inner: Arc<Mutex<MeterInner>>,
+}
+
+impl Meter {
+    /// Creates a meter with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes sent through the wrapped channel (payload bytes; framing
+    /// overhead of the underlying transport is not counted, matching the
+    /// paper's accounting of ciphertext/message sizes).
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.lock().bytes_sent
+    }
+
+    /// Total bytes received.
+    pub fn bytes_received(&self) -> u64 {
+        self.inner.lock().bytes_received
+    }
+
+    /// Total traffic in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        let g = self.inner.lock();
+        g.bytes_sent + g.bytes_received
+    }
+
+    /// Number of messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.lock().messages_sent
+    }
+
+    /// Number of messages received.
+    pub fn messages_received(&self) -> u64 {
+        self.inner.lock().messages_received
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = MeterInner::default();
+    }
+
+    fn record_send(&self, n: usize) {
+        let mut g = self.inner.lock();
+        g.bytes_sent += n as u64;
+        g.messages_sent += 1;
+    }
+
+    fn record_recv(&self, n: usize) {
+        let mut g = self.inner.lock();
+        g.bytes_received += n as u64;
+        g.messages_received += 1;
+    }
+}
+
+/// A [`Channel`] decorator that records traffic volume in a shared [`Meter`].
+pub struct MeteredChannel<C: Channel> {
+    inner: C,
+    meter: Meter,
+}
+
+impl<C: Channel> MeteredChannel<C> {
+    /// Wraps `inner`, recording into a fresh meter.
+    pub fn new(inner: C) -> Self {
+        Self::with_meter(inner, Meter::new())
+    }
+
+    /// Wraps `inner`, recording into the supplied meter (lets several
+    /// channels share one set of counters).
+    pub fn with_meter(inner: C, meter: Meter) -> Self {
+        MeteredChannel { inner, meter }
+    }
+
+    /// Handle to the meter.
+    pub fn meter(&self) -> Meter {
+        self.meter.clone()
+    }
+
+    /// Unwraps the inner channel.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Channel> Channel for MeteredChannel<C> {
+    fn send(&mut self, msg: &[u8]) -> Result<()> {
+        self.meter.record_send(msg.len());
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        let msg = self.inner.recv()?;
+        self.meter.record_recv(msg.len());
+        Ok(msg)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory_pair;
+
+    #[test]
+    fn counts_bytes_and_messages_in_both_directions() {
+        let (a, mut b) = memory_pair();
+        let mut ma = MeteredChannel::new(a);
+        let meter = ma.meter();
+
+        ma.send(&[0u8; 100]).unwrap();
+        ma.send(&[0u8; 23]).unwrap();
+        b.send(&[0u8; 7]).unwrap();
+        let _ = ma.recv().unwrap();
+
+        assert_eq!(meter.bytes_sent(), 123);
+        assert_eq!(meter.messages_sent(), 2);
+        assert_eq!(meter.bytes_received(), 7);
+        assert_eq!(meter.messages_received(), 1);
+        assert_eq!(meter.total_bytes(), 130);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let (a, mut b) = memory_pair();
+        let mut ma = MeteredChannel::new(a);
+        ma.send(&[1, 2, 3]).unwrap();
+        let _ = b.recv().unwrap();
+        let meter = ma.meter();
+        assert_eq!(meter.bytes_sent(), 3);
+        meter.reset();
+        assert_eq!(meter.bytes_sent(), 0);
+        assert_eq!(meter.total_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_meter_aggregates_multiple_channels() {
+        let meter = Meter::new();
+        let (a1, mut b1) = memory_pair();
+        let (a2, mut b2) = memory_pair();
+        let mut m1 = MeteredChannel::with_meter(a1, meter.clone());
+        let mut m2 = MeteredChannel::with_meter(a2, meter.clone());
+        m1.send(&[0u8; 10]).unwrap();
+        m2.send(&[0u8; 5]).unwrap();
+        let _ = b1.recv().unwrap();
+        let _ = b2.recv().unwrap();
+        assert_eq!(meter.bytes_sent(), 15);
+    }
+}

@@ -1,0 +1,161 @@
+//! Length-prefixed framing over `std::net::TcpStream`.
+//!
+//! Frames are `u32` big-endian length followed by the payload. The maximum
+//! frame size defaults to 256 MiB, comfortably above the largest message in
+//! the Pretzel protocols (an encrypted topic-extraction model shard).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::{Channel, Result, TransportError};
+
+/// Default maximum accepted frame size (256 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// A framed TCP channel.
+pub struct TcpChannel {
+    stream: TcpStream,
+    read_buf: BytesMut,
+    max_frame: usize,
+}
+
+impl TcpChannel {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        stream.set_nodelay(true).ok();
+        TcpChannel {
+            stream,
+            read_buf: BytesMut::with_capacity(64 * 1024),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Connects to a listening peer.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self> {
+        Ok(Self::new(TcpStream::connect(addr)?))
+    }
+
+    /// Accepts a single connection on `addr` (convenience for examples/tests).
+    pub fn accept_one<A: ToSocketAddrs>(addr: A) -> Result<(Self, std::net::SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let (stream, peer) = listener.accept()?;
+        Ok((Self::new(stream), peer))
+    }
+
+    /// Overrides the maximum frame size.
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max;
+    }
+
+    /// Local socket address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr> {
+        Ok(self.stream.local_addr()?)
+    }
+
+    fn read_exact_into_buf(&mut self, needed: usize) -> Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        while self.read_buf.len() < needed {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(TransportError::Closed);
+            }
+            self.read_buf.put_slice(&chunk[..n]);
+        }
+        Ok(())
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, msg: &[u8]) -> Result<()> {
+        if msg.len() > self.max_frame {
+            return Err(TransportError::FrameTooLarge {
+                size: msg.len(),
+                max: self.max_frame,
+            });
+        }
+        let len = (msg.len() as u32).to_be_bytes();
+        self.stream.write_all(&len)?;
+        self.stream.write_all(msg)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        self.read_exact_into_buf(4)?;
+        let len = u32::from_be_bytes([
+            self.read_buf[0],
+            self.read_buf[1],
+            self.read_buf[2],
+            self.read_buf[3],
+        ]) as usize;
+        if len > self.max_frame {
+            return Err(TransportError::FrameTooLarge {
+                size: len,
+                max: self.max_frame,
+            });
+        }
+        self.read_exact_into_buf(4 + len)?;
+        self.read_buf.advance(4);
+        let payload = self.read_buf.split_to(len);
+        Ok(payload.to_vec())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.stream.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn tcp_pair() -> (TcpChannel, TcpChannel) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || TcpChannel::connect(addr).unwrap());
+        let (server_stream, _) = listener.accept().unwrap();
+        let server = TcpChannel::new(server_stream);
+        let client = client_thread.join().unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn roundtrip_small_and_large_frames() {
+        let (mut server, mut client) = tcp_pair();
+        client.send(b"hello provider").unwrap();
+        assert_eq!(server.recv().unwrap(), b"hello provider");
+
+        let big = vec![0x5Au8; 3 * 1024 * 1024 + 17];
+        server.send(&big).unwrap();
+        assert_eq!(client.recv().unwrap(), big);
+    }
+
+    #[test]
+    fn multiple_frames_preserve_boundaries() {
+        let (mut server, mut client) = tcp_pair();
+        client.send(b"one").unwrap();
+        client.send(b"").unwrap();
+        client.send(b"three").unwrap();
+        assert_eq!(server.recv().unwrap(), b"one");
+        assert_eq!(server.recv().unwrap(), b"");
+        assert_eq!(server.recv().unwrap(), b"three");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_send() {
+        let (mut server, _client) = tcp_pair();
+        server.set_max_frame(8);
+        let err = server.send(&[0u8; 9]).unwrap_err();
+        assert!(matches!(err, TransportError::FrameTooLarge { size: 9, max: 8 }));
+    }
+
+    #[test]
+    fn peer_close_is_reported() {
+        let (server, mut client) = tcp_pair();
+        drop(server);
+        assert!(client.recv().is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Client-side keyword search (§5): the provider's servers are not needed to
+//! search a mailbox — the client indexes decrypted emails locally.
+//!
+//! Run with: `cargo run --release --example keyword_search`
+
+use std::time::Instant;
+
+use pretzel_datasets::{gmail_like, Corpus};
+use pretzel_search::SearchIndex;
+
+fn main() {
+    let corpus: Corpus = gmail_like(0.3).generate();
+    println!("Indexing a mailbox of {} emails…", corpus.examples.len());
+
+    let mut index = SearchIndex::new();
+    let start = Instant::now();
+    let mut texts = Vec::new();
+    for example in &corpus.examples {
+        let text = corpus.render_text(example);
+        index.add_document(&text);
+        texts.push(text);
+    }
+    let indexing = start.elapsed();
+    let stats = index.stats();
+    println!(
+        "Indexed {} documents, {} distinct terms, {} postings, ~{} KB, {:.2} ms total ({:.3} ms/email).",
+        stats.documents,
+        stats.terms,
+        stats.postings,
+        stats.size_bytes / 1024,
+        indexing.as_secs_f64() * 1e3,
+        indexing.as_secs_f64() * 1e3 / corpus.examples.len() as f64
+    );
+
+    // Query a few words of varying frequency.
+    let probes: Vec<&str> = texts[0].split(' ').take(3).collect();
+    for probe in probes {
+        let start = Instant::now();
+        let hits = index.query(probe);
+        let elapsed = start.elapsed();
+        println!(
+            "query {:?}: {} matching emails in {:.1} µs",
+            probe,
+            hits.len(),
+            elapsed.as_secs_f64() * 1e6
+        );
+    }
+
+    // Conjunctive query.
+    let words: Vec<&str> = texts[1].split(' ').take(2).collect();
+    let start = Instant::now();
+    let hits = index.query_all(&words);
+    println!(
+        "conjunctive query {:?}: {} matching emails in {:.1} µs",
+        words,
+        hits.len(),
+        start.elapsed().as_secs_f64() * 1e6
+    );
+
+    // Incremental update (a newly arrived email).
+    let start = Instant::now();
+    index.add_document("urgent quarterly budget review tomorrow with the auditors");
+    println!(
+        "indexing one new email took {:.1} µs; \"auditors\" now returns {} hit(s)",
+        start.elapsed().as_secs_f64() * 1e6,
+        index.query("auditors").len()
+    );
+    println!("\nAll of this ran on the client; the provider only ever stored ciphertext.");
+}

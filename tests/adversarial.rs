@@ -1,0 +1,237 @@
+//! Failure-injection and misbehaving-party tests (paper §4.4).
+//!
+//! Guarantee 1 says the parties cannot observe each other's inputs even when
+//! they deviate from the protocol's mechanics. These tests feed each endpoint
+//! malformed, truncated, or outright malicious messages and check that the
+//! endpoint returns an error instead of panicking, leaking, or silently
+//! producing a result. They also exercise the replay defense and the
+//! "plausible deniability" opt-outs the paper describes.
+
+use pretzel::classifiers::nb::GrNbTrainer;
+use pretzel::classifiers::{LabeledExample, SparseVector, Trainer};
+use pretzel::core::spam::{AheVariant, SpamClient, SpamProvider};
+use pretzel::core::topic::{CandidateMode, TopicClient};
+use pretzel::core::{PretzelConfig, PretzelError, ReplayGuard};
+use pretzel::primitives::sha256;
+use pretzel::transport::{memory_pair, run_two_party, Channel};
+
+fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+    LabeledExample {
+        features: SparseVector::from_pairs(pairs.to_vec()),
+        label,
+    }
+}
+
+fn tiny_spam_model() -> pretzel::classifiers::LinearModel {
+    let mut corpus = Vec::new();
+    for i in 0..10 {
+        corpus.push(example(&[(i % 4, 2)], 1));
+        corpus.push(example(&[(4 + i % 4, 2)], 0));
+    }
+    GrNbTrainer::default().train(&corpus, 8, 2)
+}
+
+/// Sends the messages a responder expects from the joint-randomness exchange,
+/// honestly. Returns after the exchange completes.
+fn run_joint_randomness_as_initiator<C: Channel>(chan: &mut C) {
+    let seed = [5u8; 32];
+    chan.send(&sha256(&seed)).unwrap();
+    let _their_seed = chan.recv().unwrap();
+    chan.send(&seed).unwrap();
+}
+
+#[test]
+fn spam_client_rejects_a_false_commitment_reveal() {
+    let (client_res, _) = run_two_party(
+        |chan| {
+            SpamClient::setup(
+                chan,
+                &PretzelConfig::test(),
+                AheVariant::Pretzel,
+                &mut rand::thread_rng(),
+            )
+        },
+        |chan| {
+            // Malicious provider: commits to one seed, reveals a different one.
+            let committed = [1u8; 32];
+            chan.send(&sha256(&committed)).unwrap();
+            let _client_seed = chan.recv().unwrap();
+            chan.send(&[2u8; 32]).unwrap();
+        },
+    );
+    assert!(
+        matches!(client_res, Err(PretzelError::Protocol(_))),
+        "client must reject a reveal that does not match the commitment"
+    );
+}
+
+#[test]
+fn spam_client_rejects_a_model_with_the_wrong_column_count() {
+    let (client_res, _) = run_two_party(
+        |chan| {
+            SpamClient::setup(
+                chan,
+                &PretzelConfig::test(),
+                AheVariant::Pretzel,
+                &mut rand::thread_rng(),
+            )
+        },
+        |chan| {
+            run_joint_randomness_as_initiator(chan);
+            chan.send(&9u64.to_le_bytes()).unwrap(); // rows
+            chan.send(&3u64.to_le_bytes()).unwrap(); // cols: spam must be 2
+        },
+    );
+    assert!(matches!(client_res, Err(PretzelError::Protocol(_))));
+}
+
+#[test]
+fn spam_client_rejects_a_garbage_public_key() {
+    let (client_res, _) = run_two_party(
+        |chan| {
+            SpamClient::setup(
+                chan,
+                &PretzelConfig::test(),
+                AheVariant::Pretzel,
+                &mut rand::thread_rng(),
+            )
+        },
+        |chan| {
+            run_joint_randomness_as_initiator(chan);
+            chan.send(&9u64.to_le_bytes()).unwrap();
+            chan.send(&2u64.to_le_bytes()).unwrap();
+            chan.send(&[0xAB; 17]).unwrap(); // not a serialized RLWE public key
+        },
+    );
+    assert!(client_res.is_err(), "garbage public key must be rejected");
+}
+
+#[test]
+fn spam_client_rejects_a_truncated_model_blob() {
+    let config = PretzelConfig::test();
+    let params = config.rlwe_params();
+    let (client_res, _) = run_two_party(
+        |chan| {
+            SpamClient::setup(chan, &config, AheVariant::Pretzel, &mut rand::thread_rng())
+        },
+        move |chan| {
+            let mut rng = rand::thread_rng();
+            run_joint_randomness_as_initiator(chan);
+            chan.send(&9u64.to_le_bytes()).unwrap();
+            chan.send(&2u64.to_le_bytes()).unwrap();
+            // A syntactically valid public key…
+            let (_sk, pk) = pretzel::rlwe::keygen(&params, None, &mut rng);
+            chan.send(&pk.to_bytes()).unwrap();
+            // …but a model blob whose length does not match the claimed count.
+            chan.send(&4u64.to_le_bytes()).unwrap();
+            chan.send(&vec![0u8; 100]).unwrap();
+        },
+    );
+    let err = client_res.err().expect("blob size mismatch must fail the setup");
+    assert!(
+        matches!(err, PretzelError::Protocol(_)),
+        "blob size mismatch must be a protocol error, got {err:?}"
+    );
+}
+
+#[test]
+fn spam_client_errors_when_the_provider_disappears_mid_setup() {
+    let (client_res, _) = run_two_party(
+        |chan| {
+            SpamClient::setup(
+                chan,
+                &PretzelConfig::test(),
+                AheVariant::Pretzel,
+                &mut rand::thread_rng(),
+            )
+        },
+        |chan| {
+            // The provider sends only its commitment and then hangs up.
+            chan.send(&sha256(&[1u8; 32])).unwrap();
+        },
+    );
+    let err = client_res
+        .err()
+        .expect("a vanished provider must fail the setup");
+    assert!(
+        matches!(err, PretzelError::Transport(_)),
+        "a closed channel must surface as a transport error, got {err:?}"
+    );
+}
+
+#[test]
+fn spam_provider_errors_on_a_garbage_per_email_message() {
+    let model = tiny_spam_model();
+    let config = PretzelConfig::test();
+    let config_client = config.clone();
+
+    let (provider_res, client_res) = run_two_party(
+        move |chan| {
+            let mut rng = rand::thread_rng();
+            let mut provider =
+                SpamProvider::setup(chan, &model, &config, AheVariant::Pretzel, &mut rng)?;
+            // The "per-email" message the client sends below is garbage.
+            provider.process_email(chan, &mut rng)
+        },
+        move |chan| {
+            let mut rng = rand::thread_rng();
+            let _client =
+                SpamClient::setup(chan, &config_client, AheVariant::Pretzel, &mut rng).unwrap();
+            // Instead of a blinded ciphertext, send junk.
+            chan.send(b"not a ciphertext").unwrap();
+        },
+    );
+    let () = client_res;
+    assert!(
+        provider_res.is_err(),
+        "the provider must reject a malformed per-email message"
+    );
+}
+
+#[test]
+fn topic_client_requires_a_candidate_model_for_decomposed_mode() {
+    let (mut _provider_chan, mut client_chan) = memory_pair();
+    let res = TopicClient::setup(
+        &mut client_chan,
+        &PretzelConfig::test(),
+        AheVariant::Pretzel,
+        CandidateMode::Decomposed(5),
+        None,
+        &mut rand::thread_rng(),
+    );
+    assert!(matches!(res, Err(PretzelError::Protocol(_))));
+}
+
+#[test]
+fn replay_guard_rejects_duplicates_per_sender() {
+    let mut guard = ReplayGuard::default();
+    assert!(guard.check_and_record("alice@example.com", 0));
+    assert!(guard.check_and_record("alice@example.com", 1));
+    assert!(
+        !guard.check_and_record("alice@example.com", 0),
+        "replaying alice's email 0 must be rejected"
+    );
+    // A different sender has an independent channel (the §4.4 defense treats
+    // each sender as its own lossy, duplicating channel).
+    assert!(guard.check_and_record("mallory@example.com", 0));
+    assert!(!guard.check_and_record("mallory@example.com", 0));
+    // Alice can still send new ids.
+    assert!(guard.check_and_record("alice@example.com", 2));
+}
+
+#[test]
+fn sse_provider_rejects_malformed_uploads_without_panicking() {
+    use pretzel::sse::{SseError, SseProviderEndpoint};
+
+    let (provider_res, _) = run_two_party(
+        |chan| SseProviderEndpoint::new().serve(chan),
+        |chan| {
+            // Claim 1000 postings but send 3 bytes of payload.
+            let mut msg = vec![0u8];
+            msg.extend_from_slice(&1000u64.to_le_bytes());
+            msg.extend_from_slice(&[1, 2, 3]);
+            chan.send(&msg).unwrap();
+        },
+    );
+    assert!(matches!(provider_res, Err(SseError::Protocol(_))));
+}
