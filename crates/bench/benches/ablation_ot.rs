@@ -12,7 +12,9 @@ use pretzel_transport::memory_pair;
 
 fn bench_ot(c: &mut Criterion) {
     let mut group = c.benchmark_group("ot_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let ot_group = OtGroup::insecure_test_group(64, &mut rand::thread_rng());
     let count = 64usize; // spam circuit: 2 values x 30-bit noise ≈ 60 choice bits
 

@@ -11,7 +11,9 @@ use pretzel_sdp::{ModelMatrix, SparseFeatures};
 
 fn bench_packing(c: &mut Criterion) {
     let mut group = c.benchmark_group("packing_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let config = PretzelConfig::test();
     let params = config.rlwe_params();
     let mut rng = rand::thread_rng();
@@ -21,7 +23,9 @@ fn bench_packing(c: &mut Criterion) {
     let cols = 2usize;
     let data: Vec<u64> = (0..rows * cols).map(|i| (i % 1000) as u64).collect();
     let model = ModelMatrix::from_rows(rows, cols, data);
-    let features: SparseFeatures = (0..300).map(|i| ((i * 7) % rows, (i % 15 + 1) as u64)).collect();
+    let features: SparseFeatures = (0..300)
+        .map(|i| ((i * 7) % rows, (i % 15 + 1) as u64))
+        .collect();
 
     for packing in [Packing::AcrossRow, Packing::LegacyPerRow] {
         let enc = encrypt_model(&pk, &model, packing, &mut rng).unwrap();

@@ -10,7 +10,9 @@ use pretzel_e2e::{DhGroup, Email, Identity};
 
 fn bench_paillier(c: &mut Criterion) {
     let mut group = c.benchmark_group("paillier");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let config = PretzelConfig::test();
     let mut rng = rand::thread_rng();
     let sk = pretzel_paillier::keygen(config.paillier_bits, &mut rng);
@@ -28,7 +30,9 @@ fn bench_paillier(c: &mut Criterion) {
 
 fn bench_xpir_bv(c: &mut Criterion) {
     let mut group = c.benchmark_group("xpir_bv");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let config = PretzelConfig::test();
     let params = config.rlwe_params();
     let mut rng = rand::thread_rng();
@@ -57,7 +61,9 @@ fn bench_xpir_bv(c: &mut Criterion) {
 
 fn bench_garbling(c: &mut Criterion) {
     let mut group = c.benchmark_group("yao");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let compare = pretzel_gc::spam_compare_circuit(32);
     let argmax = pretzel_gc::topic_argmax_circuit(10, 32, 12);
     group.bench_function("garble_32bit_compare", |b| {
@@ -71,7 +77,9 @@ fn bench_garbling(c: &mut Criterion) {
 
 fn bench_e2e(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2e");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = rand::thread_rng();
     let dh = DhGroup::insecure_test_group(96, &mut rng);
     let alice = Identity::generate("alice@example.com", &dh, &mut rng);
@@ -92,5 +100,11 @@ fn bench_e2e(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_paillier, bench_xpir_bv, bench_garbling, bench_e2e);
+criterion_group!(
+    benches,
+    bench_paillier,
+    bench_xpir_bv,
+    bench_garbling,
+    bench_e2e
+);
 criterion_main!(benches);

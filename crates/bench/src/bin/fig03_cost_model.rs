@@ -2,24 +2,42 @@
 //! paper's spam and topic-extraction operating points.
 
 use pretzel_bench::{human_bytes, human_us, print_header, print_row};
-use pretzel_core::costmodel::{baseline, non_private, pretzel, CostBreakdown, MicroCosts, Workload};
+use pretzel_core::costmodel::{
+    baseline, non_private, pretzel, CostBreakdown, MicroCosts, Workload,
+};
 
 fn row(name: &str, c: &CostBreakdown) -> Vec<String> {
     vec![
         name.to_string(),
-        human_us(std::time::Duration::from_micros(c.setup_provider_cpu_us as u64)),
+        human_us(std::time::Duration::from_micros(
+            c.setup_provider_cpu_us as u64,
+        )),
         human_bytes(c.client_storage_bytes),
-        human_us(std::time::Duration::from_micros(c.email_provider_cpu_us as u64)),
-        human_us(std::time::Duration::from_micros(c.email_client_cpu_us as u64)),
+        human_us(std::time::Duration::from_micros(
+            c.email_provider_cpu_us as u64,
+        )),
+        human_us(std::time::Duration::from_micros(
+            c.email_client_cpu_us as u64,
+        )),
         human_bytes(c.email_network_bytes),
     ]
 }
 
 fn print_workload(title: &str, w: &Workload, costs: &MicroCosts) {
-    println!("\n== {title} (N={}, N'={}, B={}, B'={}, L={}) ==", w.model_features, w.selected_features, w.categories, w.candidates, w.email_features);
+    println!(
+        "\n== {title} (N={}, N'={}, B={}, B'={}, L={}) ==",
+        w.model_features, w.selected_features, w.categories, w.candidates, w.email_features
+    );
     let widths = [14, 14, 14, 16, 16, 14];
     print_header(
-        &["system", "setup CPU", "client storage", "email prov CPU", "email client CPU", "email network"],
+        &[
+            "system",
+            "setup CPU",
+            "client storage",
+            "email prov CPU",
+            "email client CPU",
+            "email network",
+        ],
         &widths,
     );
     print_row(&row("Non-private", &non_private(costs, w)), &widths);

@@ -15,7 +15,9 @@ use pretzel_bench::{human_us, parse_scale, print_header, print_row, time_avg};
 use pretzel_core::{PretzelConfig, Scale};
 use pretzel_datasets::synthetic_email_text;
 use pretzel_e2e::{DhGroup, Email, Identity};
-use pretzel_gc::{spam_compare_circuit, topic_argmax_circuit, OutputMode, YaoEvaluator, YaoGarbler};
+use pretzel_gc::{
+    spam_compare_circuit, topic_argmax_circuit, OutputMode, YaoEvaluator, YaoGarbler,
+};
 use pretzel_transport::{memory_pair, MeteredChannel};
 
 fn main() {
@@ -26,7 +28,10 @@ fn main() {
         Scale::Paper => 200,
     };
     let mut rng = rand::thread_rng();
-    println!("Figure 6: microbenchmarks ({} iterations per op, scale {:?})\n", iters, scale);
+    println!(
+        "Figure 6: microbenchmarks ({} iterations per op, scale {:?})\n",
+        iters, scale
+    );
     let widths = [26, 14, 16];
     print_header(&["operation", "CPU time", "network"], &widths);
 
@@ -50,14 +55,32 @@ fn main() {
     let dec_time = time_avg(iters, || {
         black_box(bob.decrypt_email(&alice.public(), &encrypted).unwrap());
     });
-    print_row(&["e2e (GPG-equiv) encryption".into(), human_us(enc_time), "-".into()], &widths);
-    print_row(&["e2e (GPG-equiv) decryption".into(), human_us(dec_time), "-".into()], &widths);
+    print_row(
+        &[
+            "e2e (GPG-equiv) encryption".into(),
+            human_us(enc_time),
+            "-".into(),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "e2e (GPG-equiv) decryption".into(),
+            human_us(dec_time),
+            "-".into(),
+        ],
+        &widths,
+    );
 
     // --- Paillier ---
     let paillier_sk = pretzel_paillier::keygen(config.paillier_bits, &mut rng);
     let paillier_pk = paillier_sk.public();
     let p_enc = time_avg(iters, || {
-        black_box(paillier_pk.encrypt_u64(123456, &mut rand::thread_rng()).unwrap());
+        black_box(
+            paillier_pk
+                .encrypt_u64(123456, &mut rand::thread_rng())
+                .unwrap(),
+        );
     });
     let ct = paillier_pk.encrypt_u64(123456, &mut rng).unwrap();
     let ct2 = paillier_pk.encrypt_u64(654321, &mut rng).unwrap();
@@ -67,16 +90,29 @@ fn main() {
     let p_add = time_avg(iters * 10, || {
         black_box(paillier_pk.add(&ct, &ct2));
     });
-    print_row(&["Paillier encryption".into(), human_us(p_enc), "-".into()], &widths);
-    print_row(&["Paillier decryption".into(), human_us(p_dec), "-".into()], &widths);
-    print_row(&["Paillier addition".into(), human_us(p_add), "-".into()], &widths);
+    print_row(
+        &["Paillier encryption".into(), human_us(p_enc), "-".into()],
+        &widths,
+    );
+    print_row(
+        &["Paillier decryption".into(), human_us(p_dec), "-".into()],
+        &widths,
+    );
+    print_row(
+        &["Paillier addition".into(), human_us(p_add), "-".into()],
+        &widths,
+    );
 
     // --- XPIR-BV ---
     let params = config.rlwe_params();
     let (rlwe_sk, rlwe_pk) = pretzel_rlwe::keygen(&params, None, &mut rng);
     let slots: Vec<u64> = (0..params.slots() as u64).map(|i| i % params.t).collect();
     let x_enc = time_avg(iters, || {
-        black_box(rlwe_pk.encrypt_slots(&slots, &mut rand::thread_rng()).unwrap());
+        black_box(
+            rlwe_pk
+                .encrypt_slots(&slots, &mut rand::thread_rng())
+                .unwrap(),
+        );
     });
     let xct = rlwe_pk.encrypt_slots(&slots, &mut rng).unwrap();
     let xct2 = rlwe_pk.encrypt_slots(&slots, &mut rng).unwrap();
@@ -90,20 +126,44 @@ fn main() {
         let shifted = rlwe_pk.rotate_left(&xct, 2);
         black_box(rlwe_pk.add(&xct2, &shifted));
     });
-    print_row(&["XPIR-BV encryption".into(), human_us(x_enc), "-".into()], &widths);
-    print_row(&["XPIR-BV decryption".into(), human_us(x_dec), "-".into()], &widths);
-    print_row(&["XPIR-BV addition".into(), human_us(x_add), "-".into()], &widths);
-    print_row(&["XPIR-BV left shift and add".into(), human_us(x_shift), "-".into()], &widths);
+    print_row(
+        &["XPIR-BV encryption".into(), human_us(x_enc), "-".into()],
+        &widths,
+    );
+    print_row(
+        &["XPIR-BV decryption".into(), human_us(x_dec), "-".into()],
+        &widths,
+    );
+    print_row(
+        &["XPIR-BV addition".into(), human_us(x_add), "-".into()],
+        &widths,
+    );
+    print_row(
+        &[
+            "XPIR-BV left shift and add".into(),
+            human_us(x_shift),
+            "-".into(),
+        ],
+        &widths,
+    );
 
     // --- Yao: integer comparison and per-input argmax cost ---
     let (yao_compare, compare_bytes) = yao_cost(&config, YaoKind::Compare);
     let (yao_argmax, argmax_bytes) = yao_cost(&config, YaoKind::ArgmaxPerInput);
     print_row(
-        &["Yao: 32-bit comparison".into(), human_us(yao_compare), format!("{compare_bytes} B")],
+        &[
+            "Yao: 32-bit comparison".into(),
+            human_us(yao_compare),
+            format!("{compare_bytes} B"),
+        ],
         &widths,
     );
     print_row(
-        &["Yao: argmax (per input)".into(), human_us(yao_argmax), format!("{argmax_bytes} B")],
+        &[
+            "Yao: argmax (per input)".into(),
+            human_us(yao_argmax),
+            format!("{argmax_bytes} B"),
+        ],
         &widths,
     );
 
@@ -119,8 +179,14 @@ fn main() {
         acc += black_box(1.25);
     });
     black_box(acc);
-    print_row(&["NoPriv map lookup".into(), human_us(lookup), "-".into()], &widths);
-    print_row(&["NoPriv float addition".into(), human_us(fadd), "-".into()], &widths);
+    print_row(
+        &["NoPriv map lookup".into(), human_us(lookup), "-".into()],
+        &widths,
+    );
+    print_row(
+        &["NoPriv float addition".into(), human_us(fadd), "-".into()],
+        &widths,
+    );
 
     println!("\nPaper reference values (Amazon EC2 m3.2xlarge): GPG 1.7ms/1.3ms; Paillier 2.5ms/0.7ms/7µs;");
     println!("XPIR-BV 103µs/31µs/3µs/70µs; Yao 71µs+2501B (compare), 70µs+3959B per argmax input;");
@@ -165,7 +231,12 @@ fn yao_cost(config: &PretzelConfig, kind: YaoKind) -> (std::time::Duration, u64)
         let mut evaluator = YaoEvaluator::setup(&mut b, &group_b, &mut rng).unwrap();
         for _ in 0..reps {
             evaluator
-                .run(&mut b, &circuit_b, &evaluator_bits, OutputMode::EvaluatorOnly)
+                .run(
+                    &mut b,
+                    &circuit_b,
+                    &evaluator_bits,
+                    OutputMode::EvaluatorOnly,
+                )
                 .unwrap();
         }
     });
@@ -175,7 +246,13 @@ fn yao_cost(config: &PretzelConfig, kind: YaoKind) -> (std::time::Duration, u64)
     let start = std::time::Instant::now();
     for _ in 0..reps {
         garbler
-            .run(&mut metered, &circuit, &garbler_bits, OutputMode::EvaluatorOnly, &mut rng)
+            .run(
+                &mut metered,
+                &circuit,
+                &garbler_bits,
+                OutputMode::EvaluatorOnly,
+                &mut rng,
+            )
             .unwrap();
     }
     let elapsed = start.elapsed() / reps;

@@ -10,7 +10,9 @@
 
 use std::time::Duration;
 
-use pretzel_bench::{human_us, parse_scale, print_header, print_row, synthetic_model, time, time_avg};
+use pretzel_bench::{
+    human_us, parse_scale, print_header, print_row, synthetic_model, time, time_avg,
+};
 use pretzel_classifiers::SparseVector;
 use pretzel_core::spam::{AheVariant, SpamClient, SpamProvider};
 use pretzel_core::{NoPrivProvider, PretzelConfig, Scale};
@@ -48,7 +50,11 @@ fn private_provider_cpu(
         SpamProvider::setup(&mut provider_chan, &model, config, variant, &mut rng).unwrap();
     let mut total = Duration::ZERO;
     for _ in 0..emails {
-        let (_, d) = time(|| provider.process_email(&mut provider_chan, &mut rng).unwrap());
+        let (_, d) = time(|| {
+            provider
+                .process_email(&mut provider_chan, &mut rng)
+                .unwrap()
+        });
         total += d;
     }
     handle.join().unwrap();
@@ -94,7 +100,10 @@ fn main() {
             Scale::Test => n.min(10_000),
             Scale::Paper => n,
         };
-        for (name, variant) in [("Baseline", AheVariant::Baseline), ("Pretzel", AheVariant::Pretzel)] {
+        for (name, variant) in [
+            ("Baseline", AheVariant::Baseline),
+            ("Pretzel", AheVariant::Pretzel),
+        ] {
             let mut row = vec![format!("{name} (N={n})")];
             for &l in &l_values {
                 let d = private_provider_cpu(variant, &config, run_n, l.min(run_n), emails);

@@ -34,7 +34,10 @@ fn main() {
         header.push(format!("N={n}"));
     }
     let widths = vec![22usize, 14, 14, 14];
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
 
     let mut rows: Vec<Vec<String>> = vec![
         vec!["Non-encrypted".into()],
@@ -49,7 +52,8 @@ fn main() {
         rows[0].push(human_bytes(plain));
         let baseline_cts = paillier_pack::model_ciphertext_count(rows_with_bias, b, paillier_slots);
         rows[1].push(human_bytes((baseline_cts * paillier_ct_bytes) as f64));
-        let legacy_cts = model_ciphertext_count(rows_with_bias, b, xpir_slots, Packing::LegacyPerRow);
+        let legacy_cts =
+            model_ciphertext_count(rows_with_bias, b, xpir_slots, Packing::LegacyPerRow);
         rows[2].push(human_bytes((legacy_cts * xpir_ct_bytes) as f64));
         let pretzel_cts = model_ciphertext_count(rows_with_bias, b, xpir_slots, Packing::AcrossRow);
         rows[3].push(human_bytes((pretzel_cts * xpir_ct_bytes) as f64));

@@ -4,7 +4,9 @@
 
 use std::time::Duration;
 
-use pretzel_bench::{human_us, parse_scale, print_header, print_row, synthetic_model, time, time_avg};
+use pretzel_bench::{
+    human_us, parse_scale, print_header, print_row, synthetic_model, time, time_avg,
+};
 use pretzel_classifiers::SparseVector;
 use pretzel_core::spam::AheVariant;
 use pretzel_core::topic::{CandidateMode, TopicClient, TopicProvider};
@@ -85,19 +87,37 @@ fn main() {
 
     println!("Figure 10: topic extraction, provider CPU per email (N={model_features}, L={email_features}, scale {scale:?})\n");
     let mut widths = vec![24usize];
-    widths.extend(std::iter::repeat(14).take(b_values.len()));
+    widths.extend(std::iter::repeat_n(14, b_values.len()));
     let mut header = vec!["system".to_string()];
     for &b in &b_values {
         header.push(format!("B={b}"));
     }
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
 
     let mut points = vec![
-        Point { name: "NoPriv".into(), per_b: vec![] },
-        Point { name: "Baseline".into(), per_b: vec![] },
-        Point { name: "Pretzel (B'=B)".into(), per_b: vec![] },
-        Point { name: format!("Pretzel (B'={b_prime_large})"), per_b: vec![] },
-        Point { name: format!("Pretzel (B'={b_prime_small})"), per_b: vec![] },
+        Point {
+            name: "NoPriv".into(),
+            per_b: vec![],
+        },
+        Point {
+            name: "Baseline".into(),
+            per_b: vec![],
+        },
+        Point {
+            name: "Pretzel (B'=B)".into(),
+            per_b: vec![],
+        },
+        Point {
+            name: format!("Pretzel (B'={b_prime_large})"),
+            per_b: vec![],
+        },
+        Point {
+            name: format!("Pretzel (B'={b_prime_small})"),
+            per_b: vec![],
+        },
     ];
 
     for &b in &b_values {

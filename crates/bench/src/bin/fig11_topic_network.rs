@@ -37,9 +37,15 @@ fn per_email_network(
     let handle = std::thread::spawn(move || {
         let mut provider_chan = provider_chan;
         let mut rng = rand::thread_rng();
-        let mut provider =
-            TopicProvider::setup(&mut provider_chan, &model, &config_provider, variant, mode, &mut rng)
-                .unwrap();
+        let mut provider = TopicProvider::setup(
+            &mut provider_chan,
+            &model,
+            &config_provider,
+            variant,
+            mode,
+            &mut rng,
+        )
+        .unwrap();
         for _ in 0..emails {
             provider.process_email(&mut provider_chan).unwrap();
         }
@@ -79,18 +85,33 @@ fn main() {
 
     println!("Figure 11: topic extraction, network transfers per email (scale {scale:?})\n");
     let mut widths = vec![24usize];
-    widths.extend(std::iter::repeat(14).take(b_values.len()));
+    widths.extend(std::iter::repeat_n(14, b_values.len()));
     let mut header = vec!["system".to_string()];
     for &b in &b_values {
         header.push(format!("B={b}"));
     }
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
 
     let configs: Vec<(String, AheVariant, CandidateMode)> = vec![
         ("Baseline".into(), AheVariant::Baseline, CandidateMode::Full),
-        ("Pretzel (B'=B)".into(), AheVariant::Pretzel, CandidateMode::Full),
-        (format!("Pretzel (B'={bp_large})"), AheVariant::Pretzel, CandidateMode::Decomposed(bp_large)),
-        (format!("Pretzel (B'={bp_small})"), AheVariant::Pretzel, CandidateMode::Decomposed(bp_small)),
+        (
+            "Pretzel (B'=B)".into(),
+            AheVariant::Pretzel,
+            CandidateMode::Full,
+        ),
+        (
+            format!("Pretzel (B'={bp_large})"),
+            AheVariant::Pretzel,
+            CandidateMode::Decomposed(bp_large),
+        ),
+        (
+            format!("Pretzel (B'={bp_small})"),
+            AheVariant::Pretzel,
+            CandidateMode::Decomposed(bp_small),
+        ),
     ];
     for (name, variant, mode) in configs {
         let mut row = vec![name];

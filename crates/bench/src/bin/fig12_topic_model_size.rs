@@ -30,7 +30,10 @@ fn main() {
         header.push(format!("N={n}"));
     }
     let widths = vec![18usize, 14, 14];
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
 
     let mut rows: Vec<Vec<String>> = vec![
         vec!["Non-encrypted".into()],
@@ -49,7 +52,9 @@ fn main() {
         // candidate model (plaintext, same shape).
         let pretzel_cts = model_ciphertext_count(rows_with_bias, b, xpir_slots, Packing::AcrossRow);
         let public_part = (rows_with_bias * b * 4) as f64;
-        rows[2].push(human_bytes(pretzel_cts as f64 * xpir_ct_bytes as f64 + public_part));
+        rows[2].push(human_bytes(
+            pretzel_cts as f64 * xpir_ct_bytes as f64 + public_part,
+        ));
     }
     for row in rows {
         print_row(&row, &widths);

@@ -34,25 +34,41 @@ fn main() {
 
     println!("Figure 13: accuracy vs. degree of feature selection N'/N (scale {scale:?})\n");
     let mut widths = vec![16usize];
-    widths.extend(std::iter::repeat(10).take(fractions.len()));
+    widths.extend(std::iter::repeat_n(10, fractions.len()));
     let mut header = vec!["algo-corpus".to_string()];
     for &f in &fractions {
         header.push(format!("N'/N={f:.2}"));
     }
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
 
     for corpus in &corpora {
         let (train, test) = corpus.train_test_split(0.7, 13);
         let trainers: Vec<(&str, Box<dyn Trainer>)> = vec![
             ("NB", Box::new(MultinomialNbTrainer::default())),
-            ("LR", Box::new(MultinomialLrTrainer { epochs: 8, ..Default::default() })),
-            ("SVM", Box::new(OneVsAllSvmTrainer { epochs: 5, ..Default::default() })),
+            (
+                "LR",
+                Box::new(MultinomialLrTrainer {
+                    epochs: 8,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "SVM",
+                Box::new(OneVsAllSvmTrainer {
+                    epochs: 5,
+                    ..Default::default()
+                }),
+            ),
         ];
         for (name, trainer) in &trainers {
             let mut row = vec![format!("{name}-{}", corpus.name)];
             for &fraction in &fractions {
                 let keep = ((corpus.num_features as f64) * fraction).round() as usize;
-                let kept = select_top_features(&train, corpus.num_features, corpus.num_classes, keep);
+                let kept =
+                    select_top_features(&train, corpus.num_features, corpus.num_classes, keep);
                 let train_sel = apply_selection(&train, &kept);
                 let test_sel = apply_selection(&test, &kept);
                 let model = trainer.train(&train_sel, kept.len(), corpus.num_classes);

@@ -43,12 +43,15 @@ fn main() {
         scale
     );
     let mut widths = vec![8usize];
-    widths.extend(std::iter::repeat(12).take(fractions.len()));
+    widths.extend(std::iter::repeat_n(12, fractions.len()));
     let mut header = vec!["B'".to_string()];
     for &f in &fractions {
         header.push(format!("{:.0}% train", f * 100.0));
     }
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
 
     for &b_prime in &b_primes {
         let mut row = vec![format!("B'={b_prime}")];

@@ -5,11 +5,17 @@ use std::time::Instant;
 
 use pretzel_bench::{human_bytes, human_us, parse_scale, print_header, print_row};
 use pretzel_core::Scale;
-use pretzel_datasets::{enron_like, gmail_like, ling_spam_like, newsgroups_like, reuters_like, Corpus};
+use pretzel_datasets::{
+    enron_like, gmail_like, ling_spam_like, newsgroups_like, reuters_like, Corpus,
+};
 use pretzel_search::SearchIndex;
 
 fn measure(corpus: &Corpus) -> (String, String, String, String) {
-    let texts: Vec<String> = corpus.examples.iter().map(|e| corpus.render_text(e)).collect();
+    let texts: Vec<String> = corpus
+        .examples
+        .iter()
+        .map(|e| corpus.render_text(e))
+        .collect();
     // Update time: average time to index one email.
     let mut index = SearchIndex::new();
     let start = Instant::now();
@@ -57,7 +63,16 @@ fn main() {
 
     println!("Figure 15: client-side keyword search index (scale {scale:?})\n");
     let widths = [18, 12, 12, 12, 12];
-    print_header(&["corpus", "documents", "index size", "query time", "update time"], &widths);
+    print_header(
+        &[
+            "corpus",
+            "documents",
+            "index size",
+            "query time",
+            "update time",
+        ],
+        &widths,
+    );
     for corpus in &corpora {
         let (docs, size, query, update) = measure(corpus);
         print_row(&[corpus.name.clone(), docs, size, query, update], &widths);

@@ -5,7 +5,9 @@
 
 use std::time::Duration;
 
-use pretzel_bench::{human_bytes, human_us, parse_scale, print_header, print_row, synthetic_model, time};
+use pretzel_bench::{
+    human_bytes, human_us, parse_scale, print_header, print_row, synthetic_model, time,
+};
 use pretzel_classifiers::SparseVector;
 use pretzel_core::spam::{AheVariant, SpamClient, SpamProvider};
 use pretzel_core::topic::{CandidateMode, TopicClient, TopicProvider};
@@ -20,10 +22,17 @@ struct Measured {
     client_storage: usize,
 }
 
-fn measure_spam(variant: AheVariant, config: &PretzelConfig, n: usize, l: usize, emails: usize) -> Measured {
+fn measure_spam(
+    variant: AheVariant,
+    config: &PretzelConfig,
+    n: usize,
+    l: usize,
+    emails: usize,
+) -> Measured {
     let model = synthetic_model(n, 2, 1);
-    let features: Vec<SparseVector> =
-        (0..emails).map(|i| synthetic_features(n, l, 15, i as u64)).collect();
+    let features: Vec<SparseVector> = (0..emails)
+        .map(|i| synthetic_features(n, l, 15, i as u64))
+        .collect();
     let config_client = config.clone();
     let features_client = features.clone();
 
@@ -33,7 +42,8 @@ fn measure_spam(variant: AheVariant, config: &PretzelConfig, n: usize, l: usize,
 
     let handle = std::thread::spawn(move || {
         let mut rng = rand::thread_rng();
-        let mut client = SpamClient::setup(&mut metered, &config_client, variant, &mut rng).unwrap();
+        let mut client =
+            SpamClient::setup(&mut metered, &config_client, variant, &mut rng).unwrap();
         let storage = client.model_storage_bytes();
         meter.reset();
         let mut client_cpu = Duration::ZERO;
@@ -41,14 +51,23 @@ fn measure_spam(variant: AheVariant, config: &PretzelConfig, n: usize, l: usize,
             let (_, d) = time(|| client.classify(&mut metered, f, &mut rng).unwrap());
             client_cpu += d;
         }
-        (client_cpu / features_client.len() as u32, meter.total_bytes() as f64 / features_client.len() as f64, storage)
+        (
+            client_cpu / features_client.len() as u32,
+            meter.total_bytes() as f64 / features_client.len() as f64,
+            storage,
+        )
     });
 
     let mut rng = rand::thread_rng();
-    let mut provider = SpamProvider::setup(&mut provider_chan, &model, config, variant, &mut rng).unwrap();
+    let mut provider =
+        SpamProvider::setup(&mut provider_chan, &model, config, variant, &mut rng).unwrap();
     let mut provider_cpu = Duration::ZERO;
     for _ in 0..emails {
-        let (_, d) = time(|| provider.process_email(&mut provider_chan, &mut rng).unwrap());
+        let (_, d) = time(|| {
+            provider
+                .process_email(&mut provider_chan, &mut rng)
+                .unwrap()
+        });
         provider_cpu += d;
     }
     let (client_cpu, network_bytes, client_storage) = handle.join().unwrap();
@@ -71,8 +90,9 @@ fn measure_topic(
 ) -> Measured {
     let model = synthetic_model(n, b, 2);
     let candidate_model = synthetic_model(n, b, 3);
-    let features: Vec<SparseVector> =
-        (0..emails).map(|i| synthetic_features(n, l, 15, 50 + i as u64)).collect();
+    let features: Vec<SparseVector> = (0..emails)
+        .map(|i| synthetic_features(n, l, 15, 50 + i as u64))
+        .collect();
     let config_client = config.clone();
     let features_client = features.clone();
 
@@ -98,7 +118,11 @@ fn measure_topic(
             let (_, d) = time(|| client.extract(&mut metered, f, &mut rng).unwrap());
             client_cpu += d;
         }
-        (client_cpu / features_client.len() as u32, meter.total_bytes() as f64 / features_client.len() as f64, storage)
+        (
+            client_cpu / features_client.len() as u32,
+            meter.total_bytes() as f64 / features_client.len() as f64,
+            storage,
+        )
     });
 
     let mut rng = rand::thread_rng();
@@ -160,10 +184,28 @@ fn main() {
 
     println!("Headline ratios (§6.1–§6.3), scale {scale:?}: N_spam={n_spam}, N_topic={n_topic}, B={b}, B'={b_prime}, L={l}\n");
     let widths = [26, 16, 16, 16, 16];
-    print_header(&["configuration", "provider CPU", "client CPU", "net/email", "client storage"], &widths);
+    print_header(
+        &[
+            "configuration",
+            "provider CPU",
+            "client CPU",
+            "net/email",
+            "client storage",
+        ],
+        &widths,
+    );
 
     let np_spam = noprivate_cpu(n_spam, 2, l);
-    print_row(&["NoPriv spam".into(), human_us(np_spam), "-".into(), human_bytes(email_bytes), "-".into()], &widths);
+    print_row(
+        &[
+            "NoPriv spam".into(),
+            human_us(np_spam),
+            "-".into(),
+            human_bytes(email_bytes),
+            "-".into(),
+        ],
+        &widths,
+    );
     let spam_base = measure_spam(AheVariant::Baseline, &config, n_spam, l, emails);
     report("Baseline spam", &spam_base, np_spam, email_bytes);
     let spam_pz = measure_spam(AheVariant::Pretzel, &config, n_spam, l, emails);
@@ -171,8 +213,25 @@ fn main() {
 
     println!();
     let np_topic = noprivate_cpu(n_topic, b, l);
-    print_row(&["NoPriv topics".into(), human_us(np_topic), "-".into(), human_bytes(email_bytes), "-".into()], &widths);
-    let topic_full = measure_topic(AheVariant::Pretzel, CandidateMode::Full, &config, n_topic, b, l, emails);
+    print_row(
+        &[
+            "NoPriv topics".into(),
+            human_us(np_topic),
+            "-".into(),
+            human_bytes(email_bytes),
+            "-".into(),
+        ],
+        &widths,
+    );
+    let topic_full = measure_topic(
+        AheVariant::Pretzel,
+        CandidateMode::Full,
+        &config,
+        n_topic,
+        b,
+        l,
+        emails,
+    );
     report("Pretzel topics (B'=B)", &topic_full, np_topic, email_bytes);
     let topic_dec = measure_topic(
         AheVariant::Pretzel,
@@ -183,8 +242,15 @@ fn main() {
         l,
         emails,
     );
-    report(&format!("Pretzel topics (B'={b_prime})"), &topic_dec, np_topic, email_bytes);
+    report(
+        &format!("Pretzel topics (B'={b_prime})"),
+        &topic_dec,
+        np_topic,
+        email_bytes,
+    );
 
     println!("\nPaper headline: spam provider CPU 0.65x NoPriv (at L=692); topics 1.03–1.78x NoPriv with");
-    println!("decomposition; network 2.7–5.4x the email size; client CPU < 1 s; storage hundreds of MB.");
+    println!(
+        "decomposition; network 2.7–5.4x the email size; client CPU < 1 s; storage hundreds of MB."
+    );
 }

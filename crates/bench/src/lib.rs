@@ -65,9 +65,15 @@ pub fn time_avg(iters: usize, mut f: impl FnMut()) -> Duration {
 pub fn synthetic_model(num_features: usize, num_classes: usize, seed: u64) -> LinearModel {
     let mut rng = StdRng::seed_from_u64(seed);
     let weights = (0..num_classes)
-        .map(|_| (0..num_features).map(|_| -rng.gen_range(0.1..12.0f64)).collect())
+        .map(|_| {
+            (0..num_features)
+                .map(|_| -rng.gen_range(0.1..12.0f64))
+                .collect()
+        })
         .collect();
-    let bias = (0..num_classes).map(|_| -rng.gen_range(0.1..4.0f64)).collect();
+    let bias = (0..num_classes)
+        .map(|_| -rng.gen_range(0.1..4.0f64))
+        .collect();
     LinearModel { weights, bias }
 }
 
@@ -107,7 +113,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header followed by a separator line.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
     println!("{}", "-".repeat(total));
 }

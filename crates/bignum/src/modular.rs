@@ -193,10 +193,10 @@ impl Montgomery {
             let ai = *a_limbs.get(i).unwrap_or(&0);
             // t += ai * b
             let mut carry = 0u128;
-            for j in 0..s {
+            for (j, tj) in t.iter_mut().enumerate().take(s) {
                 let bj = *b_limbs.get(j).unwrap_or(&0);
-                let cur = t[j] as u128 + (ai as u128) * (bj as u128) + carry;
-                t[j] = cur as u64;
+                let cur = *tj as u128 + (ai as u128) * (bj as u128) + carry;
+                *tj = cur as u64;
                 carry = cur >> 64;
             }
             let cur = t[s] as u128 + carry;
@@ -314,7 +314,10 @@ mod tests {
     #[test]
     fn mod_pow_zero_exponent_is_one() {
         assert_eq!(mod_pow(&big(123), &BigUint::zero(), &big(97)), big(1));
-        assert_eq!(mod_pow(&big(123), &BigUint::zero(), &BigUint::one()), BigUint::zero());
+        assert_eq!(
+            mod_pow(&big(123), &BigUint::zero(), &BigUint::one()),
+            BigUint::zero()
+        );
     }
 
     #[test]
@@ -352,7 +355,10 @@ mod tests {
     #[test]
     fn mod_inv_not_invertible() {
         assert_eq!(mod_inv(&big(6), &big(9)), Err(BignumError::NotInvertible));
-        assert_eq!(mod_inv(&BigUint::zero(), &big(9)), Err(BignumError::NotInvertible));
+        assert_eq!(
+            mod_inv(&BigUint::zero(), &big(9)),
+            Err(BignumError::NotInvertible)
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl BigUint {
 
     /// True if the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// True if the value is odd.
@@ -72,7 +72,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Converts a `u64`.
@@ -111,8 +111,8 @@ impl BigUint {
     /// Parses a big-endian byte string.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
         let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
-        let mut chunk_iter = bytes.rchunks(8);
-        while let Some(chunk) = chunk_iter.next() {
+        let chunk_iter = bytes.rchunks(8);
+        for chunk in chunk_iter {
             let mut limb = 0u64;
             for &b in chunk {
                 limb = (limb << 8) | b as u64;
@@ -262,11 +262,11 @@ impl BigUint {
         }
         let mut limbs = self.limbs.clone();
         let mut borrow = 0u64;
-        for i in 0..limbs.len() {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let o = *other.limbs.get(i).unwrap_or(&0);
-            let (d1, b1) = limbs[i].overflowing_sub(o);
+            let (d1, b1) = limb.overflowing_sub(o);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            limbs[i] = d2;
+            *limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         debug_assert_eq!(borrow, 0);
@@ -683,7 +683,8 @@ mod tests {
         let a = BigUint::from(u64::MAX);
         let b = BigUint::from(u64::MAX);
         // (2^64 - 1)^2 = 2^128 - 2^65 + 1
-        let expected = BigUint::from_u128(u128::MAX - 2 * (u64::MAX as u128) - 1 + (u64::MAX as u128));
+        let expected =
+            BigUint::from_u128(u128::MAX - 2 * (u64::MAX as u128) - 1 + (u64::MAX as u128));
         // Compute expected directly instead: (2^64-1)^2 = 0xFFFFFFFFFFFFFFFE0000000000000001
         let expected2 = BigUint::from_hex("fffffffffffffffe0000000000000001").unwrap();
         assert_eq!(a.clone() * b, expected2);

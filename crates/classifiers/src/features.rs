@@ -103,7 +103,7 @@ impl Tokenizer {
     }
 
     /// Splits text into lowercase alphanumeric tokens.
-    pub fn tokenize<'a>(&self, text: &'a str) -> Vec<String> {
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
         text.split(|c: char| !c.is_alphanumeric())
             .filter(|t| t.len() >= self.min_len)
             .map(|t| t.to_lowercase())
@@ -207,7 +207,10 @@ mod tests {
     #[test]
     fn presence_and_clamping() {
         let v = SparseVector::from_pairs(vec![(0, 7), (3, 1)]);
-        assert_eq!(v.to_presence().iter().collect::<Vec<_>>(), vec![(0, 1), (3, 1)]);
+        assert_eq!(
+            v.to_presence().iter().collect::<Vec<_>>(),
+            vec![(0, 1), (3, 1)]
+        );
         assert_eq!(v.clamp_counts(3).get(0), 3);
         assert_eq!(v.clamp_counts(3).get(3), 1);
     }

@@ -31,8 +31,8 @@ pub mod select;
 pub mod svm;
 
 pub use features::{SparseVector, Tokenizer, Vocabulary};
-pub use ngrams::NGramExtractor;
 pub use metrics::{accuracy, confusion_binary, precision_recall, BinaryConfusion};
+pub use ngrams::NGramExtractor;
 pub use quantize::QuantizedModel;
 
 use serde::{Deserialize, Serialize};

@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn binary_lr_is_deterministic_given_seed() {
         let corpus: Vec<LabeledExample> = (0..40)
-            .map(|i| example(&[(i % 4, 1 + (i % 3) as u32)], (i % 2) as usize))
+            .map(|i| example(&[(i % 4, 1 + (i % 3) as u32)], i % 2))
             .collect();
         let a = BinaryLrTrainer::default().train(&corpus, 4, 2);
         let b = BinaryLrTrainer::default().train(&corpus, 4, 2);
@@ -210,7 +210,10 @@ mod tests {
             corpus.push(example(&[(4, 1), (5, 2)], 2));
         }
         let model = MultinomialLrTrainer::default().train(&corpus, 6, 3);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])), 0);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])),
+            0
+        );
         assert_eq!(model.predict(&SparseVector::from_pairs(vec![(2, 1)])), 1);
         assert_eq!(model.predict(&SparseVector::from_pairs(vec![(5, 3)])), 2);
     }

@@ -77,7 +77,11 @@ pub fn confusion_binary(model: &LinearModel, examples: &[LabeledExample]) -> Bin
 /// columns of Figure 9.
 pub fn precision_recall(model: &LinearModel, examples: &[LabeledExample]) -> (f64, f64, f64) {
     let c = confusion_binary(model, examples);
-    (c.accuracy() * 100.0, c.precision() * 100.0, c.recall() * 100.0)
+    (
+        c.accuracy() * 100.0,
+        c.precision() * 100.0,
+        c.recall() * 100.0,
+    )
 }
 
 #[cfg(test)]

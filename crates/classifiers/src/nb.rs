@@ -59,7 +59,10 @@ impl Trainer for GrNbTrainer {
                 .map(|i| ((presence[c][i] + self.alpha) / denom).ln())
                 .collect();
             weights.push(w);
-            bias.push(((class_docs[c] + self.alpha) / (total_docs + num_classes as f64 * self.alpha)).ln());
+            bias.push(
+                ((class_docs[c] + self.alpha) / (total_docs + num_classes as f64 * self.alpha))
+                    .ln(),
+            );
         }
         LinearModel { weights, bias }
     }
@@ -90,7 +93,10 @@ impl Trainer for GrahamTrainer {
         num_features: usize,
         num_classes: usize,
     ) -> LinearModel {
-        assert_eq!(num_classes, 2, "Graham's original scheme is spam/non-spam only");
+        assert_eq!(
+            num_classes, 2,
+            "Graham's original scheme is spam/non-spam only"
+        );
         let mut spam_docs = 0f64;
         let mut ham_docs = 0f64;
         let mut spam_presence = vec![0f64; num_features];
@@ -176,7 +182,10 @@ impl Trainer for MultinomialNbTrainer {
                 .map(|i| ((term_counts[c][i] + self.alpha) / denom).ln())
                 .collect();
             weights.push(w);
-            bias.push(((class_docs[c] + self.alpha) / (total_docs + num_classes as f64 * self.alpha)).ln());
+            bias.push(
+                ((class_docs[c] + self.alpha) / (total_docs + num_classes as f64 * self.alpha))
+                    .ln(),
+            );
         }
         LinearModel { weights, bias }
     }
@@ -214,8 +223,14 @@ mod tests {
         let model = GrNbTrainer::default().train(&spam_corpus(), 4, 2);
         assert_eq!(model.num_classes(), 2);
         assert_eq!(model.num_features(), 4);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])), 1);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(2, 1), (3, 1)])), 0);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])),
+            1
+        );
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(2, 1), (3, 1)])),
+            0
+        );
     }
 
     #[test]
@@ -238,8 +253,14 @@ mod tests {
         ];
         let model = MultinomialNbTrainer::default().train(&corpus, 6, 3);
         assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 2)])), 0);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(3, 1), (2, 1)])), 1);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(4, 1), (5, 1)])), 2);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(3, 1), (2, 1)])),
+            1
+        );
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(4, 1), (5, 1)])),
+            2
+        );
     }
 
     #[test]
@@ -252,8 +273,14 @@ mod tests {
             example(&[(1, 5)], 1),
         ];
         let model = MultinomialNbTrainer::default().train(&corpus, 2, 2);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 3), (1, 1)])), 0);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 3)])), 1);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(0, 3), (1, 1)])),
+            0
+        );
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 3)])),
+            1
+        );
     }
 
     #[test]

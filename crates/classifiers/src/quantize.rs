@@ -33,7 +33,7 @@ pub struct QuantizedModel {
 impl QuantizedModel {
     /// Quantizes a trained model to `weight_bits`-bit non-negative integers.
     pub fn from_model(model: &LinearModel, weight_bits: u32) -> Self {
-        assert!(weight_bits >= 2 && weight_bits <= 32);
+        assert!((2..=32).contains(&weight_bits));
         let cols = model.num_classes();
         let features = model.num_features();
         let rows = features + 1;
@@ -217,7 +217,7 @@ mod tests {
         let q = QuantizedModel::from_model(&toy_model(), 16);
         // L=1000 features, freq up to 255: bound = 1001 * 65535 * 255 ≈ 2^34
         let bits = q.score_bits(1000, 255);
-        assert!(bits >= 33 && bits <= 35, "got {bits}");
+        assert!((33..=35).contains(&bits), "got {bits}");
     }
 
     #[test]

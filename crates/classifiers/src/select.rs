@@ -75,7 +75,10 @@ pub fn select_top_features(
 
 /// Builds the old-index → new-index mapping for a kept-feature list.
 pub fn remap_table(kept: &[usize]) -> HashMap<usize, usize> {
-    kept.iter().enumerate().map(|(new, &old)| (old, new)).collect()
+    kept.iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect()
 }
 
 /// Applies feature selection to a whole dataset: remaps every example to the

@@ -48,7 +48,11 @@ fn train_binary_hinge(
         order.shuffle(&mut rng);
         for &idx in &order {
             let ex = &examples[idx];
-            let y = if ex.label == positive_class { 1.0 } else { -1.0 };
+            let y = if ex.label == positive_class {
+                1.0
+            } else {
+                -1.0
+            };
             let mut z = b;
             for (i, c) in ex.features.iter() {
                 if i < num_features {
@@ -89,7 +93,14 @@ impl Trainer for BinarySvmTrainer {
         num_classes: usize,
     ) -> LinearModel {
         assert_eq!(num_classes, 2, "binary SVM requires exactly two classes");
-        let (w, b) = train_binary_hinge(examples, num_features, 1, self.epochs, self.lambda, self.seed);
+        let (w, b) = train_binary_hinge(
+            examples,
+            num_features,
+            1,
+            self.epochs,
+            self.lambda,
+            self.seed,
+        );
         LinearModel {
             weights: vec![vec![0.0; num_features], w],
             bias: vec![0.0, b],
@@ -169,8 +180,14 @@ mod tests {
             corpus.push(example(&[(2, 1)], 0));
         }
         let model = BinarySvmTrainer::default().train(&corpus, 4, 2);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])), 1);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(2, 1), (3, 1)])), 0);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(0, 1), (1, 1)])),
+            1
+        );
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(2, 1), (3, 1)])),
+            0
+        );
     }
 
     #[test]
@@ -185,14 +202,15 @@ mod tests {
         assert_eq!(model.num_classes(), 3);
         assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1)])), 0);
         assert_eq!(model.predict(&SparseVector::from_pairs(vec![(3, 2)])), 1);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(4, 1), (5, 1)])), 2);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(4, 1), (5, 1)])),
+            2
+        );
     }
 
     #[test]
     fn svm_training_is_deterministic() {
-        let corpus: Vec<LabeledExample> = (0..30)
-            .map(|i| example(&[(i % 5, 1)], (i % 2) as usize))
-            .collect();
+        let corpus: Vec<LabeledExample> = (0..30).map(|i| example(&[(i % 5, 1)], i % 2)).collect();
         let a = BinarySvmTrainer::default().train(&corpus, 5, 2);
         let b = BinarySvmTrainer::default().train(&corpus, 5, 2);
         assert_eq!(a.weights, b.weights);

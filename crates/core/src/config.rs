@@ -127,13 +127,22 @@ mod tests {
 
         let test = PretzelConfig::test();
         assert!(test.rlwe_degree < paper.rlwe_degree);
-        assert_eq!(PretzelConfig::for_scale(Scale::Test).rlwe_degree, test.rlwe_degree);
-        assert_eq!(PretzelConfig::for_scale(Scale::Paper).rlwe_degree, paper.rlwe_degree);
+        assert_eq!(
+            PretzelConfig::for_scale(Scale::Test).rlwe_degree,
+            test.rlwe_degree
+        );
+        assert_eq!(
+            PretzelConfig::for_scale(Scale::Paper).rlwe_degree,
+            paper.rlwe_degree
+        );
     }
 
     #[test]
     fn max_frequency_tracks_freq_bits() {
-        let cfg = PretzelConfig { freq_bits: 8, ..PretzelConfig::test() };
+        let cfg = PretzelConfig {
+            freq_bits: 8,
+            ..PretzelConfig::test()
+        };
         assert_eq!(cfg.max_frequency(), 255);
     }
 

@@ -189,7 +189,8 @@ pub fn pretzel(costs: &MicroCosts, w: &Workload) -> CostBreakdown {
         setup_provider_cpu_us: n_sel * beta_prime * costs.xpir_enc_us,
         setup_network_bytes: n_sel * beta_prime * costs.xpir_ct_bytes,
         client_storage_bytes: n_sel * beta_prime * costs.xpir_ct_bytes,
-        email_provider_cpu_us: beta_result * costs.xpir_dec_us + yao_inputs * costs.yao_per_input_us,
+        email_provider_cpu_us: beta_result * costs.xpir_dec_us
+            + yao_inputs * costs.yao_per_input_us,
         email_client_cpu_us: l * costs.xpir_add_us
             + (l + b_prime) * costs.xpir_shift_us
             + beta_result * costs.xpir_enc_us

@@ -96,7 +96,10 @@ mod tests {
     fn senders_are_independent_channels() {
         let mut guard = ReplayGuard::new(16);
         assert!(guard.check_and_record("alice@example.com", 7));
-        assert!(guard.check_and_record("bob@example.com", 7), "same id, other sender");
+        assert!(
+            guard.check_and_record("bob@example.com", 7),
+            "same id, other sender"
+        );
         assert_eq!(guard.tracked_senders(), 2);
     }
 

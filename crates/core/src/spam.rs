@@ -125,7 +125,8 @@ impl SpamProvider {
                 let enc = rlwe_pack::encrypt_model(&pk, &matrix, packing, rng)?;
                 channel.send(&pk.to_bytes())?;
                 channel.send(&u64_bytes(enc.ciphertext_count() as u64))?;
-                let mut blob = Vec::with_capacity(enc.ciphertext_count() * params.ciphertext_bytes());
+                let mut blob =
+                    Vec::with_capacity(enc.ciphertext_count() * params.ciphertext_bytes());
                 for ct in enc.ciphertexts() {
                     blob.extend_from_slice(&ct.to_bytes());
                 }
@@ -201,8 +202,13 @@ impl SpamProvider {
         let mask = bits_mask(self.width);
         let mut garbler_bits = to_bits(blinded[1] & mask, self.width); // spam column
         garbler_bits.extend(to_bits(blinded[0] & mask, self.width)); // ham column
-        self.yao
-            .run(channel, &self.circuit, &garbler_bits, OutputMode::EvaluatorOnly, rng)?;
+        self.yao.run(
+            channel,
+            &self.circuit,
+            &garbler_bits,
+            OutputMode::EvaluatorOnly,
+            rng,
+        )?;
         Ok(())
     }
 }
@@ -346,7 +352,12 @@ impl SpamClient {
         evaluator_bits.extend(to_bits(noise[0] & mask, self.width));
         let out = self
             .yao
-            .run(channel, &self.circuit, &evaluator_bits, OutputMode::EvaluatorOnly)?
+            .run(
+                channel,
+                &self.circuit,
+                &evaluator_bits,
+                OutputMode::EvaluatorOnly,
+            )?
             .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))?;
         Ok(out[0])
     }
@@ -415,7 +426,10 @@ mod tests {
         );
         provider_res.unwrap();
         let (spam_result, ham_result, storage) = client_res.unwrap();
-        assert!(spam_result, "{variant:?}: spammy email must classify as spam");
+        assert!(
+            spam_result,
+            "{variant:?}: spammy email must classify as spam"
+        );
         assert!(!ham_result, "{variant:?}: hammy email must classify as ham");
         assert!(storage > 0);
 

@@ -18,7 +18,9 @@
 use rand::Rng;
 
 use pretzel_classifiers::{LinearModel, SparseVector};
-use pretzel_gc::{from_bits, to_bits, topic_argmax_circuit, Circuit, OutputMode, YaoEvaluator, YaoGarbler};
+use pretzel_gc::{
+    from_bits, to_bits, topic_argmax_circuit, Circuit, OutputMode, YaoEvaluator, YaoGarbler,
+};
 use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
 use pretzel_sdp::rlwe_pack::{self, Packing};
 use pretzel_transport::Channel;
@@ -126,12 +128,16 @@ impl TopicProvider {
                 let enc = rlwe_pack::encrypt_model(&pk, &matrix, packing, rng)?;
                 channel.send(&pk.to_bytes())?;
                 channel.send(&u64_bytes(enc.ciphertext_count() as u64))?;
-                let mut blob = Vec::with_capacity(enc.ciphertext_count() * params.ciphertext_bytes());
+                let mut blob =
+                    Vec::with_capacity(enc.ciphertext_count() * params.ciphertext_bytes());
                 for ct in enc.ciphertexts() {
                     blob.extend_from_slice(&ct.to_bytes());
                 }
                 channel.send(&blob)?;
-                (ProviderCrypto::Pretzel { sk }, config.rlwe_plain_bits as usize)
+                (
+                    ProviderCrypto::Pretzel { sk },
+                    config.rlwe_plain_bits as usize,
+                )
             }
             AheVariant::Baseline => {
                 let sk = pretzel_paillier::keygen(config.paillier_bits, rng);
@@ -200,9 +206,7 @@ impl TopicProvider {
                     .map_err(|e| PretzelError::Ahe(e.to_string()))?;
                 if cts.len() == self.candidates {
                     // Decomposed: one ciphertext per candidate, value in slot 0.
-                    cts.iter()
-                        .map(|ct| sk.decrypt_slots(ct)[0])
-                        .collect()
+                    cts.iter().map(|ct| sk.decrypt_slots(ct)[0]).collect()
                 } else {
                     // Full mode: accumulators carrying all B columns.
                     rlwe_pack::provider_decrypt_columns(sk, &cts, self.categories)
@@ -221,7 +225,13 @@ impl TopicProvider {
                     .chunks_exact(ct_len)
                     .map(pretzel_paillier::Ciphertext::from_bytes)
                     .collect();
-                paillier_pack::provider_decrypt(sk, self.categories, *slot_bits, *slots_per_ct, &cts)?
+                paillier_pack::provider_decrypt(
+                    sk,
+                    self.categories,
+                    *slot_bits,
+                    *slots_per_ct,
+                    &cts,
+                )?
             }
         };
         if blinded.len() < self.candidates {
@@ -238,7 +248,12 @@ impl TopicProvider {
         }
         let out = self
             .yao
-            .run(channel, &self.circuit, &evaluator_bits, OutputMode::EvaluatorOnly)?
+            .run(
+                channel,
+                &self.circuit,
+                &evaluator_bits,
+                OutputMode::EvaluatorOnly,
+            )?
             .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))?;
         Ok(from_bits(&out) as usize)
     }
@@ -289,7 +304,10 @@ impl TopicClient {
                 };
                 let model =
                     rlwe_pack::EncryptedModel::from_parts(packing, cts, rows, cols, params.slots());
-                (ClientCrypto::Pretzel { pk, model }, config.rlwe_plain_bits as usize)
+                (
+                    ClientCrypto::Pretzel { pk, model },
+                    config.rlwe_plain_bits as usize,
+                )
             }
             AheVariant::Baseline => {
                 let pk = pretzel_paillier::PublicKey::from_bytes(&channel.recv()?)
@@ -315,7 +333,10 @@ impl TopicClient {
                     cols,
                     slots_per_ct,
                 );
-                (ClientCrypto::Baseline { pk, model }, config.paillier_slot_bits as usize)
+                (
+                    ClientCrypto::Baseline { pk, model },
+                    config.paillier_slot_bits as usize,
+                )
             }
         };
 
@@ -386,8 +407,12 @@ impl TopicClient {
                 let accs = rlwe_pack::client_dot_product(pk, model, &sparse)?;
                 match self.mode {
                     CandidateMode::Decomposed(_) => {
-                        let extracted =
-                            rlwe_pack::extract_candidates(pk, &accs, self.categories, &candidate_cols)?;
+                        let extracted = rlwe_pack::extract_candidates(
+                            pk,
+                            &accs,
+                            self.categories,
+                            &candidate_cols,
+                        )?;
                         let mut noises = Vec::with_capacity(extracted.len());
                         let mut blob = Vec::new();
                         for ct in &extracted {
@@ -438,7 +463,8 @@ impl TopicClient {
         };
 
         // Garbler inputs: candidate indices, then per-candidate noises.
-        let mut garbler_bits = Vec::with_capacity(self.candidates * (self.index_width + self.width));
+        let mut garbler_bits =
+            Vec::with_capacity(self.candidates * (self.index_width + self.width));
         for &col in &candidate_cols {
             garbler_bits.extend(to_bits(col as u64, self.index_width));
         }
@@ -481,7 +507,9 @@ pub fn candidate_hit_rate(
         .iter()
         .filter(|ex| {
             let reference = reference_model.predict(&ex.features);
-            candidate_model.top_k(&ex.features, b_prime).contains(&reference)
+            candidate_model
+                .top_k(&ex.features, b_prime)
+                .contains(&reference)
         })
         .count();
     hits as f64 / test.len() as f64
@@ -548,14 +576,8 @@ mod tests {
         let (provider_res, client_res) = run_two_party(
             move |chan| -> Result<Vec<usize>> {
                 let mut rng = rand::thread_rng();
-                let mut provider = TopicProvider::setup(
-                    chan,
-                    &provider_model,
-                    &config,
-                    variant,
-                    mode,
-                    &mut rng,
-                )?;
+                let mut provider =
+                    TopicProvider::setup(chan, &provider_model, &config, variant, mode, &mut rng)?;
                 let t1 = provider.process_email(chan)?;
                 let t2 = provider.process_email(chan)?;
                 Ok(vec![t1, t2])
@@ -622,6 +644,9 @@ mod tests {
         let r3 = candidate_hit_rate(&weak, &full, &corpus, 3);
         let r6 = candidate_hit_rate(&weak, &full, &corpus, 6);
         assert!(r1 <= r3 && r3 <= r6);
-        assert!((r6 - 1.0).abs() < 1e-9, "B'=B always contains the reference topic");
+        assert!(
+            (r6 - 1.0).abs() < 1e-9,
+            "B'=B always contains the reference topic"
+        );
     }
 }

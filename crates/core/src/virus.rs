@@ -206,7 +206,7 @@ mod tests {
         let mut builder = VirusModelBuilder::new(extractor);
         for i in 0..30u8 {
             let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, 0xbe, 0xef];
-            bad.extend(std::iter::repeat(0xcc).take(20));
+            bad.extend(std::iter::repeat_n(0xcc, 20));
             bad.push(i);
             builder.add_malicious(&bad);
 
@@ -252,7 +252,7 @@ mod tests {
         let config_client = config.clone();
 
         let mut malicious = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, 0xbe, 0xef];
-        malicious.extend(std::iter::repeat(0xcc).take(20));
+        malicious.extend(std::iter::repeat_n(0xcc, 20));
         let benign = b"meeting notes from tuesday, action items listed below".to_vec();
         let malicious_client = malicious.clone();
         let benign_client = benign.clone();

@@ -135,7 +135,11 @@ pub struct Corpus {
 impl Corpus {
     /// Splits into (train, test) with `train_fraction` of each class's
     /// documents in the training part (stratified, deterministic).
-    pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> (Vec<LabeledExample>, Vec<LabeledExample>) {
+    pub fn train_test_split(
+        &self,
+        train_fraction: f64,
+        seed: u64,
+    ) -> (Vec<LabeledExample>, Vec<LabeledExample>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut by_class: Vec<Vec<&LabeledExample>> = vec![Vec::new(); self.num_classes];
         for ex in &self.examples {
@@ -181,7 +185,11 @@ impl Corpus {
         if self.examples.is_empty() {
             return 0.0;
         }
-        self.examples.iter().map(|e| e.features.len() as f64).sum::<f64>() / self.examples.len() as f64
+        self.examples
+            .iter()
+            .map(|e| e.features.len() as f64)
+            .sum::<f64>()
+            / self.examples.len() as f64
     }
 
     /// Renders a document back into text by mapping feature indices to
@@ -313,7 +321,9 @@ pub fn newsgroups_like(scale: f64) -> CorpusSpec {
 /// Topic corpus shaped like Reuters-21578 (90 topics, 12,603 stories; class
 /// sizes skewed).
 pub fn reuters_like(scale: f64) -> CorpusSpec {
-    let docs: Vec<usize> = (0..90).map(|i| 400usize.saturating_sub(i * 4).max(20)).collect();
+    let docs: Vec<usize> = (0..90)
+        .map(|i| 400usize.saturating_sub(i * 4).max(20))
+        .collect();
     CorpusSpec {
         name: "reuters-like".into(),
         num_classes: 90,
@@ -398,7 +408,8 @@ mod tests {
         // qualitative band as the paper's real corpora.
         let corpus = newsgroups_like(0.03).generate();
         let (train, test) = corpus.train_test_split(0.7, 2);
-        let model = MultinomialNbTrainer::default().train(&train, corpus.num_features, corpus.num_classes);
+        let model =
+            MultinomialNbTrainer::default().train(&train, corpus.num_features, corpus.num_classes);
         let acc = accuracy(&model, &test);
         assert!(acc > 0.7, "synthetic topics should be learnable, got {acc}");
     }
@@ -425,7 +436,7 @@ mod tests {
     fn synthetic_features_shape() {
         let v = synthetic_features(10_000, 692, 15, 9);
         assert_eq!(v.len(), 692);
-        assert!(v.iter().all(|(i, c)| i < 10_000 && c >= 1 && c <= 15));
+        assert!(v.iter().all(|(i, c)| i < 10_000 && (1..=15).contains(&c)));
     }
 
     #[test]

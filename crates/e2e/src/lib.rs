@@ -120,11 +120,16 @@ impl Identity {
         let cipher = ChaCha20::new(&keys.enc, &nonce, 1);
         let ciphertext = cipher.process(&plaintext);
 
-        let mac = hmac_sha256(&keys.mac, &mac_input(&eph_public, &nonce, &ciphertext, group));
+        let mac = hmac_sha256(
+            &keys.mac,
+            &mac_input(&eph_public, &nonce, &ciphertext, group),
+        );
         // Sign the (ciphertext, mac) pair so the recipient can attribute the
         // email to the sender before acting on it (§4.4's replay defense
         // requires signed emails).
-        let signature = self.signing.sign(group, &signing_input(&ciphertext, &mac), rng);
+        let signature = self
+            .signing
+            .sign(group, &signing_input(&ciphertext, &mac), rng);
 
         EncryptedEmail {
             sender: self.address.clone(),
@@ -157,7 +162,12 @@ impl Identity {
         let keys = derive_keys(group, &shared, &encrypted.ephemeral_public, &self.dh_public);
         let expected_mac = hmac_sha256(
             &keys.mac,
-            &mac_input(&encrypted.ephemeral_public, &encrypted.nonce, &encrypted.ciphertext, group),
+            &mac_input(
+                &encrypted.ephemeral_public,
+                &encrypted.nonce,
+                &encrypted.ciphertext,
+                group,
+            ),
         );
         if !ct_eq(&expected_mac, &encrypted.mac) {
             return Err(E2eError::MacMismatch);
@@ -173,7 +183,12 @@ struct DerivedKeys {
     mac: [u8; 32],
 }
 
-fn derive_keys(group: &DhGroup, shared: &BigUint, eph: &BigUint, recipient: &BigUint) -> DerivedKeys {
+fn derive_keys(
+    group: &DhGroup,
+    shared: &BigUint,
+    eph: &BigUint,
+    recipient: &BigUint,
+) -> DerivedKeys {
     let mut ikm = group.encode(shared);
     ikm.extend(group.encode(eph));
     ikm.extend(group.encode(recipient));
@@ -275,7 +290,10 @@ mod tests {
         let email = demo_email();
         let e1 = alice.encrypt_email(&bob.public(), &email, &mut rng);
         let e2 = alice.encrypt_email(&bob.public(), &email, &mut rng);
-        assert_ne!(e1.ciphertext, e2.ciphertext, "fresh ephemeral keys per email");
+        assert_ne!(
+            e1.ciphertext, e2.ciphertext,
+            "fresh ephemeral keys per email"
+        );
         let body_bytes = email.to_bytes();
         assert_ne!(e1.ciphertext, body_bytes);
     }
@@ -331,7 +349,10 @@ mod tests {
         assert!(ring.is_empty());
         ring.insert(alice.public());
         assert_eq!(ring.len(), 1);
-        assert_eq!(ring.get("alice@example.com").unwrap().address, "alice@example.com");
+        assert_eq!(
+            ring.get("alice@example.com").unwrap().address,
+            "alice@example.com"
+        );
         assert!(matches!(
             ring.get("nobody@example.com"),
             Err(E2eError::UnknownParty(_))

@@ -97,7 +97,12 @@ mod tests {
         let mut rng = rand::thread_rng();
         let keys = SchnorrKeyPair::generate(&group, &mut rng);
         let sig = keys.sign(&group, b"hello pretzel", &mut rng);
-        assert!(SchnorrKeyPair::verify(&group, keys.public(), b"hello pretzel", &sig));
+        assert!(SchnorrKeyPair::verify(
+            &group,
+            keys.public(),
+            b"hello pretzel",
+            &sig
+        ));
     }
 
     #[test]
@@ -106,7 +111,12 @@ mod tests {
         let mut rng = rand::thread_rng();
         let keys = SchnorrKeyPair::generate(&group, &mut rng);
         let sig = keys.sign(&group, b"message one", &mut rng);
-        assert!(!SchnorrKeyPair::verify(&group, keys.public(), b"message two", &sig));
+        assert!(!SchnorrKeyPair::verify(
+            &group,
+            keys.public(),
+            b"message two",
+            &sig
+        ));
     }
 
     #[test]
@@ -116,7 +126,12 @@ mod tests {
         let alice = SchnorrKeyPair::generate(&group, &mut rng);
         let bob = SchnorrKeyPair::generate(&group, &mut rng);
         let sig = alice.sign(&group, b"from alice", &mut rng);
-        assert!(!SchnorrKeyPair::verify(&group, bob.public(), b"from alice", &sig));
+        assert!(!SchnorrKeyPair::verify(
+            &group,
+            bob.public(),
+            b"from alice",
+            &sig
+        ));
     }
 
     #[test]
@@ -126,12 +141,22 @@ mod tests {
         let keys = SchnorrKeyPair::generate(&group, &mut rng);
         let mut sig = keys.sign(&group, b"payload", &mut rng);
         sig.response = (sig.response + BigUint::one()) % group.order().clone();
-        assert!(!SchnorrKeyPair::verify(&group, keys.public(), b"payload", &sig));
+        assert!(!SchnorrKeyPair::verify(
+            &group,
+            keys.public(),
+            b"payload",
+            &sig
+        ));
         // Out-of-range components are rejected outright.
         let bad = SchnorrSignature {
             challenge: group.order().clone(),
             response: BigUint::zero(),
         };
-        assert!(!SchnorrKeyPair::verify(&group, keys.public(), b"payload", &bad));
+        assert!(!SchnorrKeyPair::verify(
+            &group,
+            keys.public(),
+            b"payload",
+            &bad
+        ));
     }
 }

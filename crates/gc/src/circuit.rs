@@ -371,7 +371,13 @@ mod tests {
         let sum = b.add(&x, &y);
         b.output_bundle(&sum);
         let circuit = b.build();
-        for (a_val, b_val) in [(0u64, 0u64), (1, 1), (12345, 54321), (65535, 1), (40000, 40000)] {
+        for (a_val, b_val) in [
+            (0u64, 0u64),
+            (1, 1),
+            (12345, 54321),
+            (65535, 1),
+            (40000, 40000),
+        ] {
             let got = eval_u64(&circuit, &[(a_val, 16)], &[(b_val, 16)]);
             assert_eq!(got, (a_val + b_val) & 0xFFFF);
         }
@@ -385,7 +391,13 @@ mod tests {
         let diff = b.sub(&x, &y);
         b.output_bundle(&diff);
         let circuit = b.build();
-        for (a_val, b_val) in [(10u64, 3u64), (3, 10), (65535, 65535), (0, 1), (50000, 1234)] {
+        for (a_val, b_val) in [
+            (10u64, 3u64),
+            (3, 10),
+            (65535, 65535),
+            (0, 1),
+            (50000, 1234),
+        ] {
             let got = eval_u64(&circuit, &[(a_val, 16)], &[(b_val, 16)]);
             assert_eq!(got, (a_val.wrapping_sub(b_val)) & 0xFFFF);
         }
@@ -472,7 +484,10 @@ mod tests {
             e_bits.extend(to_bits((v + n) & mask, width));
         }
         let out = from_bits(&circuit.eval_plain(&g_bits, &e_bits));
-        assert_eq!(out, 1042, "argmax of {values:?} is position 1 -> index 1042");
+        assert_eq!(
+            out, 1042,
+            "argmax of {values:?} is position 1 -> index 1042"
+        );
     }
 
     #[test]

@@ -223,27 +223,33 @@ mod tests {
         let group_b = group.clone();
         let mut rng = rand::thread_rng();
         let n = 8;
-        let messages: Vec<([u8; 32], [u8; 32])> =
-            (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let messages: Vec<([u8; 32], [u8; 32])> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
         let choices: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
 
         let msgs_for_sender = messages.clone();
         let choices_for_recv = choices.clone();
         let (send_res, recv_res) = run_two_party(
-            move |chan| {
-                base_ot_send(chan, &group, &msgs_for_sender, &mut rand::thread_rng())
-            },
-            move |chan| {
-                base_ot_receive(chan, &group_b, &choices_for_recv, &mut rand::thread_rng())
-            },
+            move |chan| base_ot_send(chan, &group, &msgs_for_sender, &mut rand::thread_rng()),
+            move |chan| base_ot_receive(chan, &group_b, &choices_for_recv, &mut rand::thread_rng()),
         );
         send_res.unwrap();
         let received = recv_res.unwrap();
         for i in 0..n {
-            let expected = if choices[i] { messages[i].1 } else { messages[i].0 };
+            let expected = if choices[i] {
+                messages[i].1
+            } else {
+                messages[i].0
+            };
             assert_eq!(received[i], expected, "OT #{i}");
-            let other = if choices[i] { messages[i].0 } else { messages[i].1 };
-            assert_ne!(received[i], other, "OT #{i} must not reveal the other message");
+            let other = if choices[i] {
+                messages[i].0
+            } else {
+                messages[i].1
+            };
+            assert_ne!(
+                received[i], other,
+                "OT #{i} must not reveal the other message"
+            );
         }
     }
 

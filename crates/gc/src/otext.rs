@@ -59,7 +59,7 @@ impl OtExtSender {
     ) -> Result<Self, GcError> {
         let s: [bool; KAPPA] = std::array::from_fn(|_| rng.gen());
         let received = base_ot_receive(channel, group, &s, rng)?;
-        let seeds = received.iter().map(|seed| Prg::new(seed)).collect();
+        let seeds = received.iter().map(Prg::new).collect();
         Ok(OtExtSender { s, seeds, round: 0 })
     }
 
@@ -87,7 +87,10 @@ impl OtExtSender {
         for i in 0..KAPPA {
             let mut col = self.seeds[i].bytes(col_bytes);
             if self.s[i] {
-                for (c, u) in col.iter_mut().zip(&u_flat[i * col_bytes..(i + 1) * col_bytes]) {
+                for (c, u) in col
+                    .iter_mut()
+                    .zip(&u_flat[i * col_bytes..(i + 1) * col_bytes])
+                {
                     *c ^= u;
                 }
             }

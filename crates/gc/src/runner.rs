@@ -263,7 +263,13 @@ mod tests {
                 let mut rng = rand::thread_rng();
                 let mut garbler = YaoGarbler::setup(chan, &group, &mut rng).unwrap();
                 garbler
-                    .run(chan, &circuit, &garbler_bits, OutputMode::EvaluatorOnly, &mut rng)
+                    .run(
+                        chan,
+                        &circuit,
+                        &garbler_bits,
+                        OutputMode::EvaluatorOnly,
+                        &mut rng,
+                    )
                     .unwrap()
             },
             move |chan| {
@@ -387,7 +393,13 @@ mod tests {
             move |chan| {
                 let mut rng = rand::thread_rng();
                 let mut garbler = YaoGarbler::setup(chan, &group, &mut rng).unwrap();
-                garbler.run(chan, &circuit, &[true; 3], OutputMode::EvaluatorOnly, &mut rng)
+                garbler.run(
+                    chan,
+                    &circuit,
+                    &[true; 3],
+                    OutputMode::EvaluatorOnly,
+                    &mut rng,
+                )
             },
             move |chan| {
                 let mut rng = rand::thread_rng();

@@ -567,14 +567,14 @@ impl SecretKey {
         }
         tables.inverse(&mut c1s);
         let mut max_noise: u128 = 0;
-        for i in 0..params.n {
-            let v = add_mod(ct.c0[i], c1s[i], q);
+        for ((&c0, &c1), &exp) in ct.c0.iter().zip(&c1s).zip(&expected.coeffs) {
+            let v = add_mod(c0, c1, q);
             let signed: i128 = if v > q / 2 {
                 v as i128 - q as i128
             } else {
                 v as i128
             };
-            let noise = signed - expected.coeffs[i] as i128;
+            let noise = signed - exp as i128;
             max_noise = max_noise.max(noise.unsigned_abs());
         }
         if max_noise == 0 {
@@ -678,8 +678,8 @@ mod tests {
         let rotated = pk.rotate_left(&ct, 5);
         let dec = sk.decrypt_slots(&rotated);
         // Non-wrapped region: slot i now holds original slot i + 5.
-        for i in 0..params.n - 5 {
-            assert_eq!(dec[i], (i as u64) + 5);
+        for (i, &d) in dec.iter().take(params.n - 5).enumerate() {
+            assert_eq!(d, (i as u64) + 5);
         }
         // Rotation by zero is the identity.
         let same = pk.rotate_left(&ct, 0);

@@ -63,13 +63,13 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut s = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -116,7 +116,7 @@ pub fn find_primitive_root(n: usize, q: u64) -> u64 {
         if psi == 1 {
             continue;
         }
-        if pow_mod(psi, (order / 2) as u64, q) == q - 1 {
+        if pow_mod(psi, order / 2, q) == q - 1 {
             return psi;
         }
     }
@@ -244,9 +244,9 @@ impl NttTables {
 pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
     let n = a.len();
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        for j in 0..n {
-            let prod = mul_mod(a[i], b[j], q);
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mul_mod(ai, bj, q);
             let idx = i + j;
             if idx < n {
                 out[idx] = add_mod(out[idx], prod, q);
@@ -313,7 +313,10 @@ mod tests {
         for _ in 0..5 {
             let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
             let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
-            assert_eq!(tables.multiply(&a, &b), negacyclic_mul_schoolbook(&a, &b, q));
+            assert_eq!(
+                tables.multiply(&a, &b),
+                negacyclic_mul_schoolbook(&a, &b, q)
+            );
         }
     }
 

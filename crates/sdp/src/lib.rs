@@ -40,10 +40,16 @@ impl std::fmt::Display for SdpError {
                 write!(f, "model value {value} does not fit in {bits} bits")
             }
             SdpError::FeatureOutOfRange { index, rows } => {
-                write!(f, "feature index {index} out of range (model has {rows} rows)")
+                write!(
+                    f,
+                    "feature index {index} out of range (model has {rows} rows)"
+                )
             }
             SdpError::CandidateOutOfRange { index, cols } => {
-                write!(f, "candidate column {index} out of range (model has {cols} columns)")
+                write!(
+                    f,
+                    "candidate column {index} out of range (model has {cols} columns)"
+                )
             }
             SdpError::Ahe(msg) => write!(f, "AHE error: {msg}"),
         }
@@ -153,7 +159,7 @@ mod tests {
         let m = ModelMatrix::from_rows(3, 2, vec![1, 2, 3, 4, 5, 6]);
         // features: row 0 with freq 2, row 2 with freq 1
         let d = m.dot_sparse(&[(0, 2), (2, 1)]);
-        assert_eq!(d, vec![1 * 2 + 5, 2 * 2 + 6]);
+        assert_eq!(d, vec![2 + 5, 2 * 2 + 6]);
     }
 
     #[test]

@@ -189,10 +189,10 @@ pub fn client_dot_product<R: Rng + ?Sized>(
         if freq == 0 {
             continue;
         }
-        for g in 0..model.cts_per_row {
+        for (g, acc) in accs.iter_mut().enumerate() {
             let ct = &model.cts[row * model.cts_per_row + g];
             let scaled = pk.mul_plain_u64(ct, freq);
-            accs[g] = pk.add(&accs[g], &scaled);
+            *acc = pk.add(acc, &scaled);
         }
     }
     Ok(accs)
@@ -232,7 +232,11 @@ pub fn provider_decrypt(
     for ct in cts {
         let packed = sk.decrypt(ct).map_err(|e| SdpError::Ahe(e.to_string()))?;
         let remaining = model_cols - out.len();
-        out.extend(unpack_values(&packed, slot_bits, remaining.min(slots_per_ct)));
+        out.extend(unpack_values(
+            &packed,
+            slot_bits,
+            remaining.min(slots_per_ct),
+        ));
     }
     Ok(out)
 }
@@ -247,7 +251,9 @@ mod tests {
     }
 
     fn demo_model(rows: usize, cols: usize) -> ModelMatrix {
-        let data: Vec<u64> = (0..rows * cols).map(|i| ((i * 31 + 5) % 900) as u64).collect();
+        let data: Vec<u64> = (0..rows * cols)
+            .map(|i| ((i * 31 + 5) % 900) as u64)
+            .collect();
         ModelMatrix::from_rows(rows, cols, data)
     }
 
@@ -288,8 +294,7 @@ mod tests {
         assert_eq!(enc.ciphertext_count(), 10 * 3);
         assert_eq!(enc.result_ciphertexts(), 3);
         let result = client_dot_product(pk, &enc, &features, &mut rand::thread_rng()).unwrap();
-        let decrypted =
-            provider_decrypt(&sk, cols, params.slot_bits, slots, &result).unwrap();
+        let decrypted = provider_decrypt(&sk, cols, params.slot_bits, slots, &result).unwrap();
         assert_eq!(decrypted, model.dot_sparse(&features));
     }
 
@@ -325,10 +330,7 @@ mod tests {
         let model = demo_model(25, 7);
         let enc = encrypt_model(pk, &model, params, &mut rand::thread_rng()).unwrap();
         let slots = params.slots_per_ct(pk);
-        assert_eq!(
-            enc.ciphertext_count(),
-            model_ciphertext_count(25, 7, slots)
-        );
+        assert_eq!(enc.ciphertext_count(), model_ciphertext_count(25, 7, slots));
         assert_eq!(
             enc.size_bytes(pk),
             enc.ciphertext_count() * Ciphertext::serialized_len(pk.n_bits())

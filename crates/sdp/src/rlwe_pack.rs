@@ -236,16 +236,20 @@ pub fn client_dot_product(
     }
 }
 
-fn dot_per_row(pk: &PublicKey, model: &EncryptedModel, features: &SparseFeatures) -> Vec<Ciphertext> {
+fn dot_per_row(
+    pk: &PublicKey,
+    model: &EncryptedModel,
+    features: &SparseFeatures,
+) -> Vec<Ciphertext> {
     let groups = model.cts_per_row;
     let mut accs: Vec<Ciphertext> = (0..groups).map(|_| pk.zero_accumulator()).collect();
     for &(row, freq) in features {
         if freq == 0 {
             continue;
         }
-        for g in 0..groups {
+        for (g, acc) in accs.iter_mut().enumerate() {
             let ct = &model.cts[row * groups + g];
-            pk.mul_scalar_accumulate(&mut accs[g], ct, freq);
+            pk.mul_scalar_accumulate(acc, ct, freq);
         }
     }
     accs
@@ -283,7 +287,9 @@ pub fn blind<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (Ciphertext, Vec<u64>) {
     let params = pk.params();
-    let noise: Vec<u64> = (0..params.slots()).map(|_| rng.gen_range(0..params.t)).collect();
+    let noise: Vec<u64> = (0..params.slots())
+        .map(|_| rng.gen_range(0..params.t))
+        .collect();
     let pt = Plaintext::encode(params, &noise).expect("noise fits by construction");
     let blinded = pk.add_plain(ct, &pt);
     (blinded, noise[..count].to_vec())
@@ -349,12 +355,16 @@ mod tests {
     }
 
     fn demo_model(rows: usize, cols: usize) -> ModelMatrix {
-        let data: Vec<u64> = (0..rows * cols).map(|i| ((i * 37 + 11) % 1000) as u64).collect();
+        let data: Vec<u64> = (0..rows * cols)
+            .map(|i| ((i * 37 + 11) % 1000) as u64)
+            .collect();
         ModelMatrix::from_rows(rows, cols, data)
     }
 
     fn demo_features(rows: usize, l: usize) -> SparseFeatures {
-        (0..l).map(|i| ((i * 7) % rows, (i % 4 + 1) as u64)).collect()
+        (0..l)
+            .map(|i| ((i * 7) % rows, (i % 4 + 1) as u64))
+            .collect()
     }
 
     #[test]
@@ -378,7 +388,8 @@ mod tests {
         let (sk, pk) = setup(64, 24);
         let model = demo_model(50, 2);
         let features = demo_features(50, 20);
-        let enc = encrypt_model(&pk, &model, Packing::LegacyPerRow, &mut rand::thread_rng()).unwrap();
+        let enc =
+            encrypt_model(&pk, &model, Packing::LegacyPerRow, &mut rand::thread_rng()).unwrap();
         // Legacy: one ciphertext per row.
         assert_eq!(enc.ciphertext_count(), 50);
         let result = client_dot_product(&pk, &enc, &features).unwrap();

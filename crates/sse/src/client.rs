@@ -184,7 +184,11 @@ mod tests {
             for counter in [0u64, 1, 1000] {
                 let sealed = seal_doc_id(&key, counter, doc);
                 assert_eq!(open_doc_id(&key, counter, &sealed), doc);
-                assert_ne!(sealed, doc.to_le_bytes(), "ciphertext must differ from plaintext");
+                assert_ne!(
+                    sealed,
+                    doc.to_le_bytes(),
+                    "ciphertext must differ from plaintext"
+                );
             }
         }
     }

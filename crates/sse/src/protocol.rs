@@ -190,8 +190,7 @@ mod tests {
                 Ok::<_, SseError>((handled, provider.index().len()))
             },
             move |chan| {
-                let mut client =
-                    SseClientEndpoint::new(SseClient::from_master_key([21u8; 32]));
+                let mut client = SseClientEndpoint::new(SseClient::from_master_key([21u8; 32]));
                 for (id, body) in emails {
                     client.index_and_upload(chan, id, body)?;
                 }
@@ -251,9 +250,10 @@ mod tests {
         let (upload_bytes, _) = run_two_party(
             |chan| chan.recv().unwrap(),
             |chan| {
-                let mut client =
-                    SseClientEndpoint::new(SseClient::from_master_key([22u8; 32]));
-                client.index_and_upload(chan, 0xDEADBEEF, "confidential merger").unwrap();
+                let mut client = SseClientEndpoint::new(SseClient::from_master_key([22u8; 32]));
+                client
+                    .index_and_upload(chan, 0xDEADBEEF, "confidential merger")
+                    .unwrap();
             },
         );
         let haystack = &upload_bytes[..];

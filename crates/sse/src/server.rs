@@ -125,7 +125,9 @@ mod tests {
     fn a_wrong_key_finds_nothing() {
         let (_, index) = populated();
         let other_client = SseClient::from_master_key([12u8; 32]);
-        assert!(index.lookup(&other_client.search_token("pretzel")).is_empty());
+        assert!(index
+            .lookup(&other_client.search_token("pretzel"))
+            .is_empty());
     }
 
     #[test]

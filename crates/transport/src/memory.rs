@@ -15,8 +15,14 @@ pub fn memory_pair() -> (MemoryChannel, MemoryChannel) {
     let (tx_ab, rx_ab) = unbounded();
     let (tx_ba, rx_ba) = unbounded();
     (
-        MemoryChannel { tx: tx_ab, rx: rx_ba },
-        MemoryChannel { tx: tx_ba, rx: rx_ab },
+        MemoryChannel {
+            tx: tx_ab,
+            rx: rx_ba,
+        },
+        MemoryChannel {
+            tx: tx_ba,
+            rx: rx_ab,
+        },
     )
 }
 

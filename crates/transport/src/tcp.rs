@@ -149,7 +149,10 @@ mod tests {
         let (mut server, _client) = tcp_pair();
         server.set_max_frame(8);
         let err = server.send(&[0u8; 9]).unwrap_err();
-        assert!(matches!(err, TransportError::FrameTooLarge { size: 9, max: 8 }));
+        assert!(matches!(
+            err,
+            TransportError::FrameTooLarge { size: 9, max: 8 }
+        ));
     }
 
     #[test]

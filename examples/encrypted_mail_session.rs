@@ -65,19 +65,30 @@ fn main() {
         let (stream, _) = listener.accept().expect("accept");
         let mut chan = TcpChannel::new(stream);
         // 1. Deliver the stored (encrypted) mailbox to the client.
-        chan.send(&(provider_mail.len() as u32).to_be_bytes()).unwrap();
+        chan.send(&(provider_mail.len() as u32).to_be_bytes())
+            .unwrap();
         for message in &provider_mail {
             chan.send(&message.to_bytes()).unwrap();
         }
         // 2. Serve the private spam-filtering function module.
         let mut rng = rand::thread_rng();
-        let mut provider =
-            SpamProvider::setup(&mut chan, &model, &provider_cfg, AheVariant::Pretzel, &mut rng)
-                .expect("provider setup");
+        let mut provider = SpamProvider::setup(
+            &mut chan,
+            &model,
+            &provider_cfg,
+            AheVariant::Pretzel,
+            &mut rng,
+        )
+        .expect("provider setup");
         for _ in 0..provider_mail.len() {
-            provider.process_email(&mut chan, &mut rng).expect("provider step");
+            provider
+                .process_email(&mut chan, &mut rng)
+                .expect("provider step");
         }
-        println!("[provider] served {} emails without seeing any plaintext", provider_mail.len());
+        println!(
+            "[provider] served {} emails without seeing any plaintext",
+            provider_mail.len()
+        );
     });
 
     // ---- Client process. ----------------------------------------------------
@@ -88,10 +99,13 @@ fn main() {
         let bytes = chan.recv().unwrap();
         mailbox.push(EncryptedEmail::from_bytes(&bytes).expect("well-formed ciphertext"));
     }
-    println!("[client]   fetched {} encrypted emails over TCP", mailbox.len());
+    println!(
+        "[client]   fetched {} encrypted emails over TCP",
+        mailbox.len()
+    );
 
-    let mut client = SpamClient::setup(&mut chan, &config, AheVariant::Pretzel, &mut rng)
-        .expect("client setup");
+    let mut client =
+        SpamClient::setup(&mut chan, &config, AheVariant::Pretzel, &mut rng).expect("client setup");
     let mut index = SearchIndex::new();
     let mut vocab = pretzel_classifiers::Vocabulary::new();
     for idx in 0..corpus.num_features {
@@ -100,9 +114,13 @@ fn main() {
     let tokenizer = pretzel_classifiers::Tokenizer::new();
 
     for (i, message) in mailbox.iter().enumerate() {
-        let email = bob.decrypt_email(&alice_public, message).expect("authentic email");
+        let email = bob
+            .decrypt_email(&alice_public, message)
+            .expect("authentic email");
         let features = vocab.vectorize(&tokenizer, &email.classification_text());
-        let is_spam = client.classify(&mut chan, &features, &mut rng).expect("classify");
+        let is_spam = client
+            .classify(&mut chan, &features, &mut rng)
+            .expect("classify");
         index.add_document(&email.classification_text());
         println!(
             "[client]   email {i} from {}: {} (ground truth: {})",

@@ -14,8 +14,14 @@ use pretzel_transport::memory_pair;
 
 fn mailbox() -> Vec<(u64, &'static str)> {
     vec![
-        (1, "Flight itinerary for the Lisbon conference, boarding pass attached"),
-        (2, "Team offsite logistics: hotel block and travel reimbursement"),
+        (
+            1,
+            "Flight itinerary for the Lisbon conference, boarding pass attached",
+        ),
+        (
+            2,
+            "Team offsite logistics: hotel block and travel reimbursement",
+        ),
         (3, "Re: quarterly earnings draft, numbers need another pass"),
         (4, "Lisbon restaurant recommendations from Ana"),
         (5, "Your boarding pass for flight TP 342"),
@@ -30,7 +36,11 @@ fn main() {
     let provider = std::thread::spawn(move || {
         let mut endpoint = SseProviderEndpoint::new();
         let handled = endpoint.serve(&mut provider_chan).expect("provider serve");
-        (handled, endpoint.index().len(), endpoint.index().size_bytes())
+        (
+            handled,
+            endpoint.index().len(),
+            endpoint.index().size_bytes(),
+        )
     });
 
     // --- Device A: index the mailbox as emails are decrypted. --------------

@@ -55,7 +55,9 @@ fn main() {
     );
 
     // --- Bob decrypts. ------------------------------------------------------
-    let decrypted = bob.decrypt_email(&alice.public(), &encrypted).expect("authentic email");
+    let decrypted = bob
+        .decrypt_email(&alice.public(), &encrypted)
+        .expect("authentic email");
     println!("[bob]      decrypted email from {}", decrypted.from);
 
     // --- Private spam filtering between Bob's client and the provider. -----
@@ -88,7 +90,10 @@ fn main() {
         .classify(&mut client_chan, &features, &mut rng)
         .expect("classification");
     provider_thread.join().unwrap();
-    println!("[bob]      private spam verdict: {}", if is_spam { "SPAM" } else { "not spam" });
+    println!(
+        "[bob]      private spam verdict: {}",
+        if is_spam { "SPAM" } else { "not spam" }
+    );
 
     // --- Local keyword search. ----------------------------------------------
     let mut index = SearchIndex::new();

@@ -91,12 +91,18 @@ fn main() {
         "\nPrivate protocol agreed with the non-private provider on {agree_noprivate}/{} emails",
         inbox.len()
     );
-    println!("Ground-truth accuracy of the private verdicts: {agree_truth}/{}", inbox.len());
+    println!(
+        "Ground-truth accuracy of the private verdicts: {agree_truth}/{}",
+        inbox.len()
+    );
     println!(
         "Average per-email network overhead: {:.1} KB (Figure 6/§6.1 reports 19.6 KB at paper scale)",
         meter.total_bytes() as f64 / inbox.len() as f64 / 1024.0
     );
-    assert!(!replay.check_and_record("provider-mailbox", 0), "replays are rejected");
+    assert!(
+        !replay.check_and_record("provider-mailbox", 0),
+        "replays are rejected"
+    );
     println!("Replaying email 0 is rejected by the client's replay guard.");
 }
 

@@ -41,7 +41,10 @@ fn main() {
         train.len(),
         public_subset.len()
     );
-    println!("Extracting topics for {} emails with B' = {b_prime} candidates…\n", emails.len());
+    println!(
+        "Extracting topics for {} emails with B' = {b_prime} candidates…\n",
+        emails.len()
+    );
 
     let (mut provider_chan, client_chan) = memory_pair();
     let mut metered = MeteredChannel::new(client_chan);
@@ -61,7 +64,11 @@ fn main() {
         )
         .expect("provider setup");
         (0..n_emails)
-            .map(|_| provider.process_email(&mut provider_chan).expect("provider step"))
+            .map(|_| {
+                provider
+                    .process_email(&mut provider_chan)
+                    .expect("provider step")
+            })
             .collect::<Vec<usize>>()
     });
 

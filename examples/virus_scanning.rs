@@ -19,7 +19,7 @@ use pretzel_transport::memory_pair;
 /// identical.
 fn malicious_sample(variant: u8) -> Vec<u8> {
     let mut bytes = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x13, 0x37];
-    bytes.extend(std::iter::repeat(0xcc).take(24));
+    bytes.extend(std::iter::repeat_n(0xcc, 24));
     bytes.extend_from_slice(&[variant, variant.wrapping_mul(7), 0x00]);
     bytes
 }
@@ -73,8 +73,9 @@ fn main() {
         }
     });
 
-    let mut client = VirusScanClient::setup(&mut client_chan, &config, AheVariant::Pretzel, &mut rng)
-        .expect("client setup");
+    let mut client =
+        VirusScanClient::setup(&mut client_chan, &config, AheVariant::Pretzel, &mut rng)
+            .expect("client setup");
     println!(
         "[client]   stored the encrypted attachment model: {} bytes",
         client.model_storage_bytes()
@@ -92,7 +93,11 @@ fn main() {
             .expect("client scan");
         println!(
             "[client]   {name:<12} -> {}",
-            if malicious { "MALICIOUS (quarantined)" } else { "clean" }
+            if malicious {
+                "MALICIOUS (quarantined)"
+            } else {
+                "clean"
+            }
         );
     }
     provider.join().unwrap();

@@ -15,6 +15,8 @@ use pretzel::core::{PretzelConfig, PretzelError, ReplayGuard};
 use pretzel::primitives::sha256;
 use pretzel::transport::{memory_pair, run_two_party, Channel};
 
+mod common;
+use common::test_rng;
 fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
     LabeledExample {
         features: SparseVector::from_pairs(pairs.to_vec()),
@@ -48,7 +50,7 @@ fn spam_client_rejects_a_false_commitment_reveal() {
                 chan,
                 &PretzelConfig::test(),
                 AheVariant::Pretzel,
-                &mut rand::thread_rng(),
+                &mut test_rng(1),
             )
         },
         |chan| {
@@ -73,7 +75,7 @@ fn spam_client_rejects_a_model_with_the_wrong_column_count() {
                 chan,
                 &PretzelConfig::test(),
                 AheVariant::Pretzel,
-                &mut rand::thread_rng(),
+                &mut test_rng(2),
             )
         },
         |chan| {
@@ -93,7 +95,7 @@ fn spam_client_rejects_a_garbage_public_key() {
                 chan,
                 &PretzelConfig::test(),
                 AheVariant::Pretzel,
-                &mut rand::thread_rng(),
+                &mut test_rng(3),
             )
         },
         |chan| {
@@ -111,11 +113,9 @@ fn spam_client_rejects_a_truncated_model_blob() {
     let config = PretzelConfig::test();
     let params = config.rlwe_params();
     let (client_res, _) = run_two_party(
-        |chan| {
-            SpamClient::setup(chan, &config, AheVariant::Pretzel, &mut rand::thread_rng())
-        },
+        |chan| SpamClient::setup(chan, &config, AheVariant::Pretzel, &mut test_rng(4)),
         move |chan| {
-            let mut rng = rand::thread_rng();
+            let mut rng = test_rng(5);
             run_joint_randomness_as_initiator(chan);
             chan.send(&9u64.to_le_bytes()).unwrap();
             chan.send(&2u64.to_le_bytes()).unwrap();
@@ -124,10 +124,12 @@ fn spam_client_rejects_a_truncated_model_blob() {
             chan.send(&pk.to_bytes()).unwrap();
             // …but a model blob whose length does not match the claimed count.
             chan.send(&4u64.to_le_bytes()).unwrap();
-            chan.send(&vec![0u8; 100]).unwrap();
+            chan.send(&[0u8; 100]).unwrap();
         },
     );
-    let err = client_res.err().expect("blob size mismatch must fail the setup");
+    let err = client_res
+        .err()
+        .expect("blob size mismatch must fail the setup");
     assert!(
         matches!(err, PretzelError::Protocol(_)),
         "blob size mismatch must be a protocol error, got {err:?}"
@@ -142,7 +144,7 @@ fn spam_client_errors_when_the_provider_disappears_mid_setup() {
                 chan,
                 &PretzelConfig::test(),
                 AheVariant::Pretzel,
-                &mut rand::thread_rng(),
+                &mut test_rng(6),
             )
         },
         |chan| {
@@ -167,14 +169,14 @@ fn spam_provider_errors_on_a_garbage_per_email_message() {
 
     let (provider_res, client_res) = run_two_party(
         move |chan| {
-            let mut rng = rand::thread_rng();
+            let mut rng = test_rng(7);
             let mut provider =
                 SpamProvider::setup(chan, &model, &config, AheVariant::Pretzel, &mut rng)?;
             // The "per-email" message the client sends below is garbage.
             provider.process_email(chan, &mut rng)
         },
         move |chan| {
-            let mut rng = rand::thread_rng();
+            let mut rng = test_rng(8);
             let _client =
                 SpamClient::setup(chan, &config_client, AheVariant::Pretzel, &mut rng).unwrap();
             // Instead of a blinded ciphertext, send junk.
@@ -197,7 +199,7 @@ fn topic_client_requires_a_candidate_model_for_decomposed_mode() {
         AheVariant::Pretzel,
         CandidateMode::Decomposed(5),
         None,
-        &mut rand::thread_rng(),
+        &mut test_rng(9),
     );
     assert!(matches!(res, Err(PretzelError::Protocol(_))));
 }

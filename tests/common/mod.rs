@@ -1,0 +1,11 @@
+//! Shared helpers for the integration tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed-seed RNG (satellite of the CI bootstrap): integration tests must be
+/// reproducible run to run, so every call site gets its own deterministic
+/// stream instead of ambient `thread_rng` entropy.
+pub fn test_rng(stream: u64) -> StdRng {
+    StdRng::seed_from_u64(0x5EED_C0DE ^ (stream << 32))
+}

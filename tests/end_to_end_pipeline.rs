@@ -6,7 +6,7 @@
 //! classifier run on the same models.
 
 use pretzel::classifiers::nb::{GrNbTrainer, MultinomialNbTrainer};
-use pretzel::classifiers::{Tokenizer, Trainer, Vocabulary};
+use pretzel::classifiers::{QuantizedModel, Tokenizer, Trainer, Vocabulary};
 use pretzel::core::spam::{AheVariant, SpamClient, SpamProvider};
 use pretzel::core::topic::{CandidateMode, TopicClient, TopicProvider};
 use pretzel::core::{NoPrivProvider, PretzelConfig, ReplayGuard};
@@ -15,6 +15,8 @@ use pretzel::e2e::{DhGroup, Email, Identity};
 use pretzel::search::SearchIndex;
 use pretzel::transport::memory_pair;
 
+mod common;
+use common::test_rng;
 fn build_vocab(num_features: usize) -> Vocabulary {
     let mut vocab = Vocabulary::new();
     for idx in 0..num_features {
@@ -25,7 +27,7 @@ fn build_vocab(num_features: usize) -> Vocabulary {
 
 #[test]
 fn encrypted_mail_is_filtered_without_plaintext_disclosure() {
-    let mut rng = rand::thread_rng();
+    let mut rng = test_rng(1);
     let config = PretzelConfig::test();
 
     // Provider model.
@@ -51,10 +53,12 @@ fn encrypted_mail_is_filtered_without_plaintext_disclosure() {
         };
         let enc = alice.encrypt_email(&bob.public(), &email, &mut rng);
         // Ciphertext must not contain the plaintext body.
-        assert!(!enc
-            .ciphertext
+        assert!(!enc.ciphertext.windows(16).any(|w| email
+            .body
+            .as_bytes()
             .windows(16)
-            .any(|w| email.body.as_bytes().windows(16).take(1).any(|p| p == w)));
+            .take(1)
+            .any(|p| p == w)));
         ciphertexts.push(enc);
     }
 
@@ -64,7 +68,7 @@ fn encrypted_mail_is_filtered_without_plaintext_disclosure() {
     let provider_cfg = config.clone();
     let n = ciphertexts.len();
     let provider = std::thread::spawn(move || {
-        let mut rng = rand::thread_rng();
+        let mut rng = test_rng(2);
         let mut p = SpamProvider::setup(
             &mut provider_chan,
             &provider_model,
@@ -78,22 +82,40 @@ fn encrypted_mail_is_filtered_without_plaintext_disclosure() {
         }
     });
 
-    let mut client = SpamClient::setup(&mut client_chan, &config, AheVariant::Pretzel, &mut rng).unwrap();
+    let mut client =
+        SpamClient::setup(&mut client_chan, &config, AheVariant::Pretzel, &mut rng).unwrap();
     let mut replay = ReplayGuard::default();
     let mut index = SearchIndex::new();
+    // The protocol's contract (§4.2) is exact agreement with a plaintext
+    // evaluation of the *quantized* model it runs on; the float model may
+    // disagree on quantization-boundary emails, so it only gets a majority
+    // check (same policy as tests/protocol_equivalence.rs).
+    let quantized = QuantizedModel::from_model(&model, config.weight_bits);
+    let mut float_agreements = 0usize;
     for (i, enc) in ciphertexts.iter().enumerate() {
         assert!(replay.check_and_record(&enc.sender, i as u64));
         let email = bob.decrypt_email(&alice.public(), enc).unwrap();
         let features = vocab.vectorize(&tokenizer, &email.classification_text());
-        let private_verdict = client.classify(&mut client_chan, &features, &mut rng).unwrap();
-        let noprivate_verdict = noprivate.is_spam(&features);
+        let private_verdict = client
+            .classify(&mut client_chan, &features, &mut rng)
+            .unwrap();
+        let protocol_features = quantized.protocol_features(&features, config.freq_bits);
+        let quantized_verdict = quantized.predict(&protocol_features) == 1;
         assert_eq!(
-            private_verdict, noprivate_verdict,
-            "private and non-private classification must agree (email {i})"
+            private_verdict, quantized_verdict,
+            "private verdict must match plaintext evaluation of the quantized model (email {i})"
         );
+        if private_verdict == noprivate.is_spam(&features) {
+            float_agreements += 1;
+        }
         index.add_document(&email.classification_text());
     }
     provider.join().unwrap();
+    assert!(
+        float_agreements * 2 >= ciphertexts.len(),
+        "private verdicts should mostly agree with the float model ({float_agreements}/{})",
+        ciphertexts.len()
+    );
 
     // Replay of a processed email is rejected.
     assert!(!replay.check_and_record("alice@example.com", 0));
@@ -103,7 +125,7 @@ fn encrypted_mail_is_filtered_without_plaintext_disclosure() {
 
 #[test]
 fn topic_extraction_pipeline_reports_a_candidate_topic_to_the_provider() {
-    let mut rng = rand::thread_rng();
+    let mut rng = test_rng(3);
     let config = PretzelConfig::test();
     let corpus = newsgroups_like(0.03).generate();
     let (train, test) = corpus.train_test_split(0.8, 9);
@@ -123,7 +145,7 @@ fn topic_extraction_pipeline_reports_a_candidate_topic_to_the_provider() {
     let model_for_provider = provider_model.clone();
     let n = emails.len();
     let provider = std::thread::spawn(move || {
-        let mut rng = rand::thread_rng();
+        let mut rng = test_rng(4);
         let mut p = TopicProvider::setup(
             &mut provider_chan,
             &model_for_provider,
@@ -133,7 +155,9 @@ fn topic_extraction_pipeline_reports_a_candidate_topic_to_the_provider() {
             &mut rng,
         )
         .unwrap();
-        (0..n).map(|_| p.process_email(&mut provider_chan).unwrap()).collect::<Vec<_>>()
+        (0..n)
+            .map(|_| p.process_email(&mut provider_chan).unwrap())
+            .collect::<Vec<_>>()
     });
 
     let mut client = TopicClient::setup(
@@ -147,7 +171,11 @@ fn topic_extraction_pipeline_reports_a_candidate_topic_to_the_provider() {
     .unwrap();
     let mut candidate_sets = Vec::new();
     for ex in &emails {
-        candidate_sets.push(client.extract(&mut client_chan, &ex.features, &mut rng).unwrap());
+        candidate_sets.push(
+            client
+                .extract(&mut client_chan, &ex.features, &mut rng)
+                .unwrap(),
+        );
     }
     let topics = provider.join().unwrap();
 

@@ -12,12 +12,14 @@ use pretzel::search::SearchIndex;
 use pretzel::sse::{SseClient, SseClientEndpoint, SseProviderEndpoint};
 use pretzel::transport::memory_pair;
 
+mod common;
+use common::test_rng;
 fn attachment_model() -> (NGramExtractor, pretzel::classifiers::LinearModel) {
     let extractor = NGramExtractor::new(3, 1024);
     let mut builder = VirusModelBuilder::new(extractor);
     for i in 0..25u8 {
         let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, 0xbe, 0xef];
-        bad.extend(std::iter::repeat(0xcc).take(16));
+        bad.extend(std::iter::repeat_n(0xcc, 16));
         bad.push(i);
         builder.add_malicious(&bad);
         builder.add_benign(format!("status update number {i}: all services nominal").as_bytes());
@@ -27,7 +29,7 @@ fn attachment_model() -> (NGramExtractor, pretzel::classifiers::LinearModel) {
 
 #[test]
 fn encrypted_mail_with_attachment_is_scanned_and_searchable_privately() {
-    let mut rng = rand::thread_rng();
+    let mut rng = test_rng(1);
     let config = PretzelConfig::test();
 
     // --- e2e leg: Alice sends Bob an email whose body describes an attachment.
@@ -41,7 +43,7 @@ fn encrypted_mail_with_attachment_is_scanned_and_searchable_privately() {
         body: "please review the attached invoice before the quarterly deadline".into(),
     };
     let mut attachment = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, 0xbe, 0xef];
-    attachment.extend(std::iter::repeat(0xcc).take(16));
+    attachment.extend(std::iter::repeat_n(0xcc, 16));
 
     let encrypted = alice.encrypt_email(&bob.public(), &email, &mut rng);
     let decrypted = bob.decrypt_email(&alice.public(), &encrypted).unwrap();
@@ -52,7 +54,7 @@ fn encrypted_mail_with_attachment_is_scanned_and_searchable_privately() {
     let (mut provider_chan, mut client_chan) = memory_pair();
     let provider_cfg = config.clone();
     let scanner = std::thread::spawn(move || {
-        let mut rng = rand::thread_rng();
+        let mut rng = test_rng(2);
         let mut provider = VirusScanProvider::setup(
             &mut provider_chan,
             &model,
@@ -62,12 +64,18 @@ fn encrypted_mail_with_attachment_is_scanned_and_searchable_privately() {
             &mut rng,
         )
         .unwrap();
-        provider.process_attachment(&mut provider_chan, &mut rng).unwrap();
-        provider.process_attachment(&mut provider_chan, &mut rng).unwrap();
+        provider
+            .process_attachment(&mut provider_chan, &mut rng)
+            .unwrap();
+        provider
+            .process_attachment(&mut provider_chan, &mut rng)
+            .unwrap();
     });
     let mut scan_client =
         VirusScanClient::setup(&mut client_chan, &config, AheVariant::Pretzel, &mut rng).unwrap();
-    let malicious = scan_client.scan(&mut client_chan, &attachment, &mut rng).unwrap();
+    let malicious = scan_client
+        .scan(&mut client_chan, &attachment, &mut rng)
+        .unwrap();
     let body_clean = scan_client
         .scan(&mut client_chan, decrypted.body.as_bytes(), &mut rng)
         .unwrap();

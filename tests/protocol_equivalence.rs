@@ -17,6 +17,8 @@ use pretzel::sdp::rlwe_pack::{self, Packing};
 use pretzel::sdp::ModelMatrix;
 use pretzel::transport::memory_pair;
 
+mod common;
+use common::test_rng;
 fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
     LabeledExample {
         features: SparseVector::from_pairs(pairs.to_vec()),
@@ -42,15 +44,16 @@ fn classify_privately(variant: AheVariant, emails: &[SparseVector]) -> Vec<bool>
     let (mut provider_chan, mut client_chan) = memory_pair();
     let n = emails.len();
     let provider = std::thread::spawn(move || {
-        let mut rng = rand::thread_rng();
+        let mut rng = test_rng(1);
         let mut p =
             SpamProvider::setup(&mut provider_chan, &model, &config, variant, &mut rng).unwrap();
         for _ in 0..n {
             p.process_email(&mut provider_chan, &mut rng).unwrap();
         }
     });
-    let mut rng = rand::thread_rng();
-    let mut client = SpamClient::setup(&mut client_chan, &config_client, variant, &mut rng).unwrap();
+    let mut rng = test_rng(2);
+    let mut client =
+        SpamClient::setup(&mut client_chan, &config_client, variant, &mut rng).unwrap();
     let verdicts = emails_client
         .iter()
         .map(|f| client.classify(&mut client_chan, f, &mut rng).unwrap())

@@ -1,0 +1,39 @@
+//! Workspace wiring smoke test (satellite of the CI bootstrap): every
+//! umbrella re-export must resolve to a live crate, and the advertised
+//! version must be the workspace version.
+
+use rand::SeedableRng;
+
+#[test]
+fn umbrella_reexports_resolve() {
+    // Touch one real item per re-exported crate so a broken dependency edge
+    // or a dropped `pub use` fails this test rather than only downstream
+    // users' builds.
+    let _ = pretzel::bignum::BigUint::from(1u64);
+    let _ = pretzel::classifiers::SparseVector::from_pairs(vec![(0, 1)]);
+    let _ = pretzel::core::PretzelConfig::test();
+    let _ = pretzel::datasets::ling_spam_like(0.01);
+    let _ = pretzel::e2e::Email {
+        from: String::new(),
+        to: String::new(),
+        subject: String::new(),
+        body: String::new(),
+    };
+    let _ = pretzel::gc::spam_compare_circuit(8);
+    let _ = pretzel::paillier::keygen(64, &mut rand::rngs::StdRng::seed_from_u64(1));
+    let _ = pretzel::primitives::sha256(b"smoke");
+    let _ = pretzel::rlwe::Params::new(16, 12);
+    let _ = pretzel::sdp::ModelMatrix::from_rows(1, 1, vec![0]);
+    let _ = pretzel::search::SearchIndex::new();
+    let _ = pretzel::sse::SseClient::from_master_key([0u8; 32]);
+    let _ = pretzel::transport::memory_pair();
+}
+
+#[test]
+fn version_matches_workspace_version() {
+    // The umbrella crate inherits `version.workspace = true`; if the
+    // workspace version moves without the constant following (or vice versa)
+    // this catches it.
+    assert_eq!(pretzel::VERSION, env!("CARGO_PKG_VERSION"));
+    assert!(!pretzel::VERSION.is_empty());
+}

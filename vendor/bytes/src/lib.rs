@@ -1,0 +1,127 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the small slice-of-a-growable-buffer API that the transport
+//! layer's framing code uses: [`BytesMut`] with `with_capacity`, `put_slice`
+//! (via [`BufMut`]), `advance` (via [`Buf`]), and `split_to`. Backed by a
+//! `Vec<u8>` plus a read cursor; `advance`/`split_to` are O(1) until the next
+//! write compacts the buffer.
+
+use std::ops::Deref;
+
+/// Read-side operations.
+pub trait Buf {
+    /// Discards the first `count` readable bytes.
+    fn advance(&mut self, count: usize);
+}
+
+/// Write-side operations.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer with an amortized-O(1) read cursor.
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether no bytes are readable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `at` readable bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let split = self.data[self.start..self.start + at].to_vec();
+        self.start += at;
+        BytesMut {
+            data: split,
+            start: 0,
+        }
+    }
+
+    /// Copies the readable bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.start..].to_vec()
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance out of bounds");
+        self.start += count;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.compact();
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_advance_split_roundtrip() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf[0], 1);
+        buf.advance(2);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[0], 3);
+        let head = buf.split_to(2);
+        assert_eq!(head.to_vec(), vec![3, 4]);
+        assert_eq!(buf.to_vec(), vec![5]);
+        buf.put_slice(&[6]);
+        assert_eq!(buf.to_vec(), vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance out of bounds")]
+    fn advance_past_end_panics() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&[1]);
+        buf.advance(2);
+    }
+}

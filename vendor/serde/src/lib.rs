@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of message
+//! and model types but never serializes through them yet (no format crate in
+//! the tree), so this stub provides the two trait names and re-exports the
+//! no-op derives from `serde_derive`. When a real serializer is introduced,
+//! replace this vendored pair with the real crates.
+
+/// Marker matching `serde::Serialize`'s name; carries no methods because no
+/// serializer exists in the workspace yet.
+pub trait Serialize {}
+
+/// Marker matching `serde::Deserialize`'s name and lifetime parameter.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serializes through the traits yet (no serde_json or bincode in the tree),
+//! so the derives expand to nothing. `#[derive(Serialize, Deserialize)]`
+//! compiles unchanged and the wire-format decision is deferred until a real
+//! serializer lands.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
