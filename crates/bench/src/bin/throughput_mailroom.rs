@@ -1,0 +1,207 @@
+//! Mailroom serving throughput: aggregate emails/sec and bytes/email as the
+//! number of concurrent client sessions grows.
+//!
+//! This is the serving-layer companion to the paper's §6.1 per-email costs:
+//! instead of one client/provider pair, a `pretzel_server::Mailroom` with a
+//! worker pool serves 1, 4, 16 and 64 concurrent spam-filtering sessions
+//! over in-memory channels, and we measure wall-clock throughput from first
+//! submission to last teardown (setup included — that is what a provider
+//! actually pays per fresh session).
+//!
+//! On a multi-core host the per-session work is independent, so aggregate
+//! throughput should scale with min(sessions, workers, cores); on a
+//! single-core host the columns stay flat — the table prints the measured
+//! speedup either way.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p pretzel_bench --bin throughput_mailroom
+//! cargo run --release -p pretzel_bench --bin throughput_mailroom -- \
+//!     --scale paper --sessions 1,4,16,64 --emails 8 --workers 16
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pretzel_bench::{human_bytes, print_header, print_row, synthetic_model};
+use pretzel_classifiers::{NGramExtractor, SparseVector};
+use pretzel_core::topic::CandidateMode;
+use pretzel_core::{PretzelConfig, ProviderModelSuite, Scale};
+use pretzel_server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel_transport::memory_pair;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = args[i].strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let scale = pretzel_bench::parse_scale();
+    let sessions: Vec<usize> = arg_value("--sessions")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--sessions takes a,b,c"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 4, 16, 64]);
+    let emails_per_session: usize = arg_value("--emails")
+        .map(|v| v.parse().expect("--emails takes a number"))
+        .unwrap_or(8);
+    let workers: usize = arg_value("--workers")
+        .map(|v| v.parse().expect("--workers takes a number"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+
+    let config = PretzelConfig::for_scale(scale);
+    // Model shape drives every cost; the spam protocol is the workload
+    // (two classes, as in Figures 7-9).
+    let num_features = match scale {
+        Scale::Test => 256,
+        Scale::Paper => 4096,
+    };
+    let suite = ProviderModelSuite {
+        spam: synthetic_model(num_features, 2, 11),
+        topic: synthetic_model(64, 4, 12),
+        topic_mode: CandidateMode::Full,
+        virus: synthetic_model(256, 2, 13),
+        virus_extractor: NGramExtractor::new(3, 256),
+        config: config.clone(),
+    };
+
+    println!(
+        "Mailroom throughput — spam sessions, {} features, {} emails/session, {} workers, scale {:?}",
+        num_features, emails_per_session, workers, scale
+    );
+    println!(
+        "(host reports {} hardware threads)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let widths = [10, 8, 10, 12, 12, 12];
+    print_header(
+        &[
+            "sessions",
+            "emails",
+            "wall (s)",
+            "emails/sec",
+            "speedup",
+            "bytes/email",
+        ],
+        &widths,
+    );
+
+    let mut baseline_throughput: Option<f64> = None;
+    for &n_sessions in &sessions {
+        let (throughput, wall, bytes_per_email, total_emails) = run_fleet(
+            &suite,
+            &config,
+            n_sessions,
+            emails_per_session,
+            workers,
+            num_features,
+        );
+        let speedup = match baseline_throughput {
+            Some(base) => format!("{:.2}x", throughput / base),
+            None => {
+                baseline_throughput = Some(throughput);
+                "1.00x".to_string()
+            }
+        };
+        print_row(
+            &[
+                format!("{n_sessions}"),
+                format!("{total_emails}"),
+                format!("{wall:.2}"),
+                format!("{throughput:.1}"),
+                speedup,
+                human_bytes(bytes_per_email),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nThroughput counts wall-clock from first submission to last teardown;\n\
+         bytes/email is fleet payload traffic divided by emails served (setup\n\
+         transfers amortized across each session's emails)."
+    );
+}
+
+/// Serves `n_sessions` concurrent spam sessions and returns
+/// (emails/sec, wall seconds, bytes/email, total emails).
+fn run_fleet(
+    suite: &ProviderModelSuite,
+    config: &PretzelConfig,
+    n_sessions: usize,
+    emails_per_session: usize,
+    workers: usize,
+    num_features: usize,
+) -> (f64, f64, f64, u64) {
+    let mailroom = Mailroom::start(
+        suite.clone(),
+        MailroomConfig {
+            workers,
+            queue_capacity: n_sessions.max(1),
+            rng_seed: 42,
+        },
+    );
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..n_sessions)
+        .map(|i| {
+            let (provider_end, client_end) = memory_pair();
+            mailroom
+                .submit(provider_end)
+                .expect("queue sized for the fleet");
+            let spec = ClientSpec::spam(config.clone());
+            let emails = emails_per_session;
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+                let mut client =
+                    MailroomClient::connect(client_end, &spec, &mut rng).expect("client setup");
+                for _ in 0..emails {
+                    let email = random_email(&mut rng, num_features);
+                    client.classify_spam(&email, &mut rng).expect("classify");
+                }
+                client.finish().expect("teardown");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), n_sessions, "every session must finish");
+    let throughput = report.emails_total as f64 / wall;
+    (
+        throughput,
+        wall,
+        report.bytes_per_email(),
+        report.emails_total,
+    )
+}
+
+/// A synthetic email: ~20 distinct token indices with small counts.
+fn random_email(rng: &mut StdRng, num_features: usize) -> SparseVector {
+    let pairs: Vec<(usize, u32)> = (0..20)
+        .map(|_| (rng.gen_range(0..num_features), rng.gen_range(1..4u32)))
+        .collect();
+    SparseVector::from_pairs(pairs)
+}

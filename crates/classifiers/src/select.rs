@@ -3,7 +3,7 @@
 //! Pretzel reduces the client-side storage cost — which is proportional to
 //! the number of model features N — by selecting the N′ features most
 //! correlated with the class labels. The paper uses the chi-square criterion
-//! [111] and observes that keeping ~25% of features costs only a marginal
+//! \[111\] and observes that keeping ~25% of features costs only a marginal
 //! accuracy drop (Figure 13).
 
 use std::collections::HashMap;

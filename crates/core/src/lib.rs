@@ -24,11 +24,17 @@
 //!   footnote 3).
 //! * [`replay`] — the per-sender replay defense of §4.4.
 //! * [`config`] — parameter presets ("test" scale vs "paper" scale).
+//! * [`session`] — uniform, session-reusable entry points over the three
+//!   function modules, used by the `pretzel_server` mailroom to multiplex
+//!   many concurrent sessions.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod costmodel;
 pub mod noprivate;
 pub mod replay;
+pub mod session;
 pub mod setup;
 pub mod spam;
 pub mod topic;
@@ -37,6 +43,9 @@ pub mod virus;
 pub use config::{PretzelConfig, Scale};
 pub use noprivate::NoPrivProvider;
 pub use replay::ReplayGuard;
+pub use session::{
+    ClientSession, EmailPayload, ProtocolKind, ProviderModelSuite, ProviderSession, Verdict,
+};
 
 /// Errors surfaced by the Pretzel function modules.
 #[derive(Debug)]
@@ -52,7 +61,12 @@ pub enum PretzelError {
     /// A protocol message was malformed or out of order.
     Protocol(String),
     /// Replay detected (an email was fed to a function module twice).
-    Replay { sender: String, message_id: u64 },
+    Replay {
+        /// Sender whose duplicate-suppression window rejected the email.
+        sender: String,
+        /// The replayed message identifier.
+        message_id: u64,
+    },
 }
 
 impl std::fmt::Display for PretzelError {

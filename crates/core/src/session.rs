@@ -1,0 +1,476 @@
+//! Uniform, session-reusable entry points over the three function modules.
+//!
+//! The spam, topic and virus modules each expose a `setup` / per-email pair
+//! with module-specific types. A serving layer that multiplexes many client
+//! sessions (see the `pretzel_server` mailroom) needs one dispatchable shape
+//! instead: a [`ProtocolKind`] tag that travels in the session handshake, a
+//! [`ProviderSession`] the provider can drive round by round, and a matching
+//! [`ClientSession`] for the sending side. Both wrap the existing protocol
+//! endpoints without changing a byte of the wire format — a
+//! `ProviderSession::Spam` speaks exactly the protocol a bare
+//! [`SpamProvider`] speaks.
+//!
+//! The lifecycle both enums model is the one §3.3/§4 prescribe: one
+//! **setup** phase per (client, provider) pair — joint randomness, encrypted
+//! model transfer, base OTs — whose state is then **reused** across an
+//! arbitrary number of cheap per-email rounds.
+
+use rand::Rng;
+
+use pretzel_classifiers::{LinearModel, NGramExtractor, SparseVector};
+use pretzel_transport::Channel;
+
+use crate::config::PretzelConfig;
+use crate::spam::{AheVariant, SpamClient, SpamProvider};
+use crate::topic::{CandidateMode, TopicClient, TopicProvider};
+use crate::virus::{VirusScanClient, VirusScanProvider};
+use crate::{PretzelError, Result};
+
+/// Which function module a session runs — the first byte of a mailroom
+/// handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Private spam filtering ([`crate::spam`]); the client learns the bit.
+    Spam,
+    /// Private topic extraction ([`crate::topic`]); the provider learns the
+    /// topic index.
+    Topic,
+    /// Private virus scanning ([`crate::virus`]); the client learns the bit.
+    Virus,
+}
+
+impl ProtocolKind {
+    /// Wire encoding used in session handshakes.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            ProtocolKind::Spam => 1,
+            ProtocolKind::Topic => 2,
+            ProtocolKind::Virus => 3,
+        }
+    }
+
+    /// Decodes a handshake byte.
+    pub fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            1 => Ok(ProtocolKind::Spam),
+            2 => Ok(ProtocolKind::Topic),
+            3 => Ok(ProtocolKind::Virus),
+            other => Err(PretzelError::Protocol(format!(
+                "unknown protocol kind byte {other}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolKind::Spam => write!(f, "spam"),
+            ProtocolKind::Topic => write!(f, "topic"),
+            ProtocolKind::Virus => write!(f, "virus"),
+        }
+    }
+}
+
+/// Wire encoding of an [`AheVariant`] for session handshakes.
+pub fn variant_byte(variant: AheVariant) -> u8 {
+    match variant {
+        AheVariant::Pretzel => 1,
+        AheVariant::Baseline => 2,
+        AheVariant::PretzelNoOptimPack => 3,
+    }
+}
+
+/// Decodes an [`AheVariant`] handshake byte.
+pub fn variant_from_byte(b: u8) -> Result<AheVariant> {
+    match b {
+        1 => Ok(AheVariant::Pretzel),
+        2 => Ok(AheVariant::Baseline),
+        3 => Ok(AheVariant::PretzelNoOptimPack),
+        other => Err(PretzelError::Protocol(format!(
+            "unknown AHE variant byte {other}"
+        ))),
+    }
+}
+
+/// Everything a provider needs to serve any [`ProtocolKind`]: one trained
+/// model per function module plus the shared parameter preset.
+///
+/// The suite is immutable once built, so a serving layer can share one
+/// instance across all of its worker threads.
+#[derive(Clone, Debug)]
+pub struct ProviderModelSuite {
+    /// Two-class spam model (class 1 = spam).
+    pub spam: LinearModel,
+    /// B-class topic model.
+    pub topic: LinearModel,
+    /// Candidate pruning mode used by topic sessions (must match the
+    /// clients' configuration — it fixes the argmax circuit shape).
+    pub topic_mode: CandidateMode,
+    /// Two-class attachment model (class 1 = malicious).
+    pub virus: LinearModel,
+    /// Feature space of the virus model (public parameters, §2.1).
+    pub virus_extractor: NGramExtractor,
+    /// Protocol parameter preset shared by every session.
+    pub config: PretzelConfig,
+}
+
+/// Provider endpoint of one live session, dispatchable over [`ProtocolKind`].
+pub enum ProviderSession {
+    /// A spam-filtering session.
+    Spam(SpamProvider),
+    /// A topic-extraction session.
+    Topic(TopicProvider),
+    /// A virus-scanning session.
+    Virus(VirusScanProvider),
+}
+
+impl ProviderSession {
+    /// Runs the setup phase for `kind` against the peer on `channel`,
+    /// returning reusable per-session state.
+    pub fn setup<C: Channel, R: Rng + ?Sized>(
+        kind: ProtocolKind,
+        channel: &mut C,
+        suite: &ProviderModelSuite,
+        variant: AheVariant,
+        rng: &mut R,
+    ) -> Result<Self> {
+        match kind {
+            ProtocolKind::Spam => Ok(ProviderSession::Spam(SpamProvider::setup(
+                channel,
+                &suite.spam,
+                &suite.config,
+                variant,
+                rng,
+            )?)),
+            ProtocolKind::Topic => Ok(ProviderSession::Topic(TopicProvider::setup(
+                channel,
+                &suite.topic,
+                &suite.config,
+                variant,
+                suite.topic_mode,
+                rng,
+            )?)),
+            ProtocolKind::Virus => Ok(ProviderSession::Virus(VirusScanProvider::setup(
+                channel,
+                &suite.virus,
+                suite.virus_extractor,
+                &suite.config,
+                variant,
+                rng,
+            )?)),
+        }
+    }
+
+    /// Which function module this session runs.
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            ProviderSession::Spam(_) => ProtocolKind::Spam,
+            ProviderSession::Topic(_) => ProtocolKind::Topic,
+            ProviderSession::Virus(_) => ProtocolKind::Virus,
+        }
+    }
+
+    /// Runs one per-email round. Returns the topic index for topic sessions
+    /// (the only module whose output goes to the provider, Guarantee 3) and
+    /// `None` for spam/virus sessions (the provider learns nothing).
+    pub fn process_round<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        rng: &mut R,
+    ) -> Result<Option<usize>> {
+        match self {
+            ProviderSession::Spam(p) => {
+                p.process_email(channel, rng)?;
+                Ok(None)
+            }
+            ProviderSession::Topic(p) => Ok(Some(p.process_email(channel)?)),
+            ProviderSession::Virus(p) => {
+                p.process_attachment(channel, rng)?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// One email as submitted to a client session: token counts for spam/topic,
+/// raw bytes for virus scanning (the provider's extractor hashes them).
+#[derive(Clone, Debug)]
+pub enum EmailPayload {
+    /// Sparse token counts over the model's feature space.
+    Tokens(SparseVector),
+    /// Raw attachment bytes.
+    Attachment(Vec<u8>),
+}
+
+/// What the client learned from one per-email round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Spam session: the one-bit verdict (Guarantee 2).
+    Spam {
+        /// `true` when the email was classified as spam.
+        is_spam: bool,
+    },
+    /// Topic session: the candidate set the client submitted (the verdict
+    /// itself — the chosen index — goes to the provider, Guarantee 3).
+    Topic {
+        /// Candidate topic indices submitted for the secure argmax.
+        candidates: Vec<usize>,
+    },
+    /// Virus session: the one-bit verdict.
+    Virus {
+        /// `true` when the attachment was classified as malicious.
+        is_malicious: bool,
+    },
+}
+
+/// Client endpoint of one live session, mirroring [`ProviderSession`].
+pub enum ClientSession {
+    /// A spam-filtering session.
+    Spam(SpamClient),
+    /// A topic-extraction session.
+    Topic(TopicClient),
+    /// A virus-scanning session.
+    Virus(VirusScanClient),
+}
+
+impl ClientSession {
+    /// Runs the setup phase for `kind` against the provider on `channel`.
+    ///
+    /// `topic_mode` and `candidate_model` only matter for topic sessions;
+    /// the mode must match the provider's [`ProviderModelSuite::topic_mode`]
+    /// (it fixes the garbled-circuit shape) and a candidate model is required
+    /// when the mode is [`CandidateMode::Decomposed`].
+    pub fn setup<C: Channel, R: Rng + ?Sized>(
+        kind: ProtocolKind,
+        channel: &mut C,
+        config: &PretzelConfig,
+        variant: AheVariant,
+        topic_mode: CandidateMode,
+        candidate_model: Option<LinearModel>,
+        rng: &mut R,
+    ) -> Result<Self> {
+        match kind {
+            ProtocolKind::Spam => Ok(ClientSession::Spam(SpamClient::setup(
+                channel, config, variant, rng,
+            )?)),
+            ProtocolKind::Topic => Ok(ClientSession::Topic(TopicClient::setup(
+                channel,
+                config,
+                variant,
+                topic_mode,
+                candidate_model,
+                rng,
+            )?)),
+            ProtocolKind::Virus => Ok(ClientSession::Virus(VirusScanClient::setup(
+                channel, config, variant, rng,
+            )?)),
+        }
+    }
+
+    /// Which function module this session runs.
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            ClientSession::Spam(_) => ProtocolKind::Spam,
+            ClientSession::Topic(_) => ProtocolKind::Topic,
+            ClientSession::Virus(_) => ProtocolKind::Virus,
+        }
+    }
+
+    /// Client-side storage consumed by the encrypted model, in bytes.
+    pub fn model_storage_bytes(&self) -> usize {
+        match self {
+            ClientSession::Spam(c) => c.model_storage_bytes(),
+            ClientSession::Topic(c) => c.model_storage_bytes(),
+            ClientSession::Virus(c) => c.model_storage_bytes(),
+        }
+    }
+
+    /// Runs one per-email round with `payload`, which must match the session
+    /// kind: [`EmailPayload::Tokens`] for spam/topic, and
+    /// [`EmailPayload::Attachment`] for virus scanning.
+    pub fn process_round<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        payload: &EmailPayload,
+        rng: &mut R,
+    ) -> Result<Verdict> {
+        match (self, payload) {
+            (ClientSession::Spam(c), EmailPayload::Tokens(features)) => Ok(Verdict::Spam {
+                is_spam: c.classify(channel, features, rng)?,
+            }),
+            (ClientSession::Topic(c), EmailPayload::Tokens(features)) => Ok(Verdict::Topic {
+                candidates: c.extract(channel, features, rng)?,
+            }),
+            (ClientSession::Virus(c), EmailPayload::Attachment(bytes)) => Ok(Verdict::Virus {
+                is_malicious: c.scan(channel, bytes, rng)?,
+            }),
+            (session, _) => Err(PretzelError::Protocol(format!(
+                "payload type does not match a {} session",
+                session.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_classifiers::nb::{GrNbTrainer, MultinomialNbTrainer};
+    use pretzel_classifiers::{LabeledExample, Trainer};
+    use pretzel_transport::run_two_party;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    fn suite() -> ProviderModelSuite {
+        let mut spam_corpus = Vec::new();
+        let mut topic_corpus = Vec::new();
+        for i in 0..20usize {
+            spam_corpus.push(example(&[(i % 4, 2), ((i + 1) % 4, 1)], 1));
+            spam_corpus.push(example(&[(4 + i % 4, 2), (4 + (i + 1) % 4, 1)], 0));
+            for topic in 0..4usize {
+                let base = topic * 4;
+                topic_corpus.push(example(&[(base, 2), (base + 1 + i % 3, 1)], topic));
+            }
+        }
+        let extractor = NGramExtractor::new(3, 256);
+        let mut virus_corpus = Vec::new();
+        for i in 0..20u8 {
+            let bad = [0xde, 0xad, 0xbe, 0xef, 0xcc, 0xcc, 0xcc, i];
+            virus_corpus.push(LabeledExample {
+                features: extractor.extract(&bad),
+                label: 1,
+            });
+            let good = format!("regular attachment number {i}");
+            virus_corpus.push(LabeledExample {
+                features: extractor.extract(good.as_bytes()),
+                label: 0,
+            });
+        }
+        ProviderModelSuite {
+            spam: GrNbTrainer::default().train(&spam_corpus, 8, 2),
+            topic: MultinomialNbTrainer::default().train(&topic_corpus, 16, 4),
+            topic_mode: CandidateMode::Full,
+            virus: GrNbTrainer::default().train(&virus_corpus, extractor.buckets, 2),
+            virus_extractor: extractor,
+            config: PretzelConfig::test(),
+        }
+    }
+
+    fn roundtrip(kind: ProtocolKind, payload: EmailPayload) -> (Option<usize>, Verdict) {
+        let suite_p = suite();
+        let config = suite_p.config.clone();
+        let (provider_res, client_res) = run_two_party(
+            move |chan| -> crate::Result<Option<usize>> {
+                let mut rng = StdRng::seed_from_u64(11);
+                let mut session =
+                    ProviderSession::setup(kind, chan, &suite_p, AheVariant::Pretzel, &mut rng)?;
+                assert_eq!(session.kind(), kind);
+                session.process_round(chan, &mut rng)
+            },
+            move |chan| -> crate::Result<Verdict> {
+                let mut rng = StdRng::seed_from_u64(12);
+                let mut session = ClientSession::setup(
+                    kind,
+                    chan,
+                    &config,
+                    AheVariant::Pretzel,
+                    CandidateMode::Full,
+                    None,
+                    &mut rng,
+                )?;
+                assert_eq!(session.kind(), kind);
+                assert!(session.model_storage_bytes() > 0);
+                session.process_round(chan, &payload, &mut rng)
+            },
+        );
+        (provider_res.unwrap(), client_res.unwrap())
+    }
+
+    #[test]
+    fn spam_session_roundtrip() {
+        let spammy = EmailPayload::Tokens(SparseVector::from_pairs(vec![(0, 3), (1, 1)]));
+        let (provider_out, verdict) = roundtrip(ProtocolKind::Spam, spammy);
+        assert_eq!(provider_out, None);
+        assert_eq!(verdict, Verdict::Spam { is_spam: true });
+    }
+
+    #[test]
+    fn topic_session_roundtrip() {
+        let email = EmailPayload::Tokens(SparseVector::from_pairs(vec![(8, 3), (9, 1)]));
+        let (provider_out, verdict) = roundtrip(ProtocolKind::Topic, email);
+        assert_eq!(provider_out, Some(2), "topic 2 owns features 8..12");
+        match verdict {
+            Verdict::Topic { candidates } => assert!(candidates.contains(&2)),
+            other => panic!("expected a topic verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virus_session_roundtrip() {
+        let bad = EmailPayload::Attachment(vec![0xde, 0xad, 0xbe, 0xef, 0xcc, 0xcc, 0xcc, 0x01]);
+        let (provider_out, verdict) = roundtrip(ProtocolKind::Virus, bad);
+        assert_eq!(provider_out, None);
+        assert_eq!(verdict, Verdict::Virus { is_malicious: true });
+    }
+
+    #[test]
+    fn mismatched_payload_is_a_protocol_error() {
+        let suite_p = suite();
+        let config = suite_p.config.clone();
+        let (_, client_res) = run_two_party(
+            move |chan| {
+                let mut rng = StdRng::seed_from_u64(21);
+                let mut session = ProviderSession::setup(
+                    ProtocolKind::Spam,
+                    chan,
+                    &suite_p,
+                    AheVariant::Pretzel,
+                    &mut rng,
+                )
+                .unwrap();
+                // The mismatch is caught client-side before any message is
+                // sent, so the provider round must fail with a closed channel.
+                assert!(session.process_round(chan, &mut rng).is_err());
+            },
+            move |chan| {
+                let mut rng = StdRng::seed_from_u64(22);
+                let mut session = ClientSession::setup(
+                    ProtocolKind::Spam,
+                    chan,
+                    &config,
+                    AheVariant::Pretzel,
+                    CandidateMode::Full,
+                    None,
+                    &mut rng,
+                )
+                .unwrap();
+                session.process_round(chan, &EmailPayload::Attachment(vec![1, 2, 3]), &mut rng)
+            },
+        );
+        assert!(matches!(client_res, Err(PretzelError::Protocol(_))));
+    }
+
+    #[test]
+    fn wire_bytes_roundtrip() {
+        for kind in [ProtocolKind::Spam, ProtocolKind::Topic, ProtocolKind::Virus] {
+            assert_eq!(ProtocolKind::from_byte(kind.as_byte()).unwrap(), kind);
+        }
+        assert!(ProtocolKind::from_byte(0).is_err());
+        for variant in [
+            AheVariant::Pretzel,
+            AheVariant::Baseline,
+            AheVariant::PretzelNoOptimPack,
+        ] {
+            assert_eq!(variant_from_byte(variant_byte(variant)).unwrap(), variant);
+        }
+        assert!(variant_from_byte(0).is_err());
+    }
+}

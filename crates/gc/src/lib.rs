@@ -8,7 +8,7 @@
 //!
 //! * [`circuit`] — boolean circuits and a builder with the adders,
 //!   subtractors, comparators, muxes and argmax used by Pretzel's functions.
-//! * [`garble`] — free-XOR + point-and-permute garbling and evaluation.
+//! * [`mod@garble`] — free-XOR + point-and-permute garbling and evaluation.
 //! * [`ot`] — Chou–Orlandi-style base oblivious transfer over a safe-prime
 //!   group (setup-phase only).
 //! * [`otext`] — IKNP OT extension, which amortizes the base OTs across

@@ -7,8 +7,8 @@
 //! randomness for AHE parameters). None of the allowed external crates provide
 //! these, so they are implemented here:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256.
-//! * [`hmac`] — HMAC-SHA-256 and HKDF (RFC 5869).
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256.
+//! * [`mod@hmac`] — HMAC-SHA-256 and HKDF (RFC 5869).
 //! * [`chacha`] — ChaCha20 (RFC 8439) block function, stream cipher, and a
 //!   deterministic PRG.
 //! * [`gchash`] — the hash used to encrypt garbled-gate rows,

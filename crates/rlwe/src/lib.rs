@@ -11,7 +11,7 @@
 //!
 //! Scheme outline (BGV-style encoding with the message in the low bits):
 //!
-//! * Ring: `R_q = Z_q[x]/(x^n + 1)`, `n` a power of two, `q ≡ 1 (mod 2n)` a
+//! * Ring: `R_q = Z_q\[x\]/(x^n + 1)`, `n` a power of two, `q ≡ 1 (mod 2n)` a
 //!   prime chosen for NTT-friendliness.
 //! * Plaintext space: `R_t` with `t = 2^{plain_bits}`; each of the `n`
 //!   coefficients is one packing slot.

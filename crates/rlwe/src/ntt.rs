@@ -1,5 +1,5 @@
 //! Number-theoretic transform over Z_q for the negacyclic ring
-//! Z_q[x]/(x^n + 1), plus the modular arithmetic helpers used throughout the
+//! Z_q\[x\]/(x^n + 1), plus the modular arithmetic helpers used throughout the
 //! RLWE scheme.
 //!
 //! The forward/inverse transforms follow the standard iterative

@@ -2,7 +2,7 @@
 //!
 //! The provider's classifier model is a matrix whose columns are categories
 //! and whose rows are features (plus one bias row). The client holds a sparse
-//! feature vector extracted from an email. GLLM [55] computes the
+//! feature vector extracted from an email. GLLM \[55\] computes the
 //! vector–matrix product under additively homomorphic encryption: the
 //! provider encrypts the matrix once (setup phase), the client computes the
 //! encrypted dot products and blinds them (per email), and the provider

@@ -1,0 +1,222 @@
+//! Client-side driver for mailroom sessions.
+//!
+//! A [`MailroomClient`] is one simulated (or real) sender: it performs the
+//! session handshake, runs the client half of the one-time setup, then
+//! submits emails one round at a time, reusing the session state exactly as
+//! the provider does. Examples, the concurrency tests and the
+//! `throughput_mailroom` benchmark spin up N of these on N channels to put
+//! concurrent load on a [`crate::Mailroom`].
+
+use rand::Rng;
+
+use pretzel_classifiers::{LinearModel, SparseVector};
+use pretzel_core::session::{variant_byte, ClientSession, EmailPayload, ProtocolKind, Verdict};
+use pretzel_core::spam::AheVariant;
+use pretzel_core::topic::CandidateMode;
+use pretzel_core::{PretzelConfig, PretzelError};
+use pretzel_transport::Channel;
+
+use crate::{ServerError, ACK_ACCEPTED, ACK_BUSY, ROUND_BYE, ROUND_EMAIL};
+
+/// Everything a client needs to open one session: which protocol to run and
+/// with which parameters. Must agree with the provider's configuration (the
+/// parameter preset and, for topic sessions, the candidate mode — both fix
+/// the shapes of ciphertexts and circuits).
+#[derive(Clone, Debug)]
+pub struct ClientSpec {
+    /// Which function module to run.
+    pub kind: ProtocolKind,
+    /// Which AHE cryptosystem/packing to use.
+    pub variant: AheVariant,
+    /// Parameter preset (must match the provider's).
+    pub config: PretzelConfig,
+    /// Candidate pruning mode for topic sessions (ignored otherwise).
+    pub topic_mode: CandidateMode,
+    /// Public candidate model, required for decomposed topic sessions.
+    pub candidate_model: Option<LinearModel>,
+}
+
+impl ClientSpec {
+    /// Spec for a spam-filtering session with the Pretzel AHE variant.
+    pub fn spam(config: PretzelConfig) -> Self {
+        ClientSpec {
+            kind: ProtocolKind::Spam,
+            variant: AheVariant::Pretzel,
+            config,
+            topic_mode: CandidateMode::Full,
+            candidate_model: None,
+        }
+    }
+
+    /// Spec for a topic-extraction session.
+    pub fn topic(
+        config: PretzelConfig,
+        mode: CandidateMode,
+        candidate_model: Option<LinearModel>,
+    ) -> Self {
+        ClientSpec {
+            kind: ProtocolKind::Topic,
+            variant: AheVariant::Pretzel,
+            config,
+            topic_mode: mode,
+            candidate_model,
+        }
+    }
+
+    /// Spec for a virus-scanning session.
+    pub fn virus(config: PretzelConfig) -> Self {
+        ClientSpec {
+            kind: ProtocolKind::Virus,
+            variant: AheVariant::Pretzel,
+            config,
+            topic_mode: CandidateMode::Full,
+            candidate_model: None,
+        }
+    }
+
+    /// Same spec with a different AHE variant.
+    pub fn with_variant(mut self, variant: AheVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+}
+
+/// One live client session against a mailroom.
+pub struct MailroomClient<C: Channel> {
+    channel: C,
+    session: ClientSession,
+    emails: u64,
+}
+
+impl<C: Channel> MailroomClient<C> {
+    /// Opens a session: sends the handshake, waits for the accept/busy ack,
+    /// and on accept runs the client half of the protocol setup.
+    ///
+    /// Returns [`ServerError::Busy`] when the mailroom refused the session
+    /// (bounded-queue backpressure) — the call returns promptly rather than
+    /// waiting for capacity.
+    pub fn connect<R: Rng + ?Sized>(
+        mut channel: C,
+        spec: &ClientSpec,
+        rng: &mut R,
+    ) -> Result<Self, ServerError> {
+        // A refused session may already have been hung up on by the
+        // provider (the busy ack is buffered, the channel closed), in which
+        // case the handshake send fails — drain the ack before deciding
+        // which error to surface.
+        let send_result = channel.send(&[spec.kind.as_byte(), variant_byte(spec.variant)]);
+        let ack = match channel.recv() {
+            Ok(ack) => ack,
+            Err(recv_err) => {
+                return Err(match send_result {
+                    Err(send_err) => send_err.into(),
+                    Ok(()) => recv_err.into(),
+                })
+            }
+        };
+        match ack.as_slice() {
+            [ACK_ACCEPTED] => {}
+            [ACK_BUSY] => return Err(ServerError::Busy),
+            other => {
+                return Err(ServerError::Handshake(format!(
+                    "unexpected ack frame {other:?}"
+                )))
+            }
+        }
+        let session = ClientSession::setup(
+            spec.kind,
+            &mut channel,
+            &spec.config,
+            spec.variant,
+            spec.topic_mode,
+            spec.candidate_model.clone(),
+            rng,
+        )?;
+        Ok(MailroomClient {
+            channel,
+            session,
+            emails: 0,
+        })
+    }
+
+    /// Which function module this session runs.
+    pub fn kind(&self) -> ProtocolKind {
+        self.session.kind()
+    }
+
+    /// Client-side storage consumed by the encrypted model, in bytes.
+    pub fn model_storage_bytes(&self) -> usize {
+        self.session.model_storage_bytes()
+    }
+
+    /// Emails submitted so far on this session.
+    pub fn emails_sent(&self) -> u64 {
+        self.emails
+    }
+
+    /// Submits one email for a secure per-email round.
+    pub fn process<R: Rng + ?Sized>(
+        &mut self,
+        payload: &EmailPayload,
+        rng: &mut R,
+    ) -> Result<Verdict, ServerError> {
+        self.channel.send(&[ROUND_EMAIL])?;
+        let verdict = self
+            .session
+            .process_round(&mut self.channel, payload, rng)?;
+        self.emails += 1;
+        Ok(verdict)
+    }
+
+    /// Convenience for spam sessions: classify one email's token counts.
+    pub fn classify_spam<R: Rng + ?Sized>(
+        &mut self,
+        features: &SparseVector,
+        rng: &mut R,
+    ) -> Result<bool, ServerError> {
+        match self.process(&EmailPayload::Tokens(features.clone()), rng)? {
+            Verdict::Spam { is_spam } => Ok(is_spam),
+            other => Err(ServerError::Pretzel(PretzelError::Protocol(format!(
+                "expected a spam verdict, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Convenience for topic sessions: run one extraction round, returning
+    /// the candidate set that was submitted (the chosen index goes to the
+    /// provider, per Guarantee 3).
+    pub fn extract_topic<R: Rng + ?Sized>(
+        &mut self,
+        features: &SparseVector,
+        rng: &mut R,
+    ) -> Result<Vec<usize>, ServerError> {
+        match self.process(&EmailPayload::Tokens(features.clone()), rng)? {
+            Verdict::Topic { candidates } => Ok(candidates),
+            other => Err(ServerError::Pretzel(PretzelError::Protocol(format!(
+                "expected a topic verdict, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Convenience for virus sessions: scan one attachment.
+    pub fn scan_attachment<R: Rng + ?Sized>(
+        &mut self,
+        attachment: &[u8],
+        rng: &mut R,
+    ) -> Result<bool, ServerError> {
+        match self.process(&EmailPayload::Attachment(attachment.to_vec()), rng)? {
+            Verdict::Virus { is_malicious } => Ok(is_malicious),
+            other => Err(ServerError::Pretzel(PretzelError::Protocol(format!(
+                "expected a virus verdict, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Ends the session cleanly (provider marks it completed) and returns
+    /// the channel.
+    pub fn finish(mut self) -> Result<C, ServerError> {
+        self.channel.send(&[ROUND_BYE])?;
+        self.channel.flush()?;
+        Ok(self.channel)
+    }
+}

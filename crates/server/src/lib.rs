@@ -1,0 +1,117 @@
+//! Provider **mailroom**: a multi-session serving layer over the Pretzel
+//! protocols.
+//!
+//! The paper's provider serves millions of users, but the rest of this
+//! workspace only drives one client/provider pair at a time through
+//! [`pretzel_transport::run_two_party`]. This crate adds the missing serving
+//! layer: a [`Mailroom`] accepts many concurrent client sessions over any
+//! [`pretzel_transport::Channel`] (in-memory pairs for tests and benchmarks,
+//! framed TCP via [`pretzel_transport::TcpAcceptor`] for real sockets), runs
+//! each session through the spam / topic / virus protocols of
+//! [`pretzel_core`], and manages the whole lifecycle — handshake, one-time
+//! setup whose state is reused across per-email rounds, teardown.
+//!
+//! Architecture (see `docs/ARCHITECTURE.md` for the full layer diagram):
+//!
+//! * a **worker pool** of OS threads, each running complete sessions one at
+//!   a time — sessions are independent, so throughput scales with workers
+//!   until the machine runs out of cores;
+//! * a **bounded intake queue** between the acceptor and the workers; a full
+//!   queue *refuses* new sessions immediately ([`ACK_BUSY`]) instead of
+//!   buffering without bound — backpressure, not memory growth;
+//! * **per-session and fleet-wide accounting** via
+//!   [`pretzel_transport::Meter`], keyed by [`SessionId`];
+//! * **graceful shutdown**: [`Mailroom::shutdown`] drains queued and
+//!   in-flight sessions, then reports.
+//!
+//! The matching client driver is [`MailroomClient`], used by
+//! `examples/mailroom.rs`, the concurrency integration tests, and the
+//! `throughput_mailroom` benchmark to spin up N simulated senders.
+//!
+//! # Wire protocol
+//!
+//! All framing below rides on the message-oriented [`Channel`] contract
+//! (`u32` length-prefixed frames on TCP):
+//!
+//! ```text
+//! client → provider   [kind, variant]        2-byte session request
+//! provider → client   [ACK_ACCEPTED] | [ACK_BUSY]
+//! …protocol setup (provider initiates; §3.3 joint randomness, model, OTs)…
+//! repeat:
+//!   client → provider [ROUND_EMAIL]          then one per-email round
+//! client → provider   [ROUND_BYE]            teardown
+//! ```
+//!
+//! [`Channel`]: pretzel_transport::Channel
+
+#![warn(missing_docs)]
+
+mod client;
+mod mailroom;
+mod queue;
+
+pub use client::{ClientSpec, MailroomClient};
+pub use mailroom::{
+    serve_tcp_sessions, Mailroom, MailroomConfig, MailroomReport, SessionId, SessionState,
+    SessionStats,
+};
+pub use queue::{BoundedQueue, PushError};
+
+use pretzel_core::PretzelError;
+use pretzel_transport::TransportError;
+
+/// Ack byte: the session was accepted and queued for a worker.
+pub const ACK_ACCEPTED: u8 = 0x41;
+/// Ack byte: the mailroom is at capacity (or shutting down); retry later.
+pub const ACK_BUSY: u8 = 0x42;
+/// Control byte opening one per-email round.
+pub const ROUND_EMAIL: u8 = 1;
+/// Control byte ending a session.
+pub const ROUND_BYE: u8 = 0;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The provider refused the session (mailroom at capacity).
+    Busy,
+    /// The mailroom is shutting down and no longer accepts sessions.
+    ShuttingDown,
+    /// Intake rejected this submission because the queue was full; the
+    /// client was told [`ACK_BUSY`]. Carries the rejected session's id.
+    Backpressure(SessionId),
+    /// A malformed handshake or control frame.
+    Handshake(String),
+    /// A protocol-layer failure inside a session.
+    Pretzel(PretzelError),
+    /// A transport failure outside any protocol (handshake I/O).
+    Transport(TransportError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Busy => write!(f, "provider busy: session refused"),
+            ServerError::ShuttingDown => write!(f, "mailroom is shutting down"),
+            ServerError::Backpressure(id) => {
+                write!(f, "intake queue full: session {id} rejected")
+            }
+            ServerError::Handshake(msg) => write!(f, "handshake: {msg}"),
+            ServerError::Pretzel(e) => write!(f, "protocol: {e}"),
+            ServerError::Transport(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<PretzelError> for ServerError {
+    fn from(e: PretzelError) -> Self {
+        ServerError::Pretzel(e)
+    }
+}
+
+impl From<TransportError> for ServerError {
+    fn from(e: TransportError) -> Self {
+        ServerError::Transport(e)
+    }
+}

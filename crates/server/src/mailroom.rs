@@ -1,0 +1,643 @@
+//! The provider mailroom: a worker pool serving many concurrent sessions.
+//!
+//! Lifecycle of one session, as seen from the provider:
+//!
+//! 1. **Intake** — [`Mailroom::submit`] receives a connected [`Channel`]
+//!    (from a [`pretzel_transport::TcpAcceptor`], a
+//!    [`pretzel_transport::memory_pair`], or anything else). The channel is
+//!    wrapped in two [`MeteredChannel`] layers — a per-session meter and the
+//!    fleet-wide meter — registered under a fresh [`SessionId`], and offered
+//!    to the bounded work queue. A full queue refuses the session on the
+//!    spot: the client receives [`crate::ACK_BUSY`] and the submit call
+//!    returns [`ServerError::Backpressure`]. Otherwise the client receives
+//!    [`crate::ACK_ACCEPTED`] inside the same queue-slot reservation, so the
+//!    ack can never race the capacity check.
+//! 2. **Handshake** — a worker pops the session and reads the two-byte
+//!    request: a [`ProtocolKind`] and an [`AheVariant`].
+//! 3. **Setup reuse** — the worker runs the protocol's setup phase once
+//!    (joint randomness, encrypted model transfer, base OTs) and keeps the
+//!    resulting [`ProviderSession`] for the whole session.
+//! 4. **Per-email rounds** — the client drives rounds with one-byte control
+//!    frames: [`crate::ROUND_EMAIL`] starts one secure classification over
+//!    the established session state; [`crate::ROUND_BYE`] ends the session.
+//! 5. **Teardown** — on `BYE` the session completes; on any error (including
+//!    the client vanishing mid-protocol) it is marked failed, the worker
+//!    drops the channel and simply moves on to the next queued session — one
+//!    misbehaving client never takes the mailroom down.
+//!
+//! [`Mailroom::shutdown`] closes the intake, lets queued and in-flight
+//! sessions finish, joins every worker, and returns a [`MailroomReport`]
+//! with per-session and fleet-wide accounting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pretzel_core::session::{variant_from_byte, ProtocolKind, ProviderModelSuite, ProviderSession};
+use pretzel_core::spam::AheVariant;
+use pretzel_transport::{Channel, Meter, MeteredChannel, TcpAcceptor};
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::{ServerError, ACK_ACCEPTED, ACK_BUSY, ROUND_BYE, ROUND_EMAIL};
+
+/// Identifier of one client session, unique within a mailroom's lifetime.
+pub type SessionId = u64;
+
+/// Tuning knobs for a [`Mailroom`].
+#[derive(Clone, Debug)]
+pub struct MailroomConfig {
+    /// Number of worker threads serving sessions concurrently.
+    pub workers: usize,
+    /// Capacity of the bounded intake queue. Together with `workers` this
+    /// caps provider-side memory: at most `workers` active plus
+    /// `queue_capacity` waiting sessions exist at any moment.
+    pub queue_capacity: usize,
+    /// Base seed for the per-session provider RNG streams (each session
+    /// derives its own stream from this and its [`SessionId`], so runs are
+    /// reproducible given a fixed seed and submission order).
+    pub rng_seed: u64,
+}
+
+impl Default for MailroomConfig {
+    fn default() -> Self {
+        MailroomConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 64,
+            rng_seed: 0x4d41_494c_524f_4f4d, // "MAILROOM"
+        }
+    }
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// A worker is running the protocol.
+    Active,
+    /// The client said goodbye after zero or more rounds.
+    Completed,
+    /// The session aborted; the payload is a human-readable reason
+    /// (handshake garbage, protocol error, client disconnect, …).
+    Failed(String),
+    /// Refused at intake because the queue was full.
+    Rejected,
+}
+
+/// Snapshot of one session's accounting.
+#[derive(Clone, Debug)]
+pub struct SessionStats {
+    /// The session's identifier.
+    pub id: SessionId,
+    /// Which function module the session ran (`None` until the handshake has
+    /// been read, or if it never parsed).
+    pub kind: Option<ProtocolKind>,
+    /// Lifecycle state at snapshot time.
+    pub state: SessionState,
+    /// Per-email rounds completed so far.
+    pub emails: u64,
+    /// Topic indices output to the provider (topic sessions only; spam and
+    /// virus sessions reveal nothing to the provider).
+    pub topics: Vec<usize>,
+    /// Payload bytes sent provider→client on this session's channel.
+    pub bytes_sent: u64,
+    /// Payload bytes received client→provider.
+    pub bytes_received: u64,
+    /// Messages exchanged in both directions.
+    pub messages: u64,
+}
+
+struct SessionRecord {
+    kind: Option<ProtocolKind>,
+    state: SessionState,
+    emails: u64,
+    topics: Vec<usize>,
+    meter: Meter,
+}
+
+impl SessionRecord {
+    fn stats(&self, id: SessionId) -> SessionStats {
+        SessionStats {
+            id,
+            kind: self.kind,
+            state: self.state.clone(),
+            emails: self.emails,
+            topics: self.topics.clone(),
+            bytes_sent: self.meter.bytes_sent(),
+            bytes_received: self.meter.bytes_received(),
+            messages: self.meter.messages_sent() + self.meter.messages_received(),
+        }
+    }
+}
+
+/// The channel type sessions travel the queue as: the submitted transport,
+/// boxed, wrapped in the per-session then the fleet meter.
+type SessionChannel = MeteredChannel<MeteredChannel<Box<dyn Channel>>>;
+
+struct QueuedSession {
+    id: SessionId,
+    channel: SessionChannel,
+}
+
+struct Shared {
+    suite: ProviderModelSuite,
+    queue: BoundedQueue<QueuedSession>,
+    registry: Mutex<HashMap<SessionId, SessionRecord>>,
+    fleet: Meter,
+    next_id: AtomicU64,
+    emails_total: AtomicU64,
+    accepting: AtomicBool,
+    rng_seed: u64,
+}
+
+impl Shared {
+    fn with_record<R>(&self, id: SessionId, f: impl FnOnce(&mut SessionRecord) -> R) -> Option<R> {
+        self.registry.lock().get_mut(&id).map(f)
+    }
+}
+
+/// Final accounting returned by [`Mailroom::shutdown`].
+#[derive(Clone, Debug)]
+pub struct MailroomReport {
+    /// Every session ever submitted, in submission order.
+    pub sessions: Vec<SessionStats>,
+    /// Total per-email rounds served across all sessions.
+    pub emails_total: u64,
+    /// Fleet-wide payload bytes sent provider→client.
+    pub fleet_bytes_sent: u64,
+    /// Fleet-wide payload bytes received client→provider.
+    pub fleet_bytes_received: u64,
+    /// Fleet-wide messages in both directions.
+    pub fleet_messages: u64,
+}
+
+impl MailroomReport {
+    /// Sessions that reached [`SessionState::Completed`].
+    pub fn completed(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| s.state == SessionState::Completed)
+            .count()
+    }
+
+    /// Average payload bytes per served email across the fleet (0 when no
+    /// email was served).
+    pub fn bytes_per_email(&self) -> f64 {
+        if self.emails_total == 0 {
+            return 0.0;
+        }
+        (self.fleet_bytes_sent + self.fleet_bytes_received) as f64 / self.emails_total as f64
+    }
+}
+
+/// A multi-session provider serving spam, topic and virus sessions over any
+/// [`Channel`] through a worker pool with bounded intake.
+pub struct Mailroom {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Mailroom {
+    /// Starts the worker pool. `suite` holds the trained models every
+    /// session is served from; it is shared read-only across workers.
+    pub fn start(suite: ProviderModelSuite, config: MailroomConfig) -> Self {
+        assert!(config.workers >= 1, "a mailroom needs at least one worker");
+        let shared = Arc::new(Shared {
+            suite,
+            queue: BoundedQueue::new(config.queue_capacity),
+            registry: Mutex::new(HashMap::new()),
+            fleet: Meter::new(),
+            next_id: AtomicU64::new(0),
+            emails_total: AtomicU64::new(0),
+            accepting: AtomicBool::new(true),
+            rng_seed: config.rng_seed,
+        });
+        let workers = (0..config.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mailroom-worker-{idx}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn mailroom worker")
+            })
+            .collect();
+        Mailroom { shared, workers }
+    }
+
+    /// Submits a connected client channel as a new session.
+    ///
+    /// Never blocks. On success the client has already received
+    /// [`ACK_ACCEPTED`] and a worker will pick the session up; the returned
+    /// id can be used with [`Mailroom::session_stats`]. When the intake
+    /// queue is full the client receives [`ACK_BUSY`] (best effort), the
+    /// session is recorded as [`SessionState::Rejected`], and
+    /// [`ServerError::Backpressure`] is returned.
+    pub fn submit<C: Channel + 'static>(&self, channel: C) -> Result<SessionId, ServerError> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let session_meter = Meter::new();
+        let boxed: Box<dyn Channel> = Box::new(channel);
+        let mut channel = MeteredChannel::with_meter(
+            MeteredChannel::with_meter(boxed, self.shared.fleet.clone()),
+            session_meter.clone(),
+        );
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            let _ = channel.send(&[ACK_BUSY]);
+            return Err(ServerError::ShuttingDown);
+        }
+        self.shared.registry.lock().insert(
+            id,
+            SessionRecord {
+                kind: None,
+                state: SessionState::Queued,
+                emails: 0,
+                topics: Vec::new(),
+                meter: session_meter,
+            },
+        );
+        let queued = QueuedSession { id, channel };
+        match self.shared.queue.try_push_with(queued, |session| {
+            // Runs inside the reserved slot: the ack cannot lie about
+            // capacity. A send failure just means the client is already
+            // gone; the worker will notice on handshake.
+            let _ = session.channel.send(&[ACK_ACCEPTED]);
+        }) {
+            Ok(()) => Ok(id),
+            Err(PushError::Full(mut session)) => {
+                let _ = session.channel.send(&[ACK_BUSY]);
+                self.shared
+                    .with_record(id, |r| r.state = SessionState::Rejected);
+                Err(ServerError::Backpressure(id))
+            }
+            // Closed means shutdown won the race since the `accepting` check
+            // above — report that, not a retryable backpressure condition.
+            Err(PushError::Closed(mut session)) => {
+                let _ = session.channel.send(&[ACK_BUSY]);
+                self.shared
+                    .with_record(id, |r| r.state = SessionState::Rejected);
+                Err(ServerError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Snapshot of one session's stats.
+    pub fn session_stats(&self, id: SessionId) -> Option<SessionStats> {
+        self.shared.with_record(id, |r| r.stats(id))
+    }
+
+    /// Snapshot of every session, in submission order.
+    pub fn stats(&self) -> Vec<SessionStats> {
+        let registry = self.shared.registry.lock();
+        let mut stats: Vec<SessionStats> = registry.iter().map(|(&id, r)| r.stats(id)).collect();
+        stats.sort_by_key(|s| s.id);
+        stats
+    }
+
+    /// Total per-email rounds served so far, fleet-wide.
+    pub fn emails_processed(&self) -> u64 {
+        self.shared.emails_total.load(Ordering::Relaxed)
+    }
+
+    /// Handle to the fleet-wide meter (shared counters over every session's
+    /// traffic; see [`Meter`] for the counting semantics).
+    pub fn fleet_meter(&self) -> Meter {
+        self.shared.fleet.clone()
+    }
+
+    /// Sessions currently waiting in the intake queue.
+    pub fn queued_sessions(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Graceful shutdown: refuses new submissions, serves every queued and
+    /// in-flight session to completion, joins the workers, and returns the
+    /// final accounting.
+    pub fn shutdown(mut self) -> MailroomReport {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        MailroomReport {
+            sessions: self.stats(),
+            emails_total: self.shared.emails_total.load(Ordering::Relaxed),
+            fleet_bytes_sent: self.shared.fleet.bytes_sent(),
+            fleet_bytes_received: self.shared.fleet.bytes_received(),
+            fleet_messages: self.shared.fleet.messages_sent()
+                + self.shared.fleet.messages_received(),
+        }
+    }
+}
+
+impl Drop for Mailroom {
+    /// Closes the intake so workers can drain and exit. Does **not** join
+    /// them (a blocking drop could deadlock a test driving a client on the
+    /// same thread); use [`Mailroom::shutdown`] for an orderly join.
+    fn drop(&mut self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(mut session) = shared.queue.pop() {
+        let id = session.id;
+        shared.with_record(id, |r| r.state = SessionState::Active);
+        match run_session(shared, id, &mut session.channel) {
+            Ok(()) => {
+                shared.with_record(id, |r| r.state = SessionState::Completed);
+            }
+            Err(e) => {
+                shared.with_record(id, |r| r.state = SessionState::Failed(e.to_string()));
+            }
+        }
+        // The channel drops here; a client stuck mid-round observes Closed.
+    }
+}
+
+fn run_session(
+    shared: &Shared,
+    id: SessionId,
+    channel: &mut SessionChannel,
+) -> Result<(), ServerError> {
+    let handshake = channel.recv()?;
+    let &[kind_byte, variant_b] = handshake.as_slice() else {
+        return Err(ServerError::Handshake(format!(
+            "expected a 2-byte handshake, got {} bytes",
+            handshake.len()
+        )));
+    };
+    let kind = ProtocolKind::from_byte(kind_byte)?;
+    let variant: AheVariant = variant_from_byte(variant_b)?;
+    shared.with_record(id, |r| r.kind = Some(kind));
+
+    // One independent, reproducible randomness stream per session.
+    let mut rng = StdRng::seed_from_u64(shared.rng_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut session = ProviderSession::setup(kind, channel, &shared.suite, variant, &mut rng)?;
+
+    loop {
+        let control = channel.recv()?;
+        match control.as_slice() {
+            [ROUND_BYE] => return Ok(()),
+            [ROUND_EMAIL] => {
+                let topic = session.process_round(channel, &mut rng)?;
+                shared.emails_total.fetch_add(1, Ordering::Relaxed);
+                shared.with_record(id, |r| {
+                    r.emails += 1;
+                    if let Some(t) = topic {
+                        r.topics.push(t);
+                    }
+                });
+            }
+            other => {
+                return Err(ServerError::Handshake(format!(
+                    "unknown round control frame {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// Accepts up to `max_sessions` TCP connections and submits each to the
+/// mailroom. Returns the number of sessions actually accepted (backpressure
+/// rejections are refused on the wire but still consume an accept slot).
+///
+/// This is the glue for a socket-serving provider:
+///
+/// ```no_run
+/// # use pretzel_server::{serve_tcp_sessions, Mailroom, MailroomConfig};
+/// # use pretzel_transport::TcpAcceptor;
+/// # fn demo(suite: pretzel_core::ProviderModelSuite) {
+/// let mailroom = Mailroom::start(suite, MailroomConfig::default());
+/// let acceptor = TcpAcceptor::bind("127.0.0.1:7878").unwrap();
+/// let accepted = serve_tcp_sessions(&mailroom, &acceptor, 1000);
+/// println!("served {accepted} sessions");
+/// # }
+/// ```
+pub fn serve_tcp_sessions(
+    mailroom: &Mailroom,
+    acceptor: &TcpAcceptor,
+    max_sessions: usize,
+) -> usize {
+    let mut accepted = 0;
+    for _ in 0..max_sessions {
+        match acceptor.accept() {
+            Ok((channel, _peer)) => {
+                if mailroom.submit(channel).is_ok() {
+                    accepted += 1;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientSpec, MailroomClient};
+    use pretzel_classifiers::nb::{GrNbTrainer, MultinomialNbTrainer};
+    use pretzel_classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+    use pretzel_core::topic::CandidateMode;
+    use pretzel_core::PretzelConfig;
+    use pretzel_transport::{memory_pair, TcpChannel};
+
+    fn example(pairs: &[(usize, u32)], label: usize) -> LabeledExample {
+        LabeledExample {
+            features: SparseVector::from_pairs(pairs.to_vec()),
+            label,
+        }
+    }
+
+    pub(crate) fn test_suite() -> ProviderModelSuite {
+        let mut spam_corpus = Vec::new();
+        let mut topic_corpus = Vec::new();
+        for i in 0..20usize {
+            spam_corpus.push(example(&[(i % 4, 2), ((i + 1) % 4, 1)], 1));
+            spam_corpus.push(example(&[(4 + i % 4, 2), (4 + (i + 1) % 4, 1)], 0));
+            for topic in 0..4usize {
+                let base = topic * 4;
+                topic_corpus.push(example(&[(base, 2), (base + 1 + i % 3, 1)], topic));
+            }
+        }
+        let extractor = NGramExtractor::new(3, 256);
+        let mut virus_corpus = Vec::new();
+        for i in 0..20u8 {
+            let bad = [0xde, 0xad, 0xbe, 0xef, 0xcc, 0xcc, 0xcc, i];
+            virus_corpus.push(LabeledExample {
+                features: extractor.extract(&bad),
+                label: 1,
+            });
+            let good = format!("regular attachment number {i}");
+            virus_corpus.push(LabeledExample {
+                features: extractor.extract(good.as_bytes()),
+                label: 0,
+            });
+        }
+        ProviderModelSuite {
+            spam: GrNbTrainer::default().train(&spam_corpus, 8, 2),
+            topic: MultinomialNbTrainer::default().train(&topic_corpus, 16, 4),
+            topic_mode: CandidateMode::Full,
+            virus: GrNbTrainer::default().train(&virus_corpus, extractor.buckets, 2),
+            virus_extractor: extractor,
+            config: PretzelConfig::test(),
+        }
+    }
+
+    fn small_config(workers: usize, queue: usize) -> MailroomConfig {
+        MailroomConfig {
+            workers,
+            queue_capacity: queue,
+            rng_seed: 7,
+        }
+    }
+
+    #[test]
+    fn serves_a_spam_session_over_memory_channels() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+        let (provider_end, client_end) = memory_pair();
+        let id = mailroom.submit(provider_end).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = ClientSpec::spam(PretzelConfig::test());
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        assert!(client.model_storage_bytes() > 0);
+        let spammy = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
+        let hammy = SparseVector::from_pairs(vec![(4, 2), (5, 2)]);
+        assert!(client.classify_spam(&spammy, &mut rng).unwrap());
+        assert!(!client.classify_spam(&hammy, &mut rng).unwrap());
+        assert_eq!(client.emails_sent(), 2);
+        client.finish().unwrap();
+
+        let report = mailroom.shutdown();
+        assert_eq!(report.emails_total, 2);
+        assert_eq!(report.completed(), 1);
+        let stats = &report.sessions[0];
+        assert_eq!(stats.id, id);
+        assert_eq!(stats.kind, Some(ProtocolKind::Spam));
+        assert_eq!(stats.state, SessionState::Completed);
+        assert_eq!(stats.emails, 2);
+        assert!(stats.bytes_sent > 0, "provider ships the encrypted model");
+        assert!(stats.bytes_received > 0);
+        assert!(report.bytes_per_email() > 0.0);
+        assert_eq!(
+            report.fleet_bytes_sent, stats.bytes_sent,
+            "one session: fleet meter equals the session meter"
+        );
+    }
+
+    #[test]
+    fn topic_session_outputs_land_in_provider_stats() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+        let (provider_end, client_end) = memory_pair();
+        let id = mailroom.submit(provider_end).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = ClientSpec::topic(PretzelConfig::test(), CandidateMode::Full, None);
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        // Topic 2 owns features 8..12 in the test suite's corpus.
+        let email = SparseVector::from_pairs(vec![(8, 3), (9, 1)]);
+        let candidates = client.extract_topic(&email, &mut rng).unwrap();
+        assert!(candidates.contains(&2));
+        client.finish().unwrap();
+
+        let report = mailroom.shutdown();
+        let stats = report.sessions.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(stats.kind, Some(ProtocolKind::Topic));
+        assert_eq!(stats.topics, vec![2], "the provider learned the topic");
+    }
+
+    #[test]
+    fn serves_sessions_over_tcp() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mailroom = Mailroom::start(test_suite(), small_config(2, 8));
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+
+        let client_thread = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(3);
+            let spec = ClientSpec::virus(PretzelConfig::test());
+            let chan = TcpChannel::connect(addr).unwrap();
+            let mut client = MailroomClient::connect(chan, &spec, &mut rng).unwrap();
+            let bad = vec![0xde, 0xad, 0xbe, 0xef, 0xcc, 0xcc, 0xcc, 0x01];
+            let verdict = client.scan_attachment(&bad, &mut rng).unwrap();
+            client.finish().unwrap();
+            verdict
+        });
+
+        let accepted = serve_tcp_sessions(&mailroom, &acceptor, 1);
+        assert_eq!(accepted, 1);
+        assert!(
+            client_thread.join().unwrap(),
+            "malicious attachment flagged"
+        );
+
+        let report = mailroom.shutdown();
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.sessions[0].kind, Some(ProtocolKind::Virus));
+    }
+
+    #[test]
+    fn garbage_handshake_fails_the_session_not_the_mailroom() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+
+        // Session 1: nonsense handshake byte.
+        let (provider_end, mut client_end) = memory_pair();
+        let bad_id = mailroom.submit(provider_end).unwrap();
+        client_end.send(&[0xFF, 0xFF]).unwrap();
+        assert_eq!(client_end.recv().unwrap(), vec![ACK_ACCEPTED]);
+
+        // Session 2 on the same mailroom still works end to end.
+        let (provider_end, client_end) = memory_pair();
+        let ok_id = mailroom.submit(provider_end).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = ClientSpec::spam(PretzelConfig::test());
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let spammy = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
+        assert!(client.classify_spam(&spammy, &mut rng).unwrap());
+        client.finish().unwrap();
+
+        let report = mailroom.shutdown();
+        let bad = report.sessions.iter().find(|s| s.id == bad_id).unwrap();
+        assert!(matches!(bad.state, SessionState::Failed(_)));
+        let ok = report.sessions.iter().find(|s| s.id == ok_id).unwrap();
+        assert_eq!(ok.state, SessionState::Completed);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_submissions() {
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+        let shared = Arc::clone(&mailroom.shared);
+        let report = mailroom.shutdown();
+        assert_eq!(report.sessions.len(), 0);
+        // The queue is closed; a late submit must be refused cleanly.
+        let mailroom = Mailroom {
+            shared,
+            workers: Vec::new(),
+        };
+        let (provider_end, mut client_end) = memory_pair();
+        assert!(matches!(
+            mailroom.submit(provider_end),
+            Err(ServerError::ShuttingDown)
+        ));
+        assert_eq!(client_end.recv().unwrap(), vec![ACK_BUSY]);
+    }
+}

@@ -38,9 +38,9 @@
 //!   updates possible (client state is a few bytes per distinct keyword,
 //!   far smaller than the full Figure 15 client-side index).
 //! * [`EncryptedIndex`] — the provider-side store.
-//! * [`protocol`] — the two-message client/provider exchange over the same
-//!   [`pretzel_transport::Channel`] abstraction the other function modules
-//!   use.
+//! * [`SseClientEndpoint`] / [`SseProviderEndpoint`] — the two-message
+//!   client/provider exchange over the same [`pretzel_transport::Channel`]
+//!   abstraction the other function modules use.
 
 mod client;
 mod protocol;

@@ -12,15 +12,22 @@
 //!   as separate processes/threads talking over a socket.
 //! * [`MeteredChannel`] — a decorator that counts bytes in each direction;
 //!   this is how the "network transfers" columns of Figures 6, 11 and the
-//!   §6.1/§6.3 numbers are produced.
+//!   §6.1/§6.3 numbers are produced (see the [`meter`] module docs for the
+//!   exact counting semantics).
+//!
+//! For serving many connections, [`TcpAcceptor`] wraps a listening socket
+//! and yields one framed [`TcpChannel`] per inbound connection; the
+//! `pretzel_server` mailroom builds its multi-session dispatch loop on it.
+
+#![warn(missing_docs)]
 
 mod memory;
-mod meter;
+pub mod meter;
 mod tcp;
 
 pub use memory::{memory_pair, MemoryChannel};
 pub use meter::{Meter, MeteredChannel};
-pub use tcp::TcpChannel;
+pub use tcp::{TcpAcceptor, TcpChannel};
 
 use std::fmt;
 
@@ -32,7 +39,12 @@ pub enum TransportError {
     /// An underlying I/O error (TCP channels).
     Io(std::io::Error),
     /// A frame exceeded the configured maximum size.
-    FrameTooLarge { size: usize, max: usize },
+    FrameTooLarge {
+        /// Size of the offending frame in bytes.
+        size: usize,
+        /// The configured maximum frame size.
+        max: usize,
+    },
 }
 
 impl fmt::Display for TransportError {

@@ -44,6 +44,11 @@ impl TcpChannel {
         Ok((Self::new(stream), peer))
     }
 
+    /// Address of the remote peer.
+    pub fn peer_addr(&self) -> Result<std::net::SocketAddr> {
+        Ok(self.stream.peer_addr()?)
+    }
+
     /// Overrides the maximum frame size.
     pub fn set_max_frame(&mut self, max: usize) {
         self.max_frame = max;
@@ -64,6 +69,49 @@ impl TcpChannel {
             self.read_buf.put_slice(&chunk[..n]);
         }
         Ok(())
+    }
+}
+
+/// A listening socket that yields framed [`TcpChannel`]s, one per inbound
+/// connection — the transport half of a serving loop (the `pretzel_server`
+/// mailroom submits each accepted channel to its worker pool).
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Binds a listening socket on `addr` (use port 0 for an ephemeral port,
+    /// then read it back with [`TcpAcceptor::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Self> {
+        Ok(TcpAcceptor {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Blocks until the next connection arrives and wraps it in a framed
+    /// channel.
+    pub fn accept(&self) -> Result<(TcpChannel, std::net::SocketAddr)> {
+        let (stream, peer) = self.listener.accept()?;
+        Ok((TcpChannel::new(stream), peer))
+    }
+
+    /// An iterator over inbound connections. Per-connection accept errors
+    /// (ECONNABORTED, fd exhaustion, …) should not kill a serving loop, so
+    /// they are dropped after a short backoff — the backoff keeps a
+    /// persistent error (e.g. EMFILE) from busy-spinning the acceptor.
+    pub fn incoming(&self) -> impl Iterator<Item = TcpChannel> + '_ {
+        self.listener.incoming().filter_map(|stream| match stream {
+            Ok(stream) => Some(TcpChannel::new(stream)),
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                None
+            }
+        })
     }
 }
 
@@ -153,6 +201,39 @@ mod tests {
             err,
             TransportError::FrameTooLarge { size: 9, max: 8 }
         ));
+    }
+
+    #[test]
+    fn acceptor_yields_a_channel_per_connection() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let clients = std::thread::spawn(move || {
+            for i in 0..3u8 {
+                let mut chan = TcpChannel::connect(addr).unwrap();
+                chan.send(&[i]).unwrap();
+                assert_eq!(chan.recv().unwrap(), vec![i + 100]);
+            }
+        });
+        for _ in 0..3 {
+            let (mut chan, peer) = acceptor.accept().unwrap();
+            assert_eq!(chan.peer_addr().unwrap(), peer);
+            let id = chan.recv().unwrap()[0];
+            chan.send(&[id + 100]).unwrap();
+        }
+        clients.join().unwrap();
+    }
+
+    #[test]
+    fn incoming_iterator_serves_connections() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut chan = TcpChannel::connect(addr).unwrap();
+            chan.send(b"hi").unwrap();
+        });
+        let mut first = acceptor.incoming().next().unwrap();
+        assert_eq!(first.recv().unwrap(), b"hi");
+        client.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Provider mailroom walkthrough: one provider serves six concurrent client
+//! sessions — spam filtering, topic extraction and virus scanning — over
+//! in-memory channels, then prints per-session and fleet-wide meter stats.
+//!
+//! Run with: `cargo run --release --example mailroom`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pretzel::classifiers::nb::{GrNbTrainer, MultinomialNbTrainer};
+use pretzel::classifiers::{NGramExtractor, SparseVector, Trainer};
+use pretzel::core::topic::CandidateMode;
+use pretzel::core::{PretzelConfig, ProviderModelSuite};
+use pretzel::datasets::{ling_spam_like, newsgroups_like};
+use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel::transport::memory_pair;
+
+fn main() {
+    let config = PretzelConfig::test();
+
+    // Train the provider's three proprietary models on synthetic corpora.
+    let mut spam_spec = ling_spam_like(0.05);
+    spam_spec.shared_vocab = 200;
+    spam_spec.class_vocab = 80;
+    let spam_corpus = spam_spec.generate();
+    let (spam_train, spam_test) = spam_corpus.train_test_split(0.8, 7);
+    let spam_model = GrNbTrainer::default().train(&spam_train, spam_corpus.num_features, 2);
+
+    let mut topic_spec = newsgroups_like(0.02);
+    topic_spec.shared_vocab = 150;
+    topic_spec.class_vocab = 40;
+    let topic_corpus = topic_spec.generate();
+    let (topic_train, topic_test) = topic_corpus.train_test_split(0.8, 9);
+    let topic_model = MultinomialNbTrainer::default().train(
+        &topic_train,
+        topic_corpus.num_features,
+        topic_corpus.num_classes,
+    );
+
+    let extractor = NGramExtractor::new(3, 512);
+    let mut virus_examples = Vec::new();
+    for i in 0..30u8 {
+        let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, 0xbe, 0xef];
+        bad.extend(std::iter::repeat_n(0xcc, 20));
+        bad.push(i);
+        virus_examples.push(pretzel::classifiers::LabeledExample {
+            features: extractor.extract(&bad),
+            label: 1,
+        });
+        let good = format!("quarterly report attachment number {i}");
+        virus_examples.push(pretzel::classifiers::LabeledExample {
+            features: extractor.extract(good.as_bytes()),
+            label: 0,
+        });
+    }
+    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
+
+    let suite = ProviderModelSuite {
+        spam: spam_model,
+        topic: topic_model,
+        topic_mode: CandidateMode::Full,
+        virus: virus_model,
+        virus_extractor: extractor,
+        config: config.clone(),
+    };
+
+    // Start the mailroom: a worker pool with a bounded intake queue.
+    let mailroom_cfg = MailroomConfig {
+        queue_capacity: 8,
+        ..MailroomConfig::default()
+    };
+    println!(
+        "Mailroom up: {} worker(s), intake queue of {}.\n",
+        mailroom_cfg.workers, mailroom_cfg.queue_capacity
+    );
+    let mailroom = Mailroom::start(suite, mailroom_cfg);
+
+    // Six concurrent senders: two per function module.
+    let mut handles = Vec::new();
+    for i in 0..6usize {
+        let (provider_end, client_end) = memory_pair();
+        mailroom.submit(provider_end).expect("intake has room");
+        let config = config.clone();
+        let spam_emails: Vec<SparseVector> = spam_test
+            .iter()
+            .skip(i * 4)
+            .take(4)
+            .map(|e| e.features.clone())
+            .collect();
+        let topic_emails: Vec<SparseVector> = topic_test
+            .iter()
+            .skip(i * 4)
+            .take(4)
+            .map(|e| e.features.clone())
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(90 + i as u64);
+            match i % 3 {
+                0 => {
+                    let spec = ClientSpec::spam(config);
+                    let mut client =
+                        MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
+                    let spam_count = spam_emails
+                        .iter()
+                        .filter(|email| client.classify_spam(email, &mut rng).expect("classify"))
+                        .count();
+                    client.finish().expect("teardown");
+                    format!("client {i}: spam session, {spam_count}/4 flagged as spam")
+                }
+                1 => {
+                    let spec = ClientSpec::topic(config, CandidateMode::Full, None);
+                    let mut client =
+                        MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
+                    for email in &topic_emails {
+                        client.extract_topic(email, &mut rng).expect("extract");
+                    }
+                    client.finish().expect("teardown");
+                    format!("client {i}: topic session, 4 emails (indices go to the provider)")
+                }
+                _ => {
+                    let spec = ClientSpec::virus(config);
+                    let mut client =
+                        MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
+                    let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, 0xbe, 0xef];
+                    bad.extend(std::iter::repeat_n(0xcc, 20));
+                    let flagged = client.scan_attachment(&bad, &mut rng).expect("scan");
+                    let clean = client
+                        .scan_attachment(b"meeting notes for tuesday", &mut rng)
+                        .expect("scan");
+                    client.finish().expect("teardown");
+                    format!(
+                        "client {i}: virus session, malicious flagged={flagged}, benign flagged={clean}"
+                    )
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        println!("{}", handle.join().expect("client thread"));
+    }
+
+    // Graceful shutdown returns the final per-session + fleet accounting.
+    let report = mailroom.shutdown();
+    println!("\nper-session accounting:");
+    println!("  id  protocol  state       emails  sent       received   topics");
+    for s in &report.sessions {
+        println!(
+            "  {:<3} {:<9} {:<11} {:<7} {:<10} {:<10} {:?}",
+            s.id,
+            s.kind.map(|k| k.to_string()).unwrap_or_else(|| "?".into()),
+            format!("{:?}", s.state),
+            s.emails,
+            format!("{:.1} KB", s.bytes_sent as f64 / 1024.0),
+            format!("{:.1} KB", s.bytes_received as f64 / 1024.0),
+            s.topics,
+        );
+    }
+    println!(
+        "\nfleet: {} sessions ({} completed), {} emails, {:.1} KB sent, {:.1} KB received, {:.1} KB/email",
+        report.sessions.len(),
+        report.completed(),
+        report.emails_total,
+        report.fleet_bytes_sent as f64 / 1024.0,
+        report.fleet_bytes_received as f64 / 1024.0,
+        report.bytes_per_email() / 1024.0,
+    );
+}

@@ -9,6 +9,9 @@
 //! * [`e2e`], [`classifiers`], [`datasets`], [`search`], [`sse`] —
 //!   application-level substrates (including the provider-side encrypted
 //!   search extension the paper leaves as future work).
+//! * [`server`] — the provider mailroom: a multi-session serving layer
+//!   (worker pool, bounded intake, per-session metering) over the function
+//!   modules.
 //! * [`rlwe`], [`paillier`], [`gc`], [`sdp`], [`bignum`], [`primitives`],
 //!   [`transport`] — cryptographic and systems substrates.
 
@@ -23,6 +26,7 @@ pub use pretzel_primitives as primitives;
 pub use pretzel_rlwe as rlwe;
 pub use pretzel_sdp as sdp;
 pub use pretzel_search as search;
+pub use pretzel_server as server;
 pub use pretzel_sse as sse;
 pub use pretzel_transport as transport;
 

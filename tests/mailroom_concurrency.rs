@@ -1,0 +1,298 @@
+//! Concurrency edges of the provider mailroom: teardown mid-protocol,
+//! bounded-queue backpressure, and a fixed-seed 16-session fleet whose
+//! verdicts must match the single-session baseline.
+
+use std::time::{Duration, Instant};
+
+use pretzel::classifiers::nb::GrNbTrainer;
+use pretzel::classifiers::{NGramExtractor, SparseVector, Trainer};
+use pretzel::core::spam::{AheVariant, SpamClient, SpamProvider};
+use pretzel::core::topic::CandidateMode;
+use pretzel::core::{PretzelConfig, ProtocolKind, ProviderModelSuite};
+use pretzel::datasets::ling_spam_like;
+use pretzel::server::{
+    ClientSpec, Mailroom, MailroomClient, MailroomConfig, ServerError, SessionState,
+};
+use pretzel::transport::{memory_pair, run_two_party, Channel};
+
+mod common;
+use common::test_rng;
+
+/// A provider model suite trained on a small deterministic Ling-spam-shaped
+/// corpus (only the spam model matters for these tests; topic/virus are
+/// minimal). The vocabulary is shrunk so that 32 protocol setups — 16
+/// baseline + 16 fleet sessions — stay fast.
+fn spam_suite() -> (
+    ProviderModelSuite,
+    Vec<pretzel::classifiers::LabeledExample>,
+) {
+    let mut spec = ling_spam_like(0.08);
+    spec.shared_vocab = 120;
+    spec.class_vocab = 60;
+    spec.doc_len = (20, 60);
+    let corpus = spec.generate();
+    let (train, test) = corpus.train_test_split(0.6, 7);
+    let model = GrNbTrainer::default().train(&train, corpus.num_features, 2);
+    let extractor = NGramExtractor::new(3, 64);
+    let suite = ProviderModelSuite {
+        spam: model.clone(),
+        topic: model.clone(),
+        topic_mode: CandidateMode::Full,
+        virus: model,
+        virus_extractor: extractor,
+        config: PretzelConfig::test(),
+    };
+    (suite, test)
+}
+
+#[test]
+fn teardown_mid_protocol_fails_one_session_not_the_mailroom() {
+    let (suite, emails) = spam_suite();
+    let mailroom = Mailroom::start(
+        suite,
+        MailroomConfig {
+            workers: 1,
+            queue_capacity: 4,
+            rng_seed: 0xDEAD,
+        },
+    );
+
+    // Session A: a full, clean session — handshake, setup, one email, BYE.
+    let (provider_end, client_end) = memory_pair();
+    let a_id = mailroom.submit(provider_end).unwrap();
+    let mut rng = test_rng(40);
+    let spec = ClientSpec::spam(PretzelConfig::test());
+    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    client.classify_spam(&emails[0].features, &mut rng).unwrap();
+    client.finish().unwrap();
+
+    // Session B vanishes mid-protocol: after a successful setup and one
+    // classified email it announces another round and drops the channel, so
+    // the worker is left blocking inside the per-email protocol.
+    let (provider_end, mut client_end) = memory_pair();
+    let b_id = mailroom.submit(provider_end).unwrap();
+    let mut rng_b = test_rng(41);
+    let mut client_b = {
+        let spec = ClientSpec::spam(PretzelConfig::test());
+        // Borrow the channel so we can send a raw frame after the driver.
+        MailroomClient::connect(&mut client_end, &spec, &mut rng_b).unwrap()
+    };
+    client_b
+        .classify_spam(&emails[1].features, &mut rng_b)
+        .unwrap();
+    drop(client_b);
+    client_end.send(&[pretzel::server::ROUND_EMAIL]).unwrap();
+    drop(client_end); // worker reads the control frame, then the channel dies
+
+    // Session C on the same mailroom must still be served end to end.
+    let (provider_end, client_end) = memory_pair();
+    let c_id = mailroom.submit(provider_end).unwrap();
+    let mut rng_c = test_rng(42);
+    let spec = ClientSpec::spam(PretzelConfig::test());
+    let mut client_c = MailroomClient::connect(client_end, &spec, &mut rng_c).unwrap();
+    client_c
+        .classify_spam(&emails[2].features, &mut rng_c)
+        .unwrap();
+    client_c.finish().unwrap();
+
+    let report = mailroom.shutdown();
+    let state = |id| {
+        report
+            .sessions
+            .iter()
+            .find(|s| s.id == id)
+            .unwrap()
+            .state
+            .clone()
+    };
+    assert_eq!(state(a_id), SessionState::Completed);
+    assert!(
+        matches!(state(b_id), SessionState::Failed(_)),
+        "dropping mid-protocol must fail the session, got {:?}",
+        state(b_id)
+    );
+    assert_eq!(
+        state(c_id),
+        SessionState::Completed,
+        "a failed session must not poison later ones"
+    );
+    assert_eq!(report.completed(), 2);
+}
+
+#[test]
+fn full_queue_rejects_immediately_instead_of_blocking() {
+    let (suite, _) = spam_suite();
+    let mailroom = Mailroom::start(
+        suite,
+        MailroomConfig {
+            workers: 1,
+            queue_capacity: 1,
+            rng_seed: 0xBEEF,
+        },
+    );
+
+    // Session A occupies the single worker: it handshakes and then stalls
+    // inside setup (the worker blocks waiting for the client's seed).
+    let (provider_end, mut stalled_client) = memory_pair();
+    let a_id = mailroom.submit(provider_end).unwrap();
+    stalled_client
+        .send(&[ProtocolKind::Spam.as_byte(), 1])
+        .unwrap();
+    let wait_start = Instant::now();
+    while mailroom.session_stats(a_id).unwrap().state != SessionState::Active {
+        assert!(
+            wait_start.elapsed() < Duration::from_secs(10),
+            "worker never picked up session A"
+        );
+        std::thread::yield_now();
+    }
+
+    // Session B fills the queue's single slot.
+    let (provider_end, _b_client) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+
+    // Session C must be rejected NOW — no blocking on worker availability.
+    let (provider_end, c_client) = memory_pair();
+    let start = Instant::now();
+    let err = mailroom.submit(provider_end);
+    assert!(
+        matches!(err, Err(ServerError::Backpressure(_))),
+        "expected backpressure, got {err:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "rejection must be immediate, took {:?}",
+        start.elapsed()
+    );
+
+    // And the refused client observes Busy through the normal driver path.
+    let mut rng = test_rng(50);
+    let spec = ClientSpec::spam(PretzelConfig::test());
+    match MailroomClient::connect(c_client, &spec, &mut rng) {
+        Err(ServerError::Busy) => {}
+        Err(other) => panic!("expected Busy, got error: {other}"),
+        Ok(_) => panic!("expected Busy, got an accepted session"),
+    }
+
+    // Unblock everything so shutdown can drain: the stalled clients vanish.
+    drop(stalled_client);
+    drop(_b_client);
+    let report = mailroom.shutdown();
+    // A failed (client vanished mid-setup); B failed (never handshook before
+    // its client dropped); C rejected at intake.
+    assert_eq!(report.completed(), 0);
+    assert_eq!(
+        report
+            .sessions
+            .iter()
+            .filter(|s| s.state == SessionState::Rejected)
+            .count(),
+        1
+    );
+}
+
+/// 16 concurrent fixed-seed sessions: every session's verdicts must equal
+/// the verdicts of the same emails classified through a plain two-party
+/// single-session exchange with the same model and parameters.
+#[test]
+fn sixteen_concurrent_sessions_match_the_single_session_baseline() {
+    const SESSIONS: usize = 16;
+    const EMAILS_PER_SESSION: usize = 3;
+
+    let (suite, test_emails) = spam_suite();
+    assert!(test_emails.len() >= SESSIONS * EMAILS_PER_SESSION);
+    let inboxes: Vec<Vec<SparseVector>> = (0..SESSIONS)
+        .map(|s| {
+            (0..EMAILS_PER_SESSION)
+                .map(|e| test_emails[s * EMAILS_PER_SESSION + e].features.clone())
+                .collect()
+        })
+        .collect();
+
+    // Single-session baseline: one plain client/provider pair per inbox,
+    // driven directly over run_two_party (no mailroom involved).
+    let config = PretzelConfig::test();
+    let baseline: Vec<Vec<bool>> = inboxes
+        .iter()
+        .enumerate()
+        .map(|(s, inbox)| {
+            let model = suite.spam.clone();
+            let provider_cfg = config.clone();
+            let client_cfg = config.clone();
+            let inbox = inbox.clone();
+            let (provider_res, verdicts) = run_two_party(
+                move |chan| -> pretzel::core::Result<()> {
+                    let mut rng = test_rng(600 + s as u64);
+                    let mut provider = SpamProvider::setup(
+                        chan,
+                        &model,
+                        &provider_cfg,
+                        AheVariant::Pretzel,
+                        &mut rng,
+                    )?;
+                    for _ in 0..EMAILS_PER_SESSION {
+                        provider.process_email(chan, &mut rng)?;
+                    }
+                    Ok(())
+                },
+                move |chan| -> pretzel::core::Result<Vec<bool>> {
+                    let mut rng = test_rng(700 + s as u64);
+                    let mut client =
+                        SpamClient::setup(chan, &client_cfg, AheVariant::Pretzel, &mut rng)?;
+                    inbox
+                        .iter()
+                        .map(|email| client.classify(chan, email, &mut rng))
+                        .collect()
+                },
+            );
+            provider_res.unwrap();
+            verdicts.unwrap()
+        })
+        .collect();
+
+    // The fleet: 16 concurrent sessions against one mailroom.
+    let mailroom = Mailroom::start(
+        suite,
+        MailroomConfig {
+            workers: 4,
+            queue_capacity: SESSIONS,
+            rng_seed: 0xF1EE7,
+        },
+    );
+    let handles: Vec<_> = inboxes
+        .iter()
+        .enumerate()
+        .map(|(s, inbox)| {
+            let (provider_end, client_end) = memory_pair();
+            mailroom.submit(provider_end).unwrap();
+            let spec = ClientSpec::spam(config.clone());
+            let inbox = inbox.clone();
+            std::thread::spawn(move || {
+                let mut rng = test_rng(800 + s as u64);
+                let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+                let verdicts: Vec<bool> = inbox
+                    .iter()
+                    .map(|email| client.classify_spam(email, &mut rng).unwrap())
+                    .collect();
+                client.finish().unwrap();
+                verdicts
+            })
+        })
+        .collect();
+    let fleet: Vec<Vec<bool>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (s, (fleet_verdicts, baseline_verdicts)) in fleet.iter().zip(baseline.iter()).enumerate() {
+        assert_eq!(
+            fleet_verdicts, baseline_verdicts,
+            "session {s}: concurrent verdicts diverged from the single-session baseline"
+        );
+    }
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), SESSIONS);
+    assert_eq!(report.emails_total, (SESSIONS * EMAILS_PER_SESSION) as u64);
+    // Both verdict bits and the verdict *distribution* must be non-trivial:
+    // a corpus split 95/5 ham/spam should not classify all one way.
+    let spam_count: usize = fleet.iter().flatten().filter(|&&v| v).count();
+    assert!(spam_count < SESSIONS * EMAILS_PER_SESSION);
+}
