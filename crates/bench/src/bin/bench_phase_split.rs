@@ -1,0 +1,270 @@
+//! Offline/online phase split: what the precomputation pipeline buys.
+//!
+//! Pretzel's headline performance comes from decomposing each per-email
+//! protocol into an expensive *offline* phase (Paillier randomizer
+//! exponentiations, circuit garbling) and a cheap *online* phase (§3.3).
+//! This harness measures both halves of our split:
+//!
+//! 1. **Paillier microbenchmarks** — CRT decryption vs. the single-power
+//!    reference path, and pooled encryption (randomizer precomputed offline)
+//!    vs. inline encryption.
+//! 2. **Online-path latency** — mean per-email round latency of Baseline
+//!    spam sessions served by a `Mailroom`, cold (`precompute_budget = 0`,
+//!    every round computes inline) vs. warmed pools on both endpoints, at 1
+//!    and 16 concurrent sessions.
+//!
+//! Always emits `BENCH_phase_split.json` (the machine-readable record is the
+//! point of this bin). Run with:
+//!
+//! ```sh
+//! cargo run --release -p pretzel_bench --bin bench_phase_split
+//! cargo run --release -p pretzel_bench --bin bench_phase_split -- \
+//!     --paillier-bits 256 --sessions 1,16 --emails 4 --iters 5
+//! ```
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pretzel_bench::{
+    arg_value, human_us, print_header, print_row, synthetic_model, write_bench_json_reported,
+    JsonValue,
+};
+use pretzel_classifiers::{NGramExtractor, SparseVector};
+use pretzel_core::spam::AheVariant;
+use pretzel_core::topic::CandidateMode;
+use pretzel_core::{PretzelConfig, ProviderModelSuite};
+use pretzel_paillier::{keygen, RandomnessPool};
+use pretzel_server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel_transport::memory_pair;
+
+fn main() {
+    let paillier_bits: usize = arg_value("--paillier-bits")
+        .map(|v| v.parse().expect("--paillier-bits takes a number"))
+        .unwrap_or(512);
+    let sessions: Vec<usize> = arg_value("--sessions")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--sessions takes a,b,c"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 16]);
+    let emails: usize = arg_value("--emails")
+        .map(|v| v.parse().expect("--emails takes a number"))
+        .unwrap_or(4);
+    let iters: usize = arg_value("--iters")
+        .map(|v| v.parse().expect("--iters takes a number"))
+        .unwrap_or(10);
+
+    println!("Offline/online phase split — {paillier_bits}-bit Paillier\n");
+
+    let micro = run_paillier_micro(paillier_bits, iters);
+    let online = run_online_latency(paillier_bits, &sessions, emails);
+
+    let json = JsonValue::obj([
+        ("bench", JsonValue::Str("phase_split".into())),
+        ("paillier_bits", JsonValue::Int(paillier_bits as u64)),
+        ("emails_per_session", JsonValue::Int(emails as u64)),
+        ("paillier", micro),
+        ("online", JsonValue::Arr(online)),
+    ]);
+    write_bench_json_reported("phase_split", &json);
+}
+
+/// CRT vs. inline decryption and pooled vs. inline encryption, averaged over
+/// `iters` operations on one `bits`-bit key.
+fn run_paillier_micro(bits: usize, iters: usize) -> JsonValue {
+    let mut rng = StdRng::seed_from_u64(0x000F_F1CE);
+    let sk = keygen(bits, &mut rng);
+    let pk = sk.public();
+
+    let plaintexts: Vec<u64> = (0..iters).map(|_| rng.gen_range(0..1 << 30)).collect();
+    let cts: Vec<_> = plaintexts
+        .iter()
+        .map(|&m| pk.encrypt_u64(m, &mut rng).unwrap())
+        .collect();
+
+    let (ok_inline, d_inline) = time_over(iters, || {
+        cts.iter()
+            .all(|c| sk.decrypt_inline(c).unwrap().to_u64().is_some())
+    });
+    let (ok_crt, d_crt) = time_over(iters, || {
+        cts.iter()
+            .all(|c| sk.decrypt(c).unwrap().to_u64().is_some())
+    });
+    assert!(ok_inline && ok_crt);
+
+    let (_, e_inline) = time_over(iters, || {
+        for &m in &plaintexts {
+            std::hint::black_box(pk.encrypt_u64(m, &mut rng).unwrap());
+        }
+        true
+    });
+    // The offline half: pool filled outside the timed region.
+    let mut pool = RandomnessPool::new();
+    pool.refill(pk, iters, &mut rng);
+    let (_, e_pooled) = time_over(iters, || {
+        for &m in &plaintexts {
+            let m = pretzel_bignum::BigUint::from(m);
+            std::hint::black_box(pk.encrypt_pooled(&m, &mut pool, &mut rng).unwrap());
+        }
+        true
+    });
+    assert!(pool.is_empty(), "the timed encryptions drained the pool");
+
+    let dec_speedup = d_inline.as_secs_f64() / d_crt.as_secs_f64();
+    let enc_speedup = e_inline.as_secs_f64() / e_pooled.as_secs_f64();
+
+    let widths = [24, 14, 14, 10];
+    print_header(&["operation", "inline", "split", "speedup"], &widths);
+    print_row(
+        &[
+            "decrypt (CRT)".into(),
+            human_us(d_inline),
+            human_us(d_crt),
+            format!("{dec_speedup:.2}x"),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "encrypt (pooled r^n)".into(),
+            human_us(e_inline),
+            human_us(e_pooled),
+            format!("{enc_speedup:.2}x"),
+        ],
+        &widths,
+    );
+
+    JsonValue::obj([
+        ("decrypt_inline_us", micros(d_inline)),
+        ("decrypt_crt_us", micros(d_crt)),
+        ("decrypt_speedup", JsonValue::Num(dec_speedup)),
+        ("encrypt_inline_us", micros(e_inline)),
+        ("encrypt_pooled_us", micros(e_pooled)),
+        ("encrypt_speedup", JsonValue::Num(enc_speedup)),
+    ])
+}
+
+/// Mean per-email online latency of Baseline spam sessions, cold vs. warm
+/// pools, at each fleet size.
+fn run_online_latency(paillier_bits: usize, sessions: &[usize], emails: usize) -> Vec<JsonValue> {
+    let config = PretzelConfig {
+        paillier_bits,
+        ..PretzelConfig::test()
+    };
+    let num_features = 256;
+    let suite = ProviderModelSuite {
+        spam: synthetic_model(num_features, 2, 11),
+        topic: synthetic_model(64, 4, 12),
+        topic_mode: CandidateMode::Full,
+        virus: synthetic_model(256, 2, 13),
+        virus_extractor: NGramExtractor::new(3, 256),
+        config: config.clone(),
+    };
+
+    println!("\nOnline-path latency — Baseline spam rounds, {emails} emails/session");
+    let widths = [10, 14, 14, 10];
+    print_header(
+        &["sessions", "cold/email", "warm/email", "speedup"],
+        &widths,
+    );
+
+    let mut rows = Vec::new();
+    for &n in sessions {
+        let cold = run_fleet(&suite, &config, n, emails, 0);
+        let warm = run_fleet(&suite, &config, n, emails, emails);
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64();
+        print_row(
+            &[
+                format!("{n}"),
+                human_us(cold),
+                human_us(warm),
+                format!("{speedup:.2}x"),
+            ],
+            &widths,
+        );
+        rows.push(JsonValue::obj([
+            ("sessions", JsonValue::Int(n as u64)),
+            ("cold_us_per_email", micros(cold)),
+            ("warm_us_per_email", micros(warm)),
+            ("speedup", JsonValue::Num(speedup)),
+        ]));
+    }
+    rows
+}
+
+/// Serves `n_sessions` Baseline spam sessions with the given provider
+/// precompute budget (clients warm their own pools iff `budget > 0`) and
+/// returns the mean wall-clock per email of the round loops alone — setup
+/// and offline precompute excluded, exactly the paper's online-path cost.
+fn run_fleet(
+    suite: &ProviderModelSuite,
+    config: &PretzelConfig,
+    n_sessions: usize,
+    emails: usize,
+    budget: usize,
+) -> Duration {
+    let mailroom = Mailroom::start(
+        suite.clone(),
+        MailroomConfig {
+            workers: n_sessions,
+            queue_capacity: n_sessions,
+            rng_seed: 42,
+            precompute_budget: budget,
+        },
+    );
+    // All clients finish setup (and warm-mode precompute) before any round
+    // starts, so round latencies never overlap another session's setup.
+    let start_line = Arc::new(Barrier::new(n_sessions));
+
+    let clients: Vec<_> = (0..n_sessions)
+        .map(|i| {
+            let (provider_end, client_end) = memory_pair();
+            mailroom
+                .submit(provider_end)
+                .expect("queue sized for fleet");
+            let spec = ClientSpec::spam(config.clone()).with_variant(AheVariant::Baseline);
+            let barrier = Arc::clone(&start_line);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+                let mut client =
+                    MailroomClient::connect(client_end, &spec, &mut rng).expect("client setup");
+                if budget > 0 {
+                    client.precompute(emails, &mut rng);
+                }
+                let email = SparseVector::from_pairs(
+                    (0..20)
+                        .map(|_| (rng.gen_range(0..256), rng.gen_range(1..4u32)))
+                        .collect(),
+                );
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..emails {
+                    client.classify_spam(&email, &mut rng).expect("classify");
+                }
+                let elapsed = start.elapsed();
+                client.finish().expect("teardown");
+                elapsed
+            })
+        })
+        .collect();
+
+    let total: Duration = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), n_sessions, "every session must finish");
+    total / (n_sessions * emails) as u32
+}
+
+/// Times `f` and returns (its result, mean duration per item over `iters`).
+fn time_over<R>(iters: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed() / iters.max(1) as u32)
+}
+
+fn micros(d: Duration) -> JsonValue {
+    JsonValue::Num(d.as_secs_f64() * 1e6)
+}

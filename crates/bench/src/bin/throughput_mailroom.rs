@@ -26,25 +26,15 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pretzel_bench::{human_bytes, print_header, print_row, synthetic_model};
+use pretzel_bench::{
+    arg_value, human_bytes, maybe_write_bench_json, print_header, print_row, synthetic_model,
+    JsonValue,
+};
 use pretzel_classifiers::{NGramExtractor, SparseVector};
 use pretzel_core::topic::CandidateMode;
 use pretzel_core::{PretzelConfig, ProviderModelSuite, Scale};
 use pretzel_server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
 use pretzel_transport::memory_pair;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == name {
-            return args.get(i + 1).cloned();
-        }
-        if let Some(v) = args[i].strip_prefix(&format!("{name}=")) {
-            return Some(v.to_string());
-        }
-    }
-    None
-}
 
 fn main() {
     let scale = pretzel_bench::parse_scale();
@@ -107,6 +97,7 @@ fn main() {
     );
 
     let mut baseline_throughput: Option<f64> = None;
+    let mut json_rows = Vec::new();
     for &n_sessions in &sessions {
         let (throughput, wall, bytes_per_email, total_emails) = run_fleet(
             &suite,
@@ -134,7 +125,27 @@ fn main() {
             ],
             &widths,
         );
+        json_rows.push(JsonValue::obj([
+            ("sessions", JsonValue::Int(n_sessions as u64)),
+            ("emails", JsonValue::Int(total_emails)),
+            ("wall_s", JsonValue::Num(wall)),
+            ("emails_per_sec", JsonValue::Num(throughput)),
+            ("bytes_per_email", JsonValue::Num(bytes_per_email)),
+        ]));
     }
+    maybe_write_bench_json(
+        "throughput_mailroom",
+        &JsonValue::obj([
+            ("bench", JsonValue::Str("throughput_mailroom".into())),
+            ("scale", JsonValue::Str(format!("{scale:?}"))),
+            ("workers", JsonValue::Int(workers as u64)),
+            (
+                "emails_per_session",
+                JsonValue::Int(emails_per_session as u64),
+            ),
+            ("rows", JsonValue::Arr(json_rows)),
+        ]),
+    );
     println!(
         "\nThroughput counts wall-clock from first submission to last teardown;\n\
          bytes/email is fleet payload traffic divided by emails served (setup\n\
@@ -158,6 +169,7 @@ fn run_fleet(
             workers,
             queue_capacity: n_sessions.max(1),
             rng_seed: 42,
+            ..MailroomConfig::default()
         },
     );
 

@@ -9,9 +9,16 @@
 //!   laptop, while preserving every protocol code path.
 //! * `--scale paper` — the paper's native sizes (can take hours for the
 //!   largest points; used to spot-check individual rows).
+//! * `--json` — in addition to the human-readable table, emit the measured
+//!   numbers as machine-readable `BENCH_<name>.json` in the working
+//!   directory ([`maybe_write_bench_json`]), so runs can be tracked as a
+//!   perf trajectory. `bench_phase_split` always emits its JSON (that file
+//!   *is* its deliverable).
 //!
 //! EXPERIMENTS.md records the scale used for the committed numbers.
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -39,6 +46,134 @@ pub fn parse_scale() -> Scale {
         }
     }
     Scale::Test
+}
+
+/// True when `--json` was passed on the command line: the harness should
+/// emit its `BENCH_*.json` alongside the printed table.
+pub fn json_enabled() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Looks up a command-line flag's value, accepting both `--name value` and
+/// `--name=value`. Shared by the bench bins so flag parsing can't diverge.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = args[i].strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// A JSON value for the bench reports — hand-rolled because the workspace's
+/// vendored `serde` is an offline stub without `serde_json`. Covers exactly
+/// what bench output needs: objects, arrays, numbers, strings, booleans.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    /// A floating-point number (non-finite values render as `null`).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for objects from `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, JsonValue); N]) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Int(x) => out.push_str(&format!("{x}")),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).render(out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+}
+
+/// Writes `value` to `BENCH_<name>.json` in the working directory, returning
+/// the path. All benches share this naming so the perf trajectory is a glob
+/// over `BENCH_*.json`.
+pub fn write_bench_json(name: &str, value: &JsonValue) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", value.to_json())?;
+    Ok(path)
+}
+
+/// [`write_bench_json`] plus reporting: prints the emitted path (or the
+/// failure) so a harness run documents where its numbers went. For bins
+/// whose JSON is unconditional (`bench_phase_split`); most bins gate on the
+/// `--json` flag via [`maybe_write_bench_json`].
+pub fn write_bench_json_reported(name: &str, value: &JsonValue) {
+    match write_bench_json(name, value) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_{name}.json: {e}"),
+    }
+}
+
+/// [`write_bench_json_reported`] gated on the shared `--json` flag.
+pub fn maybe_write_bench_json(name: &str, value: &JsonValue) {
+    if json_enabled() {
+        write_bench_json_reported(name, value);
+    }
 }
 
 /// Times a closure, returning its result and the elapsed wall-clock time.
@@ -141,6 +276,41 @@ mod tests {
         assert_eq!(human_bytes(1.3e9), "1.3 GB");
         assert_eq!(human_us(Duration::from_micros(650)), "650.0 µs");
         assert_eq!(human_us(Duration::from_millis(358)), "358.00 ms");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nests() {
+        let v = JsonValue::obj([
+            ("name", JsonValue::Str("a \"quoted\"\nline".into())),
+            ("n", JsonValue::Int(42)),
+            ("ratio", JsonValue::Num(2.5)),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("ok", JsonValue::Bool(true)),
+            (
+                "rows",
+                JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            "{\"name\":\"a \\\"quoted\\\"\\nline\",\"n\":42,\"ratio\":2.5,\
+             \"nan\":null,\"ok\":true,\"rows\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn write_bench_json_emits_the_named_file() {
+        let path = write_bench_json(
+            "unit_test_scratch",
+            &JsonValue::obj([("x", JsonValue::Int(1))]),
+        )
+        .unwrap();
+        // Read then clean up BEFORE asserting, so a failed assertion doesn't
+        // strand the scratch file in the crate directory.
+        let contents = std::fs::read_to_string(&path);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(path, PathBuf::from("BENCH_unit_test_scratch.json"));
+        assert_eq!(contents.unwrap().trim(), "{\"x\":1}");
     }
 
     #[test]

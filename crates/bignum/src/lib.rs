@@ -15,7 +15,7 @@ mod modular;
 mod prime;
 mod uint;
 
-pub use modular::{mod_add, mod_inv, mod_mul, mod_pow, mod_sub, Montgomery};
+pub use modular::{crt_combine, mod_add, mod_inv, mod_mul, mod_pow, mod_sub, Montgomery};
 pub use prime::{gen_prime, gen_safe_prime, is_probable_prime};
 pub use uint::BigUint;
 

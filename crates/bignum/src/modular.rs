@@ -124,6 +124,26 @@ fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
     }
 }
 
+/// Chinese-remainder recombination for a two-prime modulus (Garner's
+/// formula).
+///
+/// Given residues `a = x mod p` and `b = x mod q` for coprime `p`, `q` and the
+/// precomputed inverse `p_inv_q = p⁻¹ mod q`, returns the unique
+/// `x ∈ [0, p·q)`. This is the recombination step of CRT-based Paillier/RSA
+/// decryption, where the two half-size exponentiations happen mod `p²` and
+/// `q²` and only the final answer lives mod `n`.
+pub fn crt_combine(
+    a: &BigUint,
+    b: &BigUint,
+    p: &BigUint,
+    q: &BigUint,
+    p_inv_q: &BigUint,
+) -> BigUint {
+    // x = a + p * ((b - a) * p^{-1} mod q)
+    let t = mod_mul(&mod_sub(b, a, q), p_inv_q, q);
+    a.clone() % p.clone() + p.clone() * t
+}
+
 /// Montgomery arithmetic context for a fixed odd modulus.
 ///
 /// Montgomery form represents `x` as `x * R mod n` where `R = 2^(64 * limbs)`.
@@ -372,5 +392,26 @@ mod tests {
     #[test]
     fn mod_inv_modulus_one() {
         assert_eq!(mod_inv(&big(5), &BigUint::one()).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn crt_combine_small() {
+        // x = 29, p = 7, q = 11: a = 1, b = 7.
+        let p = big(7);
+        let q = big(11);
+        let p_inv_q = mod_inv(&p, &q).unwrap();
+        let x = crt_combine(&big(1), &big(7), &p, &q, &p_inv_q);
+        assert_eq!(x, big(29));
+    }
+
+    #[test]
+    fn crt_combine_roundtrips_random_residues() {
+        let p = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let q = BigUint::from_hex("f123456789abcdef1").unwrap();
+        let p_inv_q = mod_inv(&(p.clone() % q.clone()), &q).unwrap();
+        let x = BigUint::from_hex("deadbeefcafebabe0123456789abcdef0011223344").unwrap();
+        let a = x.clone() % p.clone();
+        let b = x.clone() % q.clone();
+        assert_eq!(crt_combine(&a, &b, &p, &q, &p_inv_q), x);
     }
 }

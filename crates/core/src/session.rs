@@ -13,7 +13,13 @@
 //! The lifecycle both enums model is the one §3.3/§4 prescribe: one
 //! **setup** phase per (client, provider) pair — joint randomness, encrypted
 //! model transfer, base OTs — whose state is then **reused** across an
-//! arbitrary number of cheap per-email rounds.
+//! arbitrary number of cheap per-email rounds. Between setup and the rounds
+//! sits an optional **offline phase**: `precompute(budget)` fills
+//! per-session pools (pre-garbled circuits, pre-exponentiated Paillier
+//! randomizers) that `process_round` drains, falling back to inline
+//! computation whenever a pool runs dry. Pool depth therefore only moves
+//! work off the latency path — verdicts and wire sizes are identical at any
+//! budget, which `tests/phase_split.rs` pins.
 
 use rand::Rng;
 
@@ -171,9 +177,33 @@ impl ProviderSession {
         }
     }
 
+    /// Offline phase: tops this session's precomputation pools up to
+    /// `budget` future rounds, returning the number of work units produced
+    /// (0 when the session kind has no provider-side offline work, e.g.
+    /// topic sessions where the client garbles).
+    pub fn precompute<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) -> usize {
+        match self {
+            ProviderSession::Spam(p) => p.precompute(budget, rng),
+            ProviderSession::Topic(p) => p.precompute(budget, rng),
+            ProviderSession::Virus(p) => p.precompute(budget, rng),
+        }
+    }
+
+    /// Rounds the offline pools can currently serve without inline work.
+    pub fn pool_depth(&self) -> usize {
+        match self {
+            ProviderSession::Spam(p) => p.pool_depth(),
+            ProviderSession::Topic(p) => p.pool_depth(),
+            ProviderSession::Virus(p) => p.pool_depth(),
+        }
+    }
+
     /// Runs one per-email round. Returns the topic index for topic sessions
     /// (the only module whose output goes to the provider, Guarantee 3) and
     /// `None` for spam/virus sessions (the provider learns nothing).
+    ///
+    /// Draws from the pools filled by [`ProviderSession::precompute`] when
+    /// they are non-empty and computes inline otherwise.
     pub fn process_round<C: Channel, R: Rng + ?Sized>(
         &mut self,
         channel: &mut C,
@@ -228,8 +258,9 @@ pub enum Verdict {
 pub enum ClientSession {
     /// A spam-filtering session.
     Spam(SpamClient),
-    /// A topic-extraction session.
-    Topic(TopicClient),
+    /// A topic-extraction session (boxed: the client-side garbling pool
+    /// makes this variant much larger than its siblings).
+    Topic(Box<TopicClient>),
     /// A virus-scanning session.
     Virus(VirusScanClient),
 }
@@ -254,14 +285,14 @@ impl ClientSession {
             ProtocolKind::Spam => Ok(ClientSession::Spam(SpamClient::setup(
                 channel, config, variant, rng,
             )?)),
-            ProtocolKind::Topic => Ok(ClientSession::Topic(TopicClient::setup(
+            ProtocolKind::Topic => Ok(ClientSession::Topic(Box::new(TopicClient::setup(
                 channel,
                 config,
                 variant,
                 topic_mode,
                 candidate_model,
                 rng,
-            )?)),
+            )?))),
             ProtocolKind::Virus => Ok(ClientSession::Virus(VirusScanClient::setup(
                 channel, config, variant, rng,
             )?)),
@@ -283,6 +314,27 @@ impl ClientSession {
             ClientSession::Spam(c) => c.model_storage_bytes(),
             ClientSession::Topic(c) => c.model_storage_bytes(),
             ClientSession::Virus(c) => c.model_storage_bytes(),
+        }
+    }
+
+    /// Offline phase: tops this session's precomputation pools up to
+    /// `budget` future rounds, returning the number of work units produced.
+    /// Topic clients pre-garble argmax circuits; Baseline-variant sessions
+    /// additionally pre-exponentiate Paillier randomizers.
+    pub fn precompute<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) -> usize {
+        match self {
+            ClientSession::Spam(c) => c.precompute(budget, rng),
+            ClientSession::Topic(c) => c.precompute(budget, rng),
+            ClientSession::Virus(c) => c.precompute(budget, rng),
+        }
+    }
+
+    /// Rounds the offline pools can currently serve without inline work.
+    pub fn pool_depth(&self) -> usize {
+        match self {
+            ClientSession::Spam(c) => c.pool_depth(),
+            ClientSession::Topic(c) => c.pool_depth(),
+            ClientSession::Virus(c) => c.pool_depth(),
         }
     }
 

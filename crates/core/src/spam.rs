@@ -19,11 +19,19 @@
 //! Two variants share this module: [`AheVariant::Pretzel`] (XPIR-BV with
 //! across-row packing) and [`AheVariant::Baseline`] (Paillier with legacy
 //! packing), which is exactly the pair compared in Figures 7 and 8.
+//!
+//! Beyond the one-time setup, each endpoint supports an explicit **offline
+//! phase** (`precompute`): the provider garbles comparison circuits ahead of
+//! time, and a Baseline client pre-exponentiates Paillier randomizers. The
+//! per-email path drains those pools and falls back to inline computation
+//! when they run dry, so pool depth never affects correctness — only latency.
 
 use rand::Rng;
 
 use pretzel_classifiers::{LinearModel, QuantizedModel, SparseVector};
-use pretzel_gc::{spam_compare_circuit, to_bits, Circuit, OutputMode, YaoEvaluator, YaoGarbler};
+use pretzel_gc::{
+    spam_compare_circuit, to_bits, Circuit, GarblingPool, OutputMode, YaoEvaluator, YaoGarbler,
+};
 use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
 use pretzel_sdp::rlwe_pack::{self, Packing};
 use pretzel_sdp::ModelMatrix;
@@ -58,7 +66,9 @@ enum ProviderCrypto {
         sk: pretzel_rlwe::SecretKey,
     },
     Baseline {
-        sk: pretzel_paillier::SecretKey,
+        // Boxed: a Paillier secret key (CRT contexts included) dwarfs the
+        // RLWE variant, and clippy::large_enum_variant fires otherwise.
+        sk: Box<pretzel_paillier::SecretKey>,
         slot_bits: u32,
         slots_per_ct: usize,
     },
@@ -70,6 +80,8 @@ pub struct SpamProvider {
     yao: YaoGarbler,
     circuit: Circuit,
     width: usize,
+    /// Offline-garbled circuits awaiting their online rounds.
+    ready: GarblingPool,
 }
 
 enum ClientCrypto {
@@ -92,6 +104,9 @@ pub struct SpamClient {
     /// Row index of the bias row (= number of model features).
     bias_row: usize,
     max_freq: u64,
+    /// Offline-precomputed Paillier randomizers (Baseline variant only; the
+    /// Pretzel RLWE path has no per-round public-key exponentiation to pool).
+    pool: pretzel_paillier::RandomnessPool,
 }
 
 impl SpamProvider {
@@ -154,7 +169,7 @@ impl SpamProvider {
                 channel.send(&blob)?;
                 (
                     ProviderCrypto::Baseline {
-                        sk,
+                        sk: Box::new(sk),
                         slot_bits: config.paillier_slot_bits,
                         slots_per_ct,
                     },
@@ -170,7 +185,21 @@ impl SpamProvider {
             yao,
             circuit: spam_compare_circuit(width),
             width,
+            ready: GarblingPool::new(),
         })
+    }
+
+    /// Offline phase: tops the pool of pre-garbled comparison circuits up to
+    /// `target` (one per future email). Returns the number of circuits
+    /// garbled. Run this on idle cycles between rounds; the per-email path
+    /// then skips garbling entirely.
+    pub fn precompute<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> usize {
+        self.ready.refill(&self.circuit, target, rng)
+    }
+
+    /// Emails the offline pool can currently serve without inline garbling.
+    pub fn pool_depth(&self) -> usize {
+        self.ready.depth()
     }
 
     /// Per-email phase, provider side: decrypts the blinded dot products and
@@ -202,12 +231,16 @@ impl SpamProvider {
         let mask = bits_mask(self.width);
         let mut garbler_bits = to_bits(blinded[1] & mask, self.width); // spam column
         garbler_bits.extend(to_bits(blinded[0] & mask, self.width)); // ham column
-        self.yao.run(
+
+        // Online phase: draw an offline-garbled circuit if one is pooled,
+        // fall back to inline garbling otherwise.
+        let pre = self.ready.draw(&self.circuit, rng);
+        self.yao.run_precomputed(
             channel,
             &self.circuit,
+            pre,
             &garbler_bits,
             OutputMode::EvaluatorOnly,
-            rng,
         )?;
         Ok(())
     }
@@ -299,7 +332,30 @@ impl SpamClient {
             width,
             bias_row: rows - 1,
             max_freq: config.max_frequency(),
+            pool: pretzel_paillier::RandomnessPool::new(),
         })
+    }
+
+    /// Offline phase: precomputes the Paillier randomizers `target` future
+    /// rounds will consume (Baseline variant; a no-op returning 0 for the
+    /// Pretzel variant). Returns the number of randomizers computed.
+    pub fn precompute<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> usize {
+        match &self.crypto {
+            ClientCrypto::Baseline { pk, model } => {
+                self.pool
+                    .refill(pk, target.saturating_mul(model.result_ciphertexts()), rng)
+            }
+            ClientCrypto::Pretzel { .. } => 0,
+        }
+    }
+
+    /// Rounds the offline pool can currently serve without inline
+    /// exponentiations (always 0 for the Pretzel variant).
+    pub fn pool_depth(&self) -> usize {
+        match &self.crypto {
+            ClientCrypto::Baseline { model, .. } => self.pool.len() / model.result_ciphertexts(),
+            ClientCrypto::Pretzel { .. } => 0,
+        }
     }
 
     /// Client-side storage consumed by the encrypted model in bytes — the
@@ -341,7 +397,13 @@ impl SpamClient {
                 noise
             }
             ClientCrypto::Baseline { pk, model } => {
-                let result = paillier_pack::client_dot_product(pk, model, &sparse, rng)?;
+                let result = paillier_pack::client_dot_product_pooled(
+                    pk,
+                    model,
+                    &sparse,
+                    &mut self.pool,
+                    rng,
+                )?;
                 let (blinded, noise) = paillier_pack::blind(pk, model, &result[0], 2, rng);
                 channel.send(&blinded.to_bytes(pk))?;
                 noise
@@ -393,6 +455,58 @@ mod tests {
             corpus.push(example(&[(4 + i % 4, 2), (4 + (i + 1) % 4, 1)], 0));
         }
         GrNbTrainer::default().train(&corpus, 8, 2)
+    }
+
+    /// Like `run_spam_exchange`, but with both endpoints running an offline
+    /// precompute phase sized `budget` before (and between) rounds. The
+    /// verdicts must be identical to the inline path for every budget,
+    /// including 0 (pure fallback) and budgets larger than the round count.
+    fn run_spam_exchange_precomputed(variant: AheVariant, budget: usize) {
+        let model = train_model();
+        let config = PretzelConfig::test();
+        let config_client = config.clone();
+        let spam_email = SparseVector::from_pairs(vec![(0, 3), (1, 1), (2, 1)]);
+        let ham_email = SparseVector::from_pairs(vec![(4, 2), (5, 2), (6, 1)]);
+
+        let (provider_res, client_res) = run_two_party(
+            move |chan| -> Result<usize> {
+                let mut rng = rand::thread_rng();
+                let mut provider = SpamProvider::setup(chan, &model, &config, variant, &mut rng)?;
+                let garbled = provider.precompute(budget, &mut rng);
+                assert_eq!(garbled, budget);
+                assert_eq!(provider.pool_depth(), budget);
+                provider.process_email(chan, &mut rng)?;
+                provider.process_email(chan, &mut rng)?;
+                assert_eq!(provider.pool_depth(), budget.saturating_sub(2));
+                Ok(provider.precompute(budget, &mut rng))
+            },
+            move |chan| -> Result<(bool, bool)> {
+                let mut rng = rand::thread_rng();
+                let mut client = SpamClient::setup(chan, &config_client, variant, &mut rng)?;
+                client.precompute(budget, &mut rng);
+                if variant == AheVariant::Baseline {
+                    assert_eq!(client.pool_depth(), budget);
+                } else {
+                    assert_eq!(client.pool_depth(), 0);
+                }
+                let spam_result = client.classify(chan, &spam_email, &mut rng)?;
+                let ham_result = client.classify(chan, &ham_email, &mut rng)?;
+                Ok((spam_result, ham_result))
+            },
+        );
+        let topped_up = provider_res.unwrap();
+        assert_eq!(topped_up, budget.min(2), "top-up replaces consumed rounds");
+        let (spam_result, ham_result) = client_res.unwrap();
+        assert!(spam_result, "{variant:?} budget {budget}: spam must flag");
+        assert!(!ham_result, "{variant:?} budget {budget}: ham must pass");
+    }
+
+    #[test]
+    fn precompute_budgets_do_not_change_verdicts() {
+        for budget in [0usize, 1, 8] {
+            run_spam_exchange_precomputed(AheVariant::Baseline, budget);
+            run_spam_exchange_precomputed(AheVariant::Pretzel, budget);
+        }
     }
 
     fn run_spam_exchange(variant: AheVariant) {

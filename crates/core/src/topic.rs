@@ -19,7 +19,8 @@ use rand::Rng;
 
 use pretzel_classifiers::{LinearModel, SparseVector};
 use pretzel_gc::{
-    from_bits, to_bits, topic_argmax_circuit, Circuit, OutputMode, YaoEvaluator, YaoGarbler,
+    from_bits, to_bits, topic_argmax_circuit, Circuit, GarblingPool, OutputMode, YaoEvaluator,
+    YaoGarbler,
 };
 use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
 use pretzel_sdp::rlwe_pack::{self, Packing};
@@ -53,7 +54,9 @@ enum ProviderCrypto {
         sk: pretzel_rlwe::SecretKey,
     },
     Baseline {
-        sk: pretzel_paillier::SecretKey,
+        // Boxed: a Paillier secret key (CRT contexts included) dwarfs the
+        // RLWE variant, and clippy::large_enum_variant fires otherwise.
+        sk: Box<pretzel_paillier::SecretKey>,
         slot_bits: u32,
         slots_per_ct: usize,
     },
@@ -95,6 +98,11 @@ pub struct TopicClient {
     max_freq: u64,
     /// Public, non-proprietary candidate model (required for decomposition).
     candidate_model: Option<LinearModel>,
+    /// Offline-garbled argmax circuits awaiting their online rounds (the
+    /// client garbles in this module — roles are mirrored vs. spam).
+    ready: GarblingPool,
+    /// Offline-precomputed Paillier randomizers (Baseline variant only).
+    pool: pretzel_paillier::RandomnessPool,
 }
 
 impl TopicProvider {
@@ -157,7 +165,7 @@ impl TopicProvider {
                 channel.send(&blob)?;
                 (
                     ProviderCrypto::Baseline {
-                        sk,
+                        sk: Box::new(sk),
                         slot_bits: config.paillier_slot_bits,
                         slots_per_ct,
                     },
@@ -185,6 +193,19 @@ impl TopicProvider {
     /// number of categories in the model.
     pub fn output_bits_per_email(&self) -> usize {
         self.index_width
+    }
+
+    /// Offline phase, provider side: a no-op returning 0. The topic provider
+    /// evaluates (the client garbles, so the circuit pool lives in
+    /// [`TopicClient`]), and its CRT decryption contexts are precomputed once
+    /// at key generation.
+    pub fn precompute<R: Rng + ?Sized>(&mut self, _target: usize, _rng: &mut R) -> usize {
+        0
+    }
+
+    /// Always 0 — see [`TopicProvider::precompute`].
+    pub fn pool_depth(&self) -> usize {
+        0
     }
 
     /// Per-email phase, provider side: decrypts the blinded candidate dot
@@ -355,7 +376,29 @@ impl TopicClient {
             bias_row: rows - 1,
             max_freq: config.max_frequency(),
             candidate_model,
+            ready: GarblingPool::new(),
+            pool: pretzel_paillier::RandomnessPool::new(),
         })
+    }
+
+    /// Offline phase, client side: pre-garbles argmax circuits (the client
+    /// is the garbler here) and, for the Baseline variant, precomputes the
+    /// Paillier randomizers `target` future rounds will consume. Returns the
+    /// number of work units (circuits + randomizers) produced.
+    pub fn precompute<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> usize {
+        let mut added = self.ready.refill(&self.circuit, target, rng);
+        if let ClientCrypto::Baseline { pk, model } = &self.crypto {
+            added += self
+                .pool
+                .refill(pk, target.saturating_mul(model.result_ciphertexts()), rng);
+        }
+        added
+    }
+
+    /// Rounds the offline circuit pool can currently serve without inline
+    /// garbling.
+    pub fn pool_depth(&self) -> usize {
+        self.ready.depth()
     }
 
     /// Client-side storage consumed by the encrypted model (Figure 12).
@@ -443,7 +486,13 @@ impl TopicClient {
                 }
             }
             ClientCrypto::Baseline { pk, model } => {
-                let accs = paillier_pack::client_dot_product(pk, model, &sparse, rng)?;
+                let accs = paillier_pack::client_dot_product_pooled(
+                    pk,
+                    model,
+                    &sparse,
+                    &mut self.pool,
+                    rng,
+                )?;
                 let slots = model.slots_per_ct();
                 let mut noises = vec![0u64; self.categories];
                 let mut blob = Vec::new();
@@ -475,12 +524,15 @@ impl TopicClient {
             };
             garbler_bits.extend(to_bits(noise & mask, self.width));
         }
-        self.yao.run(
+        // Online phase: draw an offline-garbled circuit if one is pooled,
+        // fall back to inline garbling otherwise.
+        let pre = self.ready.draw(&self.circuit, rng);
+        self.yao.run_precomputed(
             channel,
             &self.circuit,
+            pre,
             &garbler_bits,
             OutputMode::EvaluatorOnly,
-            rng,
         )?;
         Ok(candidate_cols)
     }
@@ -614,6 +666,58 @@ mod tests {
     #[test]
     fn pretzel_decomposed_topic_extraction() {
         run_topic_exchange(AheVariant::Pretzel, CandidateMode::Decomposed(3));
+    }
+
+    /// The offline circuit pool lives client-side in this module; warming it
+    /// must not change the topic the provider learns.
+    #[test]
+    fn precomputed_topic_extraction_matches_inline() {
+        let corpus = topic_corpus();
+        let model = MultinomialNbTrainer::default().train(&corpus, 24, 6);
+        let provider_model = model.clone();
+        let config = PretzelConfig::test();
+        let config_client = config.clone();
+        let email = SparseVector::from_pairs(vec![(8, 3), (9, 2), (10, 1)]);
+
+        let (provider_res, client_res) = run_two_party(
+            move |chan| -> Result<Vec<usize>> {
+                let mut rng = rand::thread_rng();
+                let mut provider = TopicProvider::setup(
+                    chan,
+                    &provider_model,
+                    &config,
+                    AheVariant::Baseline,
+                    CandidateMode::Full,
+                    &mut rng,
+                )?;
+                assert_eq!(provider.precompute(4, &mut rng), 0, "evaluator side");
+                assert_eq!(provider.pool_depth(), 0);
+                let t1 = provider.process_email(chan)?;
+                let t2 = provider.process_email(chan)?;
+                Ok(vec![t1, t2])
+            },
+            move |chan| -> Result<()> {
+                let mut rng = rand::thread_rng();
+                let mut client = TopicClient::setup(
+                    chan,
+                    &config_client,
+                    AheVariant::Baseline,
+                    CandidateMode::Full,
+                    None,
+                    &mut rng,
+                )?;
+                // Warm one round's worth: round 1 draws from the pool,
+                // round 2 hits the dry-pool inline fallback.
+                assert!(client.precompute(1, &mut rng) > 0);
+                assert_eq!(client.pool_depth(), 1);
+                client.extract(chan, &email, &mut rng)?;
+                assert_eq!(client.pool_depth(), 0);
+                client.extract(chan, &email, &mut rng)?;
+                Ok(())
+            },
+        );
+        client_res.unwrap();
+        assert_eq!(provider_res.unwrap(), vec![2, 2]);
     }
 
     #[test]

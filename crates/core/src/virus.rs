@@ -138,6 +138,17 @@ impl VirusScanProvider {
     ) -> Result<()> {
         self.inner.process_email(channel, rng)
     }
+
+    /// Offline phase: pre-garbles comparison circuits for `target` future
+    /// scans (delegates to the spam machinery this module reuses).
+    pub fn precompute<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> usize {
+        self.inner.precompute(target, rng)
+    }
+
+    /// Scans the offline pool can currently serve without inline garbling.
+    pub fn pool_depth(&self) -> usize {
+        self.inner.pool_depth()
+    }
 }
 
 /// Client endpoint of the virus-scanning module.
@@ -178,6 +189,17 @@ impl VirusScanClient {
     /// Client-side storage consumed by the encrypted model, in bytes.
     pub fn model_storage_bytes(&self) -> usize {
         self.inner.model_storage_bytes()
+    }
+
+    /// Offline phase: precomputes the Baseline Paillier randomizers `target`
+    /// future scans will consume (no-op for the Pretzel variant).
+    pub fn precompute<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> usize {
+        self.inner.precompute(target, rng)
+    }
+
+    /// Scans the offline pool can currently serve without inline work.
+    pub fn pool_depth(&self) -> usize {
+        self.inner.pool_depth()
     }
 
     /// Scans one attachment; returns `true` when it is classified malicious.

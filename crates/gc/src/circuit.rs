@@ -60,6 +60,62 @@ impl Circuit {
             .count()
     }
 
+    /// FNV-1a fingerprint of the full circuit structure — wire counts,
+    /// input/output assignments, constants, and every gate's kind and
+    /// wiring. Two circuits with equal fingerprints are (up to hash
+    /// collision) the same function, so a precomputed garbling tagged with
+    /// this value can be validated against the circuit it is consumed with,
+    /// not just against matching wire/gate counts.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_wires as u64);
+        mix(self.garbler_inputs.len() as u64);
+        for &w in &self.garbler_inputs {
+            mix(w as u64);
+        }
+        mix(self.evaluator_inputs.len() as u64);
+        for &w in &self.evaluator_inputs {
+            mix(w as u64);
+        }
+        mix(self.const_zero.map_or(u64::MAX, |w| w as u64));
+        mix(self.const_one.map_or(u64::MAX, |w| w as u64));
+        mix(self.gates.len() as u64);
+        for g in &self.gates {
+            match *g {
+                Gate::Xor { a, b, out } => {
+                    mix(0);
+                    mix(a as u64);
+                    mix(b as u64);
+                    mix(out as u64);
+                }
+                Gate::And { a, b, out } => {
+                    mix(1);
+                    mix(a as u64);
+                    mix(b as u64);
+                    mix(out as u64);
+                }
+                Gate::Inv { a, out } => {
+                    mix(2);
+                    mix(a as u64);
+                    mix(out as u64);
+                }
+            }
+        }
+        mix(self.outputs.len() as u64);
+        for &w in &self.outputs {
+            mix(w as u64);
+        }
+        h
+    }
+
     /// Evaluates the circuit on plaintext bits (test oracle).
     pub fn eval_plain(&self, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
         assert_eq!(garbler_bits.len(), self.garbler_inputs.len());

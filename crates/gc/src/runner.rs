@@ -6,13 +6,20 @@
 //! over the channel. This mirrors the paper's amortization of expensive
 //! public-key work into setup (§3.3) and keeps the per-email Yao cost at the
 //! symmetric-key level measured in Figure 6.
+//!
+//! The garbler's per-round work splits further into an offline and an online
+//! half: garbling the circuit needs no input from either party, only
+//! randomness, so it can happen ahead of time. [`PrecomputedGarbling::garble`]
+//! produces that offline artifact and [`YaoGarbler::run_precomputed`]
+//! consumes it; [`YaoGarbler::run`] is the inline composition of the two and
+//! produces byte-for-byte the same transcript.
 
 use rand::Rng;
 
 use pretzel_transport::Channel;
 
 use crate::circuit::Circuit;
-use crate::garble::{decode_outputs, evaluate, garble, Label};
+use crate::garble::{decode_outputs, evaluate, garble, Garbling, Label};
 use crate::ot::OtGroup;
 use crate::otext::{OtExtReceiver, OtExtSender};
 use crate::GcError;
@@ -28,6 +35,86 @@ pub enum OutputMode {
     GarblerOnly,
     /// Both parties learn the output.
     Both,
+}
+
+/// One circuit's worth of offline garbler work: the tables and labels of
+/// [`garble`], produced ahead of the online round and consumed by
+/// [`YaoGarbler::run_precomputed`].
+///
+/// Function modules keep a queue of these per session (their "pool"); when
+/// the queue runs dry the round garbles inline instead — the evaluator
+/// cannot tell the difference.
+pub struct PrecomputedGarbling {
+    garbling: Garbling,
+    /// [`Circuit::fingerprint`] of the circuit this was garbled for.
+    fingerprint: u64,
+}
+
+impl PrecomputedGarbling {
+    /// Runs the offline phase for `circuit`: garbles it with randomness from
+    /// `rng`.
+    pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Self {
+        PrecomputedGarbling {
+            garbling: garble(circuit, rng),
+            fingerprint: circuit.fingerprint(),
+        }
+    }
+
+    /// True when this artifact was produced for exactly this circuit — the
+    /// structural [`Circuit::fingerprint`] must match, not merely the wire
+    /// and gate counts, so tables from a different same-shaped circuit are
+    /// rejected instead of silently computing the wrong function.
+    pub fn matches(&self, circuit: &Circuit) -> bool {
+        self.fingerprint == circuit.fingerprint()
+    }
+}
+
+/// A FIFO pool of offline-garbled circuits for one fixed circuit shape —
+/// the per-session "bank" the function modules draw from on the online
+/// path. [`GarblingPool::refill`] is the offline phase,
+/// [`GarblingPool::draw`] the online one; a dry pool transparently falls
+/// back to inline garbling, so depth only ever moves latency, never
+/// semantics.
+#[derive(Default)]
+pub struct GarblingPool {
+    ready: std::collections::VecDeque<PrecomputedGarbling>,
+}
+
+impl GarblingPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offline phase: tops the pool up to `target` garbled circuits,
+    /// returning the number freshly garbled.
+    pub fn refill<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        target: usize,
+        rng: &mut R,
+    ) -> usize {
+        let mut added = 0;
+        while self.ready.len() < target {
+            self.ready
+                .push_back(PrecomputedGarbling::garble(circuit, rng));
+            added += 1;
+        }
+        added
+    }
+
+    /// Rounds the pool can currently serve without inline garbling.
+    pub fn depth(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Online phase: pops the oldest banked garbling, garbling inline when
+    /// the pool is dry.
+    pub fn draw<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) -> PrecomputedGarbling {
+        self.ready
+            .pop_front()
+            .unwrap_or_else(|| PrecomputedGarbling::garble(circuit, rng))
+    }
 }
 
 /// Garbler endpoint with persistent OT-extension state.
@@ -54,7 +141,8 @@ impl YaoGarbler {
 
     /// Garbles `circuit`, feeds in the garbler's input bits, serves the
     /// evaluator's labels via OT extension, and (depending on `mode`)
-    /// receives the output.
+    /// receives the output. Equivalent to [`PrecomputedGarbling::garble`]
+    /// followed by [`YaoGarbler::run_precomputed`].
     pub fn run<C: Channel>(
         &mut self,
         channel: &mut C,
@@ -63,6 +151,21 @@ impl YaoGarbler {
         mode: OutputMode,
         rng: &mut (impl Rng + ?Sized),
     ) -> Result<Option<Vec<bool>>, GcError> {
+        let pre = PrecomputedGarbling::garble(circuit, rng);
+        self.run_precomputed(channel, circuit, pre, my_inputs, mode)
+    }
+
+    /// Online phase: runs one round consuming an offline
+    /// [`PrecomputedGarbling`] — no fresh garbling happens here, only input
+    /// labeling, OT extension and output decoding.
+    pub fn run_precomputed<C: Channel>(
+        &mut self,
+        channel: &mut C,
+        circuit: &Circuit,
+        pre: PrecomputedGarbling,
+        my_inputs: &[bool],
+        mode: OutputMode,
+    ) -> Result<Option<Vec<bool>>, GcError> {
         if my_inputs.len() != circuit.garbler_inputs.len() {
             return Err(GcError::Protocol(format!(
                 "garbler supplied {} input bits, circuit expects {}",
@@ -70,7 +173,12 @@ impl YaoGarbler {
                 circuit.garbler_inputs.len()
             )));
         }
-        let garbling = garble(circuit, rng);
+        if !pre.matches(circuit) {
+            return Err(GcError::Protocol(
+                "precomputed garbling does not match the circuit shape".into(),
+            ));
+        }
+        let garbling = pre.garbling;
 
         // Message 1: garbled tables, garbler's active input labels, constant
         // wire labels.
@@ -381,6 +489,123 @@ mod tests {
             },
         );
         assert_eq!(e_outs, vec![true, false, false]);
+    }
+
+    #[test]
+    fn precomputed_garbling_gives_the_same_verdicts_as_inline() {
+        // Three emails: round 1 and 3 consume offline artifacts, round 2
+        // falls back to inline garbling — the evaluator must not notice.
+        let width = 16;
+        let circuit = spam_compare_circuit(width);
+        let circuit_b = circuit.clone();
+        let group = test_group();
+        let group_b = group.clone();
+        let mask = (1u64 << width) - 1;
+        let cases = [(500u64, 100u64), (100, 500), (300, 300)];
+
+        let (_, e_outs) = run_two_party(
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut garbler = YaoGarbler::setup(chan, &group, &mut rng).unwrap();
+                // Offline phase: two artifacts garbled ahead of time.
+                let mut pool = vec![
+                    PrecomputedGarbling::garble(&circuit, &mut rng),
+                    PrecomputedGarbling::garble(&circuit, &mut rng),
+                ];
+                for (i, (d_spam, d_ham)) in cases.into_iter().enumerate() {
+                    let n0 = 999u64 & mask;
+                    let n1 = 444u64 & mask;
+                    let mut bits = to_bits((d_spam + n0) & mask, width);
+                    bits.extend(to_bits((d_ham + n1) & mask, width));
+                    if i == 1 {
+                        // Pool dry for this round: inline fallback.
+                        garbler
+                            .run(chan, &circuit, &bits, OutputMode::EvaluatorOnly, &mut rng)
+                            .unwrap();
+                    } else {
+                        let pre = pool.pop().unwrap();
+                        assert!(pre.matches(&circuit));
+                        garbler
+                            .run_precomputed(chan, &circuit, pre, &bits, OutputMode::EvaluatorOnly)
+                            .unwrap();
+                    }
+                }
+            },
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut evaluator = YaoEvaluator::setup(chan, &group_b, &mut rng).unwrap();
+                let mut outs = Vec::new();
+                for _ in cases {
+                    let n0 = 999u64 & mask;
+                    let n1 = 444u64 & mask;
+                    let mut bits = to_bits(n0, width);
+                    bits.extend(to_bits(n1, width));
+                    let out = evaluator
+                        .run(chan, &circuit_b, &bits, OutputMode::EvaluatorOnly)
+                        .unwrap();
+                    outs.push(out.unwrap()[0]);
+                }
+                outs
+            },
+        );
+        assert_eq!(e_outs, vec![true, false, false]);
+    }
+
+    #[test]
+    fn mismatched_precomputed_garbling_is_rejected() {
+        let circuit = spam_compare_circuit(8);
+        let other = spam_compare_circuit(16);
+        let mut rng = rand::thread_rng();
+        let pre = PrecomputedGarbling::garble(&other, &mut rng);
+        assert!(!pre.matches(&circuit));
+        let group = test_group();
+        let group_b = group.clone();
+        let (g_res, _) = run_two_party(
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut garbler = YaoGarbler::setup(chan, &group, &mut rng).unwrap();
+                garbler.run_precomputed(
+                    chan,
+                    &circuit,
+                    pre,
+                    &[false; 16],
+                    OutputMode::EvaluatorOnly,
+                )
+            },
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let _ = YaoEvaluator::setup(chan, &group_b, &mut rng).unwrap();
+            },
+        );
+        assert!(g_res.is_err());
+    }
+
+    #[test]
+    fn same_shape_different_circuit_garbling_is_rejected() {
+        // Two structurally different circuits with identical wire and gate
+        // counts: only the fingerprint tells them apart, and a garbling from
+        // one must not validate against the other.
+        use crate::circuit::{CircuitBuilder, InputOwner};
+
+        let mut a = CircuitBuilder::new();
+        let xa = a.input(InputOwner::Garbler, 1);
+        let ya = a.input(InputOwner::Evaluator, 1);
+        let out_a = a.and(xa.bits[0], ya.bits[0]);
+        a.output(out_a);
+        let circuit_a = a.build();
+
+        let mut b = CircuitBuilder::new();
+        let xb = b.input(InputOwner::Garbler, 1);
+        let yb = b.input(InputOwner::Evaluator, 1);
+        let out_b = b.and(yb.bits[0], xb.bits[0]); // swapped: same shape, different wiring
+        b.output(out_b);
+        let circuit_b = b.build();
+
+        assert_eq!(circuit_a.and_count(), circuit_b.and_count());
+        assert_eq!(circuit_a.num_wires, circuit_b.num_wires);
+        let pre = PrecomputedGarbling::garble(&circuit_a, &mut rand::thread_rng());
+        assert!(pre.matches(&circuit_a));
+        assert!(!pre.matches(&circuit_b));
     }
 
     #[test]

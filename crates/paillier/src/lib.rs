@@ -14,10 +14,27 @@
 //! * `Dec(c) = L(c^λ mod n²) · μ mod n`.
 //! * Homomorphic addition is ciphertext multiplication mod `n²`; multiplying
 //!   a plaintext by a constant is ciphertext exponentiation.
+//!
+//! # Offline/online split
+//!
+//! Pretzel's staging (§3.3) moves the expensive public-key work out of the
+//! per-email path, and this crate supports both halves of that split:
+//!
+//! * **Decryption** runs CRT-style: two half-size exponentiations mod `p²`
+//!   and `q²` over precomputed [`Montgomery`] contexts, recombined with
+//!   Garner's formula. The one-exponentiation reference path is kept as
+//!   [`SecretKey::decrypt_inline`] for cross-checking and benchmarks.
+//! * **Encryption** can draw its randomizer `rⁿ mod n²` from a
+//!   [`RandomnessPool`] filled offline ([`PublicKey::encrypt_pooled`]), which
+//!   turns the online cost into a single modular multiplication. An empty
+//!   pool falls back to the inline exponentiation, so correctness never
+//!   depends on pool depth.
+
+use std::collections::VecDeque;
 
 use rand::Rng;
 
-use pretzel_bignum::{gen_prime, mod_inv, BigUint, Montgomery};
+use pretzel_bignum::{crt_combine, gen_prime, mod_inv, BigUint, Montgomery};
 
 /// Errors from Paillier operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,11 +72,61 @@ impl PartialEq for PublicKey {
 
 impl Eq for PublicKey {}
 
+/// Per-prime half of the CRT decryption context: everything needed to map a
+/// ciphertext to its plaintext residue modulo one prime factor.
+#[derive(Clone, Debug)]
+struct CrtPrime {
+    /// The prime factor (`p` or `q`).
+    prime: BigUint,
+    /// Montgomery context mod `prime²` (precomputed once at key generation).
+    mont_sq: Montgomery,
+    /// The half-size exponent `prime - 1`.
+    exp: BigUint,
+    /// `L_prime(g^(prime-1) mod prime²)⁻¹ mod prime`, with
+    /// `L_prime(x) = (x-1)/prime`.
+    h: BigUint,
+}
+
+impl CrtPrime {
+    fn new(prime: &BigUint, n: &BigUint) -> Option<Self> {
+        let sq = prime.clone() * prime.clone();
+        let exp = prime.clone() - BigUint::one();
+        // g = n + 1, so g^(prime-1) mod prime² = 1 + (prime-1)·n mod prime²
+        // and L_prime of it is (prime-1)·(n/prime) mod prime.
+        let l_val = (exp.clone() * (n.clone() / prime.clone())) % prime.clone();
+        let h = mod_inv(&l_val, prime).ok()?;
+        Some(CrtPrime {
+            prime: prime.clone(),
+            mont_sq: Montgomery::new(sq),
+            exp,
+            h,
+        })
+    }
+
+    /// The plaintext residue of `c` modulo this prime.
+    fn residue(&self, c: &BigUint) -> Result<BigUint, PaillierError> {
+        let x = self.mont_sq.pow(c, &self.exp);
+        let minus_one = x
+            .checked_sub(&BigUint::one())
+            .ok_or(PaillierError::InvalidCiphertext)?;
+        let (l, r) = minus_one.div_rem(&self.prime);
+        if !r.is_zero() {
+            // Happens iff gcd(c, prime) != 1 — not a valid ciphertext.
+            return Err(PaillierError::InvalidCiphertext);
+        }
+        Ok((l * self.h.clone()) % self.prime.clone())
+    }
+}
+
 /// Paillier secret key.
 #[derive(Clone, Debug)]
 pub struct SecretKey {
     lambda: BigUint,
     mu: BigUint,
+    /// CRT contexts for the two prime factors and `p⁻¹ mod q`.
+    crt_p: CrtPrime,
+    crt_q: CrtPrime,
+    p_inv_q: BigUint,
     public: PublicKey,
 }
 
@@ -139,9 +206,19 @@ impl PublicKey {
         m: &BigUint,
         rng: &mut R,
     ) -> Result<Ciphertext, PaillierError> {
+        // Reject before sampling: an invalid plaintext must not cost an
+        // n-bit exponentiation or advance the RNG stream.
         if m >= &self.n {
             return Err(PaillierError::PlaintextOutOfRange);
         }
+        let rn = self.sample_randomizer(rng);
+        self.encrypt_with_randomizer(m, &rn)
+    }
+
+    /// Samples a fresh encryption randomizer `rⁿ mod n²` — the expensive,
+    /// message-independent half of [`PublicKey::encrypt`]. This is the unit
+    /// of work a [`RandomnessPool`] precomputes offline.
+    pub fn sample_randomizer<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
         // r uniform in [1, n) and coprime to n (overwhelmingly likely).
         let r = loop {
             let candidate = BigUint::random_below(rng, &self.n);
@@ -149,12 +226,55 @@ impl PublicKey {
                 break candidate;
             }
         };
+        self.mont_n2.pow(&r, &self.n)
+    }
+
+    /// Encrypts `m` with a caller-supplied randomizer `rn = rⁿ mod n²`: one
+    /// Montgomery multiplication, the cheap online half of the split.
+    pub fn encrypt_with_randomizer(
+        &self,
+        m: &BigUint,
+        rn: &BigUint,
+    ) -> Result<Ciphertext, PaillierError> {
+        if m >= &self.n {
+            return Err(PaillierError::PlaintextOutOfRange);
+        }
         // (1 + n*m) mod n^2
         let gm = (BigUint::one() + self.n.clone() * m.clone()) % self.n_squared.clone();
-        let rn = self.mont_n2.pow(&r, &self.n);
         Ok(Ciphertext {
-            value: self.mont_n2.mul(&gm, &rn),
+            value: self.mont_n2.mul(&gm, rn),
         })
+    }
+
+    /// Encrypts `m` drawing the randomizer from `pool`; falls back to the
+    /// inline exponentiation when the pool is empty (or was filled for a
+    /// different key). Pooled and inline ciphertexts are interchangeable —
+    /// they decrypt identically and have identical wire size.
+    pub fn encrypt_pooled<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        pool: &mut RandomnessPool,
+        rng: &mut R,
+    ) -> Result<Ciphertext, PaillierError> {
+        // Reject before drawing: an invalid plaintext must not burn a
+        // precomputed randomizer (or an inline exponentiation).
+        if m >= &self.n {
+            return Err(PaillierError::PlaintextOutOfRange);
+        }
+        let rn = pool
+            .take_for(self)
+            .unwrap_or_else(|| self.sample_randomizer(rng));
+        self.encrypt_with_randomizer(m, &rn)
+    }
+
+    /// Pooled counterpart of [`PublicKey::encrypt_zero`].
+    pub fn encrypt_zero_pooled<R: Rng + ?Sized>(
+        &self,
+        pool: &mut RandomnessPool,
+        rng: &mut R,
+    ) -> Ciphertext {
+        self.encrypt_pooled(&BigUint::zero(), pool, rng)
+            .expect("zero is always in range")
     }
 
     /// Encrypts a `u64` plaintext.
@@ -208,13 +328,44 @@ impl SecretKey {
     }
 
     /// Decrypts a ciphertext to its plaintext in `[0, n)`.
+    ///
+    /// Runs the CRT fast path: one half-size exponentiation mod `p²` and one
+    /// mod `q²` (contexts precomputed at key generation), recombined with
+    /// Garner's formula — several times faster than the single `λ`-power
+    /// reference path, which is kept as [`SecretKey::decrypt_inline`].
     pub fn decrypt(&self, c: &Ciphertext) -> Result<BigUint, PaillierError> {
-        if c.value.is_zero() || c.value >= self.public.n_squared {
-            return Err(PaillierError::InvalidCiphertext);
-        }
+        self.check_ciphertext_range(c)?;
+        let mp = self.crt_p.residue(&c.value)?;
+        let mq = self.crt_q.residue(&c.value)?;
+        Ok(crt_combine(
+            &mp,
+            &mq,
+            &self.crt_p.prime,
+            &self.crt_q.prime,
+            &self.p_inv_q,
+        ))
+    }
+
+    /// Reference decryption via the textbook `L(c^λ mod n²)·μ mod n` formula.
+    ///
+    /// Kept alongside [`SecretKey::decrypt`] so tests can pin the CRT path
+    /// against it and `bench_phase_split` can measure the speedup.
+    pub fn decrypt_inline(&self, c: &Ciphertext) -> Result<BigUint, PaillierError> {
+        self.check_ciphertext_range(c)?;
         let u = self.public.mont_n2.pow(&c.value, &self.lambda);
         let l = self.l_function(&u)?;
         Ok((l * self.mu.clone()) % self.public.n.clone())
+    }
+
+    /// Rejects values outside `Z*_{n²}`'s representative range. Without this
+    /// check a ciphertext `>= n²` would be *silently reduced* by the
+    /// Montgomery conversion inside the exponentiation, accepting a
+    /// non-canonical encoding that decrypts like its reduced twin.
+    fn check_ciphertext_range(&self, c: &Ciphertext) -> Result<(), PaillierError> {
+        if c.value.is_zero() || c.value >= self.public.n_squared {
+            return Err(PaillierError::InvalidCiphertext);
+        }
+        Ok(())
     }
 
     /// Decrypts to a `u64`, if it fits.
@@ -234,6 +385,63 @@ impl SecretKey {
             return Err(PaillierError::InvalidCiphertext);
         }
         Ok(q)
+    }
+}
+
+/// FIFO pool of precomputed encryption randomizers `rⁿ mod n²` for one
+/// public key — the offline half of the paper's per-email staging (§3.3).
+///
+/// Filling the pool ([`RandomnessPool::refill`]) costs one full
+/// exponentiation per entry and can run whenever the CPU is idle; drawing
+/// from it ([`PublicKey::encrypt_pooled`]) makes the online encryption a
+/// single modular multiplication. The pool is bound to the key that filled
+/// it: refilling for a different key clears stale entries, and
+/// `encrypt_pooled` with a mismatched pool simply falls back inline.
+#[derive(Clone, Debug, Default)]
+pub struct RandomnessPool {
+    /// Modulus of the key the pooled randomizers were computed for.
+    n: Option<BigUint>,
+    factors: VecDeque<BigUint>,
+}
+
+impl RandomnessPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled randomizers (= online encryptions covered).
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Tops the pool up to `target` randomizers for `pk`, returning how many
+    /// were added. A pool previously filled for a different key is cleared
+    /// first.
+    pub fn refill<R: Rng + ?Sized>(&mut self, pk: &PublicKey, target: usize, rng: &mut R) -> usize {
+        if self.n.as_ref() != Some(&pk.n) {
+            self.factors.clear();
+            self.n = Some(pk.n.clone());
+        }
+        let mut added = 0;
+        while self.factors.len() < target {
+            self.factors.push_back(pk.sample_randomizer(rng));
+            added += 1;
+        }
+        added
+    }
+
+    /// Pops one randomizer if the pool belongs to `pk` and is non-empty.
+    fn take_for(&mut self, pk: &PublicKey) -> Option<BigUint> {
+        if self.n.as_ref() != Some(&pk.n) {
+            return None;
+        }
+        self.factors.pop_front()
     }
 }
 
@@ -269,13 +477,26 @@ pub fn keygen<R: Rng + ?Sized>(n_bits: usize, rng: &mut R) -> SecretKey {
             Ok(mu) => mu,
             Err(_) => continue,
         };
+        let (Some(crt_p), Some(crt_q)) = (CrtPrime::new(&p, &n), CrtPrime::new(&q, &n)) else {
+            continue;
+        };
+        let Ok(p_inv_q) = mod_inv(&p, &q) else {
+            continue;
+        };
 
         let public = PublicKey {
             n,
             n_squared,
             mont_n2,
         };
-        return SecretKey { lambda, mu, public };
+        return SecretKey {
+            lambda,
+            mu,
+            crt_p,
+            crt_q,
+            p_inv_q,
+            public,
+        };
     }
 }
 
@@ -421,5 +642,143 @@ mod tests {
         let a = keygen(128, &mut rng);
         let b = keygen(128, &mut rng);
         assert_ne!(a.public().n(), b.public().n());
+    }
+
+    #[test]
+    fn crt_decrypt_matches_inline_reference() {
+        let sk = test_key();
+        let pk = sk.public();
+        let mut rng = rand::thread_rng();
+        for _ in 0..10 {
+            let m = BigUint::random_below(&mut rng, pk.n());
+            let c = pk.encrypt(&m, &mut rng).unwrap();
+            assert_eq!(sk.decrypt(&c).unwrap(), m);
+            assert_eq!(sk.decrypt_inline(&c).unwrap(), m);
+        }
+    }
+
+    /// Regression test: a ciphertext `>= n²` must be rejected, not silently
+    /// reduced by the Montgomery conversion inside the exponentiation. Both
+    /// decryption paths must agree on the rejection.
+    #[test]
+    fn ciphertext_at_or_above_n_squared_rejected() {
+        let sk = test_key();
+        let pk = sk.public();
+        let mut rng = rand::thread_rng();
+        let c = pk.encrypt_u64(77, &mut rng).unwrap();
+        // c + n² encodes the same residue but is a non-canonical wire value.
+        let shifted = Ciphertext {
+            value: c.value().clone() + pk.n().clone() * pk.n().clone(),
+        };
+        assert_eq!(
+            sk.decrypt(&shifted).unwrap_err(),
+            PaillierError::InvalidCiphertext
+        );
+        assert_eq!(
+            sk.decrypt_inline(&shifted).unwrap_err(),
+            PaillierError::InvalidCiphertext
+        );
+        // Exactly n² is also out of range.
+        let at_bound = Ciphertext {
+            value: pk.n().clone() * pk.n().clone(),
+        };
+        assert!(sk.decrypt(&at_bound).is_err());
+        // The canonical ciphertext still decrypts.
+        assert_eq!(sk.decrypt_u64(&c).unwrap(), 77);
+    }
+
+    /// Pooled and inline encryption must produce ciphertexts that decrypt to
+    /// the same plaintexts when driven by the same seed (the randomizers come
+    /// from the same stream, just computed at different times).
+    #[test]
+    fn pooled_encryption_decrypts_like_inline_under_same_seed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let sk = keygen(256, &mut StdRng::seed_from_u64(99));
+        let pk = sk.public();
+        let plaintexts = [0u64, 1, 12345, u32::MAX as u64];
+
+        let mut inline_rng = StdRng::seed_from_u64(7);
+        let inline: Vec<_> = plaintexts
+            .iter()
+            .map(|&m| pk.encrypt_u64(m, &mut inline_rng).unwrap())
+            .collect();
+
+        let mut pooled_rng = StdRng::seed_from_u64(7);
+        let mut pool = RandomnessPool::new();
+        assert_eq!(pool.refill(pk, plaintexts.len(), &mut pooled_rng), 4);
+        assert_eq!(pool.len(), 4);
+        let pooled: Vec<_> = plaintexts
+            .iter()
+            .map(|&m| {
+                pk.encrypt_pooled(&BigUint::from(m), &mut pool, &mut pooled_rng)
+                    .unwrap()
+            })
+            .collect();
+        assert!(pool.is_empty());
+
+        for ((&m, ci), cp) in plaintexts.iter().zip(&inline).zip(&pooled) {
+            // Same seed, same randomizer stream: the ciphertexts are even
+            // byte-identical, and both decrypt to the plaintext.
+            assert_eq!(ci, cp);
+            assert_eq!(sk.decrypt_u64(ci).unwrap(), m);
+            assert_eq!(sk.decrypt_u64(cp).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn empty_or_mismatched_pool_falls_back_inline() {
+        let sk = test_key();
+        let pk = sk.public();
+        let other = keygen(256, &mut rand::thread_rng());
+        let mut rng = rand::thread_rng();
+        let mut pool = RandomnessPool::new();
+        // Empty pool: falls back.
+        let c = pk
+            .encrypt_pooled(&BigUint::from(5u64), &mut pool, &mut rng)
+            .unwrap();
+        assert_eq!(sk.decrypt_u64(&c).unwrap(), 5);
+        // Pool filled for another key: not consumed, still decrypts.
+        pool.refill(other.public(), 2, &mut rng);
+        let c = pk
+            .encrypt_pooled(&BigUint::from(6u64), &mut pool, &mut rng)
+            .unwrap();
+        assert_eq!(sk.decrypt_u64(&c).unwrap(), 6);
+        assert_eq!(pool.len(), 2, "mismatched pool must not be drained");
+        // Refilling for this key clears the stale entries first.
+        pool.refill(pk, 3, &mut rng);
+        assert_eq!(pool.len(), 3);
+        let c = pk.encrypt_zero_pooled(&mut pool, &mut rng);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(sk.decrypt_u64(&c).unwrap(), 0);
+    }
+
+    #[test]
+    fn pooled_randomizer_out_of_range_plaintext_rejected() {
+        let sk = test_key();
+        let pk = sk.public();
+        let mut rng = rand::thread_rng();
+        let rn = pk.sample_randomizer(&mut rng);
+        assert_eq!(
+            pk.encrypt_with_randomizer(&pk.n().clone(), &rn)
+                .unwrap_err(),
+            PaillierError::PlaintextOutOfRange
+        );
+    }
+
+    #[test]
+    fn rejected_plaintext_does_not_burn_a_pooled_randomizer() {
+        let sk = test_key();
+        let pk = sk.public();
+        let mut rng = rand::thread_rng();
+        let mut pool = RandomnessPool::new();
+        pool.refill(pk, 1, &mut rng);
+        assert_eq!(
+            pk.encrypt_pooled(&pk.n().clone(), &mut pool, &mut rng)
+                .unwrap_err(),
+            PaillierError::PlaintextOutOfRange
+        );
+        assert_eq!(pool.len(), 1, "the precomputed randomizer must survive");
     }
 }

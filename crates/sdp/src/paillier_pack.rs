@@ -12,7 +12,7 @@
 use rand::Rng;
 
 use pretzel_bignum::BigUint;
-use pretzel_paillier::{Ciphertext, PublicKey, SecretKey};
+use pretzel_paillier::{Ciphertext, PublicKey, RandomnessPool, SecretKey};
 
 use crate::{ModelMatrix, SdpError, SparseFeatures};
 
@@ -174,6 +174,29 @@ pub fn client_dot_product<R: Rng + ?Sized>(
     features: &SparseFeatures,
     rng: &mut R,
 ) -> Result<Vec<Ciphertext>, SdpError> {
+    dot_product_with(pk, model, features, || pk.encrypt_zero(rng))
+}
+
+/// [`client_dot_product`] with the fresh zero-accumulators drawn from a
+/// [`RandomnessPool`] filled offline — the only full exponentiations on the
+/// client's online path become pool pops. An empty (or mismatched) pool
+/// falls back to inline encryption; the results are interchangeable.
+pub fn client_dot_product_pooled<R: Rng + ?Sized>(
+    pk: &PublicKey,
+    model: &PaillierEncryptedModel,
+    features: &SparseFeatures,
+    pool: &mut RandomnessPool,
+    rng: &mut R,
+) -> Result<Vec<Ciphertext>, SdpError> {
+    dot_product_with(pk, model, features, || pk.encrypt_zero_pooled(pool, rng))
+}
+
+fn dot_product_with(
+    pk: &PublicKey,
+    model: &PaillierEncryptedModel,
+    features: &SparseFeatures,
+    mut fresh_zero: impl FnMut() -> Ciphertext,
+) -> Result<Vec<Ciphertext>, SdpError> {
     for &(row, _) in features {
         if row >= model.rows {
             return Err(SdpError::FeatureOutOfRange {
@@ -182,9 +205,7 @@ pub fn client_dot_product<R: Rng + ?Sized>(
             });
         }
     }
-    let mut accs: Vec<Ciphertext> = (0..model.cts_per_row)
-        .map(|_| pk.encrypt_zero(rng))
-        .collect();
+    let mut accs: Vec<Ciphertext> = (0..model.cts_per_row).map(|_| fresh_zero()).collect();
     for &(row, freq) in features {
         if freq == 0 {
             continue;
@@ -296,6 +317,30 @@ mod tests {
         let result = client_dot_product(pk, &enc, &features, &mut rand::thread_rng()).unwrap();
         let decrypted = provider_decrypt(&sk, cols, params.slot_bits, slots, &result).unwrap();
         assert_eq!(decrypted, model.dot_sparse(&features));
+    }
+
+    #[test]
+    fn pooled_dot_product_matches_reference() {
+        let sk = test_key();
+        let pk = sk.public();
+        let params = PaillierPackParams { slot_bits: 24 };
+        let model = demo_model(30, 2);
+        let features: SparseFeatures = (0..12).map(|i| (i * 2 % 30, (i % 3 + 1) as u64)).collect();
+        let enc = encrypt_model(pk, &model, params, &mut rand::thread_rng()).unwrap();
+        let mut pool = RandomnessPool::new();
+        // One accumulator group: a pool of 1 covers one round; a second
+        // round on the drained pool must fall back inline and still agree.
+        pool.refill(pk, 1, &mut rand::thread_rng());
+        for _ in 0..2 {
+            let result =
+                client_dot_product_pooled(pk, &enc, &features, &mut pool, &mut rand::thread_rng())
+                    .unwrap();
+            let decrypted =
+                provider_decrypt(&sk, 2, params.slot_bits, params.slots_per_ct(pk), &result)
+                    .unwrap();
+            assert_eq!(decrypted, model.dot_sparse(&features));
+        }
+        assert!(pool.is_empty());
     }
 
     #[test]

@@ -154,6 +154,19 @@ impl<C: Channel> MailroomClient<C> {
         self.emails
     }
 
+    /// Offline phase, client side: precomputes pooled state (pre-garbled
+    /// argmax circuits for topic sessions, Paillier randomizers for Baseline
+    /// sessions) covering up to `budget` future emails. Purely local — no
+    /// traffic — so it can run while the connection is idle.
+    pub fn precompute<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) -> usize {
+        self.session.precompute(budget, rng)
+    }
+
+    /// Emails the client's offline pools can serve without inline work.
+    pub fn pool_depth(&self) -> usize {
+        self.session.pool_depth()
+    }
+
     /// Submits one email for a secure per-email round.
     pub fn process<R: Rng + ?Sized>(
         &mut self,

@@ -20,6 +20,14 @@
 //! 4. **Per-email rounds** — the client drives rounds with one-byte control
 //!    frames: [`crate::ROUND_EMAIL`] starts one secure classification over
 //!    the established session state; [`crate::ROUND_BYE`] ends the session.
+//!    After setup and again after every round, the worker runs the session's
+//!    **offline phase** ([`pretzel_core::ProviderSession::precompute`]) up to
+//!    [`MailroomConfig::precompute_budget`] pooled rounds — the top-up
+//!    overlaps with the client's own per-email computation and network
+//!    round trips, so the next round's garbling is already banked when its
+//!    request arrives. The current pool depth is published on the session's
+//!    [`Meter`] ([`Meter::set_pool_depth`]) and surfaces in
+//!    [`SessionStats::pool_depth`] and [`MailroomReport::pool_depth_total`].
 //! 5. **Teardown** — on `BYE` the session completes; on any error (including
 //!    the client vanishing mid-protocol) it is marked failed, the worker
 //!    drops the channel and simply moves on to the next queued session — one
@@ -61,6 +69,13 @@ pub struct MailroomConfig {
     /// derives its own stream from this and its [`SessionId`], so runs are
     /// reproducible given a fixed seed and submission order).
     pub rng_seed: u64,
+    /// Offline-phase budget: how many future rounds a worker precomputes
+    /// for its session after setup and again after every served round
+    /// (pre-garbled circuits etc. — see
+    /// [`pretzel_core::ProviderSession::precompute`]). `0` disables the
+    /// offline phase; every round then computes inline. Verdicts and wire
+    /// bytes are identical at any budget — only latency moves.
+    pub precompute_budget: usize,
 }
 
 impl Default for MailroomConfig {
@@ -71,6 +86,7 @@ impl Default for MailroomConfig {
                 .unwrap_or(4),
             queue_capacity: 64,
             rng_seed: 0x4d41_494c_524f_4f4d, // "MAILROOM"
+            precompute_budget: 2,
         }
     }
 }
@@ -112,6 +128,9 @@ pub struct SessionStats {
     pub bytes_received: u64,
     /// Messages exchanged in both directions.
     pub messages: u64,
+    /// Offline-phase pool depth at snapshot time: rounds the session can
+    /// serve from precomputed state without inline garbling.
+    pub pool_depth: u64,
 }
 
 struct SessionRecord {
@@ -133,6 +152,7 @@ impl SessionRecord {
             bytes_sent: self.meter.bytes_sent(),
             bytes_received: self.meter.bytes_received(),
             messages: self.meter.messages_sent() + self.meter.messages_received(),
+            pool_depth: self.meter.pool_depth(),
         }
     }
 }
@@ -155,6 +175,7 @@ struct Shared {
     emails_total: AtomicU64,
     accepting: AtomicBool,
     rng_seed: u64,
+    precompute_budget: usize,
 }
 
 impl Shared {
@@ -176,6 +197,9 @@ pub struct MailroomReport {
     pub fleet_bytes_received: u64,
     /// Fleet-wide messages in both directions.
     pub fleet_messages: u64,
+    /// Sum of every session's final offline-pool depth — precomputed rounds
+    /// banked but never consumed (shutdown waste / warm-pool headroom).
+    pub pool_depth_total: u64,
 }
 
 impl MailroomReport {
@@ -218,6 +242,7 @@ impl Mailroom {
             emails_total: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
             rng_seed: config.rng_seed,
+            precompute_budget: config.precompute_budget,
         });
         let workers = (0..config.workers)
             .map(|idx| {
@@ -324,13 +349,16 @@ impl Mailroom {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        let sessions = self.stats();
+        let pool_depth_total = sessions.iter().map(|s| s.pool_depth).sum();
         MailroomReport {
-            sessions: self.stats(),
+            sessions,
             emails_total: self.shared.emails_total.load(Ordering::Relaxed),
             fleet_bytes_sent: self.shared.fleet.bytes_sent(),
             fleet_bytes_received: self.shared.fleet.bytes_received(),
             fleet_messages: self.shared.fleet.messages_sent()
                 + self.shared.fleet.messages_received(),
+            pool_depth_total,
         }
     }
 }
@@ -381,6 +409,15 @@ fn run_session(
     let mut rng = StdRng::seed_from_u64(shared.rng_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut session = ProviderSession::setup(kind, channel, &shared.suite, variant, &mut rng)?;
 
+    // Offline phase: bank precomputed rounds before the first email arrives
+    // (the client is busy with its own setup/feature work meanwhile), then
+    // top the pool back up after every round while the channel is idle.
+    let top_up = |session: &mut ProviderSession, channel: &SessionChannel, rng: &mut StdRng| {
+        session.precompute(shared.precompute_budget, rng);
+        channel.meter().set_pool_depth(session.pool_depth() as u64);
+    };
+    top_up(&mut session, channel, &mut rng);
+
     loop {
         let control = channel.recv()?;
         match control.as_slice() {
@@ -394,6 +431,7 @@ fn run_session(
                         r.topics.push(t);
                     }
                 });
+                top_up(&mut session, channel, &mut rng);
             }
             other => {
                 return Err(ServerError::Handshake(format!(
@@ -496,6 +534,7 @@ mod tests {
             workers,
             queue_capacity: queue,
             rng_seed: 7,
+            ..MailroomConfig::default()
         }
     }
 
@@ -529,6 +568,11 @@ mod tests {
         assert_eq!(stats.emails, 2);
         assert!(stats.bytes_sent > 0, "provider ships the encrypted model");
         assert!(stats.bytes_received > 0);
+        assert_eq!(
+            stats.pool_depth, 2,
+            "worker topped the offline pool back up to the default budget"
+        );
+        assert_eq!(report.pool_depth_total, 2);
         assert!(report.bytes_per_email() > 0.0);
         assert_eq!(
             report.fleet_bytes_sent, stats.bytes_sent,

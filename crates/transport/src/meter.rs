@@ -25,6 +25,13 @@
 //! Because a [`Meter`] is a shared handle (internally `Arc`ed), cloning it
 //! never forks the counters: all clones, and every channel wrapped via
 //! [`MeteredChannel::with_meter`], observe and update the same totals.
+//!
+//! Besides the four traffic counters, a meter carries one serving-layer
+//! **gauge**: the endpoint's precomputation pool depth
+//! ([`Meter::set_pool_depth`]/[`Meter::pool_depth`]). The mailroom updates it
+//! after every offline-phase top-up so operators can read session health and
+//! traffic from a single handle. [`Meter::reset`] zeroes the gauge along
+//! with the counters.
 
 use std::sync::Arc;
 
@@ -38,6 +45,7 @@ struct MeterInner {
     bytes_received: u64,
     messages_sent: u64,
     messages_received: u64,
+    pool_depth: u64,
 }
 
 /// Shared counters for one endpoint of a metered channel.
@@ -82,10 +90,24 @@ impl Meter {
         self.inner.lock().messages_received
     }
 
-    /// Resets all four counters (bytes and messages, both directions) to
-    /// zero in one atomic step — no partially-reset state is ever observable,
-    /// even when other channels share this meter. Typical use is zeroing the
-    /// setup-phase traffic before measuring the per-email phase.
+    /// Precomputation pool depth gauge: how many future rounds the metered
+    /// endpoint has offline work banked for. Written by the serving layer
+    /// via [`Meter::set_pool_depth`]; 0 until someone sets it.
+    pub fn pool_depth(&self) -> u64 {
+        self.inner.lock().pool_depth
+    }
+
+    /// Updates the pool depth gauge (a last-write-wins snapshot, unlike the
+    /// monotonic traffic counters).
+    pub fn set_pool_depth(&self, depth: u64) {
+        self.inner.lock().pool_depth = depth;
+    }
+
+    /// Resets all four counters (bytes and messages, both directions) and
+    /// the pool depth gauge to zero in one atomic step — no partially-reset
+    /// state is ever observable, even when other channels share this meter.
+    /// Typical use is zeroing the setup-phase traffic before measuring the
+    /// per-email phase.
     pub fn reset(&self) {
         *self.inner.lock() = MeterInner::default();
     }
@@ -174,6 +196,17 @@ mod tests {
     }
 
     #[test]
+    fn pool_depth_gauge_is_settable_and_shared() {
+        let meter = Meter::new();
+        assert_eq!(meter.pool_depth(), 0);
+        let clone = meter.clone();
+        clone.set_pool_depth(7);
+        assert_eq!(meter.pool_depth(), 7, "gauge is shared across clones");
+        clone.set_pool_depth(3);
+        assert_eq!(meter.pool_depth(), 3, "last write wins");
+    }
+
+    #[test]
     fn reset_clears_all_four_counters() {
         let (a, mut b) = memory_pair();
         let mut ma = MeteredChannel::new(a);
@@ -182,9 +215,11 @@ mod tests {
         let _ = b.recv().unwrap();
         let _ = ma.recv().unwrap();
         let meter = ma.meter();
+        meter.set_pool_depth(5);
         assert_eq!(meter.bytes_sent(), 3);
         assert_eq!(meter.bytes_received(), 1);
         meter.reset();
+        assert_eq!(meter.pool_depth(), 0, "reset also zeroes the gauge");
         assert_eq!(meter.bytes_sent(), 0);
         assert_eq!(meter.bytes_received(), 0);
         assert_eq!(meter.messages_sent(), 0);

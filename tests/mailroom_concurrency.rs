@@ -54,6 +54,7 @@ fn teardown_mid_protocol_fails_one_session_not_the_mailroom() {
             workers: 1,
             queue_capacity: 4,
             rng_seed: 0xDEAD,
+            ..MailroomConfig::default()
         },
     );
 
@@ -128,6 +129,7 @@ fn full_queue_rejects_immediately_instead_of_blocking() {
             workers: 1,
             queue_capacity: 1,
             rng_seed: 0xBEEF,
+            ..MailroomConfig::default()
         },
     );
 
@@ -257,6 +259,7 @@ fn sixteen_concurrent_sessions_match_the_single_session_baseline() {
             workers: 4,
             queue_capacity: SESSIONS,
             rng_seed: 0xF1EE7,
+            ..MailroomConfig::default()
         },
     );
     let handles: Vec<_> = inboxes

@@ -1,0 +1,208 @@
+//! Pool-exhaustion fallback for the offline/online phase split.
+//!
+//! The precomputation pools (`precompute_budget` on the provider mailroom,
+//! `MailroomClient::precompute` on the client) only move work off the
+//! latency path — they must never change what the protocol computes or
+//! ships. This file pins that: a fixed-seed fleet of spam, topic, and virus
+//! sessions is served three times, with pool budget 0 (every round falls
+//! back to inline computation), 1 (the pool drains and refills every round),
+//! and a budget larger than the whole run (no round ever computes inline).
+//! All three runs must produce byte-identical verdicts and identical meter
+//! payload counts.
+
+use pretzel::classifiers::nb::GrNbTrainer;
+use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+use pretzel::core::spam::AheVariant;
+use pretzel::core::topic::CandidateMode;
+use pretzel::core::{PretzelConfig, ProtocolKind, ProviderModelSuite};
+use pretzel::datasets::ling_spam_like;
+use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel::transport::memory_pair;
+
+mod common;
+use common::test_rng;
+
+const EMAILS_PER_SESSION: usize = 3;
+/// Stands in for an unbounded pool: strictly larger than every round count
+/// in the run, so no online round ever computes inline.
+const UNBOUNDED: usize = EMAILS_PER_SESSION + 4;
+
+fn suite() -> ProviderModelSuite {
+    let mut spec = ling_spam_like(0.08);
+    spec.shared_vocab = 120;
+    spec.class_vocab = 60;
+    spec.doc_len = (20, 60);
+    let corpus = spec.generate();
+    let model = GrNbTrainer::default().train(&corpus.examples, corpus.num_features, 2);
+
+    // The virus model lives in the extractor's bucket space, not the token
+    // vocabulary, so it needs its own tiny training set.
+    let extractor = NGramExtractor::new(3, 64);
+    let virus_examples: Vec<LabeledExample> = (0..20u8)
+        .flat_map(|i| {
+            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
+            bad.push(i);
+            let good = format!("meeting notes attachment {i}");
+            [
+                LabeledExample {
+                    features: extractor.extract(&bad),
+                    label: 1,
+                },
+                LabeledExample {
+                    features: extractor.extract(good.as_bytes()),
+                    label: 0,
+                },
+            ]
+        })
+        .collect();
+    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
+
+    ProviderModelSuite {
+        spam: model.clone(),
+        topic: model,
+        topic_mode: CandidateMode::Full,
+        virus: virus_model,
+        virus_extractor: extractor,
+        config: PretzelConfig::test(),
+    }
+}
+
+/// Everything observable about one fleet run that the pool budget must not
+/// change: the verdict transcript and the per-session meter payload counts.
+#[derive(Debug, PartialEq, Eq)]
+struct FleetRecord {
+    verdicts: Vec<String>,
+    /// `(kind, emails, bytes_sent, bytes_received, messages)` per session,
+    /// in submission order.
+    meters: Vec<(Option<ProtocolKind>, u64, u64, u64, u64)>,
+    emails_total: u64,
+}
+
+/// Serves one spam (Baseline AHE, so the Paillier randomizer pool is
+/// exercised), one topic (client-side garbling pool), and one virus session
+/// through a mailroom with the given offline budget, with every RNG seeded
+/// identically across calls. Sessions run sequentially on one worker so
+/// submission order, meter attribution, and RNG streams are deterministic.
+fn run_fleet(budget: usize) -> FleetRecord {
+    let config = PretzelConfig::test();
+    let mailroom = Mailroom::start(
+        suite(),
+        MailroomConfig {
+            workers: 1,
+            queue_capacity: 3,
+            rng_seed: 0x5001_5EED,
+            precompute_budget: budget,
+        },
+    );
+
+    let spam_email = SparseVector::from_pairs(vec![(0, 3), (1, 1), (2, 2), (7, 1)]);
+    let topic_email = SparseVector::from_pairs(vec![(3, 2), (5, 1), (11, 4)]);
+    let attachment: &[u8] = b"MZ\x90\x00totally-legitimate-payload";
+    let mut verdicts = Vec::new();
+
+    // Session 1: spam, Baseline variant — the client pools `r^n` randomizers.
+    {
+        let (provider_end, client_end) = memory_pair();
+        mailroom.submit(provider_end).unwrap();
+        let mut rng = test_rng(70);
+        let spec = ClientSpec::spam(config.clone()).with_variant(AheVariant::Baseline);
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        client.precompute(budget, &mut rng);
+        assert_eq!(
+            client.pool_depth(),
+            budget,
+            "Baseline spam client pools exactly the requested rounds"
+        );
+        for _ in 0..EMAILS_PER_SESSION {
+            let is_spam = client.classify_spam(&spam_email, &mut rng).unwrap();
+            verdicts.push(format!("spam:{is_spam}"));
+        }
+        assert_eq!(
+            client.pool_depth(),
+            budget.saturating_sub(EMAILS_PER_SESSION),
+            "rounds drain the pool; exhaustion falls back to inline"
+        );
+        client.finish().unwrap();
+    }
+
+    // Session 2: topic — the client pools pre-garbled argmax circuits.
+    {
+        let (provider_end, client_end) = memory_pair();
+        mailroom.submit(provider_end).unwrap();
+        let mut rng = test_rng(71);
+        let spec = ClientSpec::topic(config.clone(), CandidateMode::Full, None);
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        client.precompute(budget, &mut rng);
+        for _ in 0..EMAILS_PER_SESSION {
+            let candidates = client.extract_topic(&topic_email, &mut rng).unwrap();
+            verdicts.push(format!("topic:{candidates:?}"));
+        }
+        client.finish().unwrap();
+    }
+
+    // Session 3: virus — provider-side garbling pool via the spam machinery.
+    {
+        let (provider_end, client_end) = memory_pair();
+        mailroom.submit(provider_end).unwrap();
+        let mut rng = test_rng(72);
+        let spec = ClientSpec::virus(config);
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        client.precompute(budget, &mut rng);
+        for _ in 0..EMAILS_PER_SESSION {
+            let is_malicious = client.scan_attachment(attachment, &mut rng).unwrap();
+            verdicts.push(format!("virus:{is_malicious}"));
+        }
+        client.finish().unwrap();
+    }
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), 3, "all sessions must complete cleanly");
+    if budget == 0 {
+        assert_eq!(
+            report.pool_depth_total, 0,
+            "budget 0 disables the offline phase entirely"
+        );
+    } else {
+        assert!(
+            report.pool_depth_total > 0,
+            "warm budgets leave precomputed rounds banked at shutdown"
+        );
+    }
+
+    FleetRecord {
+        verdicts,
+        meters: report
+            .sessions
+            .iter()
+            .map(|s| (s.kind, s.emails, s.bytes_sent, s.bytes_received, s.messages))
+            .collect(),
+        emails_total: report.emails_total,
+    }
+}
+
+/// The satellite acceptance test: pool size 0, 1, and ∞ (here: larger than
+/// the whole run) are observationally equivalent — byte-identical verdicts
+/// and identical meter payload counts under the same seeds.
+#[test]
+fn pool_budgets_zero_one_and_unbounded_are_equivalent() {
+    let cold = run_fleet(0);
+    let trickle = run_fleet(1);
+    let unbounded = run_fleet(UNBOUNDED);
+
+    assert_eq!(
+        cold.verdicts, trickle.verdicts,
+        "budget 1 (drain + refill every round) must match the inline path"
+    );
+    assert_eq!(
+        cold.verdicts, unbounded.verdicts,
+        "an unbounded pool (no inline rounds at all) must match too"
+    );
+    assert_eq!(
+        cold.meters, trickle.meters,
+        "payload byte and message counts are budget-independent"
+    );
+    assert_eq!(cold.meters, unbounded.meters);
+    assert_eq!(cold.emails_total, (EMAILS_PER_SESSION * 3) as u64);
+    assert_eq!(cold.emails_total, trickle.emails_total);
+    assert_eq!(cold.emails_total, unbounded.emails_total);
+}
