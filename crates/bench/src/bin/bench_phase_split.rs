@@ -12,6 +12,11 @@
 //!    spam sessions served by a `Mailroom`, cold (`precompute_budget = 0`,
 //!    every round computes inline) vs. warmed pools on both endpoints, at 1
 //!    and 16 concurrent sessions.
+//! 3. **Search-query latency** — the same cold/warm comparison for encrypted
+//!    keyword-search sessions, whose query responses are RLWE ciphertexts:
+//!    a warm pool of pre-encrypted response randomizers turns each response
+//!    from a full RLWE encryption (NTTs + sampling) into `n` modular
+//!    additions.
 //!
 //! Always emits `BENCH_phase_split.json` (the machine-readable record is the
 //! point of this bin). Run with:
@@ -62,6 +67,7 @@ fn main() {
 
     let micro = run_paillier_micro(paillier_bits, iters);
     let online = run_online_latency(paillier_bits, &sessions, emails);
+    let search = run_search_latency(&sessions, emails);
 
     let json = JsonValue::obj([
         ("bench", JsonValue::Str("phase_split".into())),
@@ -69,6 +75,7 @@ fn main() {
         ("emails_per_session", JsonValue::Int(emails as u64)),
         ("paillier", micro),
         ("online", JsonValue::Arr(online)),
+        ("search_online", JsonValue::Arr(search)),
     ]);
     write_bench_json_reported("phase_split", &json);
 }
@@ -194,6 +201,113 @@ fn run_online_latency(paillier_bits: usize, sessions: &[usize], emails: usize) -
         ]));
     }
     rows
+}
+
+/// Mean per-query online latency of encrypted-search sessions, cold vs.
+/// warm pre-encrypted-response pools, at each fleet size.
+fn run_search_latency(sessions: &[usize], queries: usize) -> Vec<JsonValue> {
+    let config = PretzelConfig::test();
+    let suite = ProviderModelSuite {
+        spam: synthetic_model(64, 2, 11),
+        topic: synthetic_model(64, 4, 12),
+        topic_mode: CandidateMode::Full,
+        virus: synthetic_model(64, 2, 13),
+        virus_extractor: NGramExtractor::new(3, 64),
+        config: config.clone(),
+    };
+
+    println!("\nSearch-query latency — RLWE-packed responses, {queries} queries/session");
+    let widths = [10, 14, 14, 10];
+    print_header(
+        &["sessions", "cold/query", "warm/query", "speedup"],
+        &widths,
+    );
+
+    let mut rows = Vec::new();
+    for &n in sessions {
+        let cold = run_search_fleet(&suite, &config, n, queries, 0);
+        let warm = run_search_fleet(&suite, &config, n, queries, queries);
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64();
+        print_row(
+            &[
+                format!("{n}"),
+                human_us(cold),
+                human_us(warm),
+                format!("{speedup:.2}x"),
+            ],
+            &widths,
+        );
+        rows.push(JsonValue::obj([
+            ("sessions", JsonValue::Int(n as u64)),
+            ("cold_us_per_query", micros(cold)),
+            ("warm_us_per_query", micros(warm)),
+            ("speedup", JsonValue::Num(speedup)),
+        ]));
+    }
+    rows
+}
+
+/// Serves `n_sessions` search sessions: each uploads a small mailbox
+/// (untimed — that is index-build work, not the query path), then runs
+/// `queries` timed keyword-query rounds. Returns the mean wall-clock per
+/// query. With `budget > 0` the mailroom workers keep the pre-encrypted
+/// response pool warm; at 0 every response is encrypted inline.
+fn run_search_fleet(
+    suite: &ProviderModelSuite,
+    config: &PretzelConfig,
+    n_sessions: usize,
+    queries: usize,
+    budget: usize,
+) -> Duration {
+    let mailroom = Mailroom::start(
+        suite.clone(),
+        MailroomConfig {
+            workers: n_sessions,
+            queue_capacity: n_sessions,
+            rng_seed: 43,
+            precompute_budget: budget,
+        },
+    );
+    let start_line = Arc::new(Barrier::new(n_sessions));
+
+    let clients: Vec<_> = (0..n_sessions)
+        .map(|i| {
+            let (provider_end, client_end) = memory_pair();
+            mailroom
+                .submit(provider_end)
+                .expect("queue sized for fleet");
+            let spec = ClientSpec::search(config.clone());
+            let barrier = Arc::clone(&start_line);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(2000 + i as u64);
+                let mut client =
+                    MailroomClient::connect(client_end, &spec, &mut rng).expect("client setup");
+                for doc in 0..8u64 {
+                    client
+                        .index_email(
+                            doc,
+                            &format!("message {doc} about invoices and travel"),
+                            &mut rng,
+                        )
+                        .expect("index");
+                }
+                barrier.wait();
+                let start = Instant::now();
+                for q in 0..queries {
+                    let kw = if q % 2 == 0 { "invoices" } else { "travel" };
+                    client.search_keyword(kw, &mut rng).expect("query");
+                }
+                let elapsed = start.elapsed();
+                client.finish().expect("teardown");
+                elapsed
+            })
+        })
+        .collect();
+
+    let total: Duration = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), n_sessions, "every session must finish");
+    total / (n_sessions * queries) as u32
 }
 
 /// Serves `n_sessions` Baseline spam sessions with the given provider

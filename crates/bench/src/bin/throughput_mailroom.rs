@@ -3,10 +3,16 @@
 //!
 //! This is the serving-layer companion to the paper's §6.1 per-email costs:
 //! instead of one client/provider pair, a `pretzel_server::Mailroom` with a
-//! worker pool serves 1, 4, 16 and 64 concurrent spam-filtering sessions
-//! over in-memory channels, and we measure wall-clock throughput from first
-//! submission to last teardown (setup included — that is what a provider
-//! actually pays per fresh session).
+//! worker pool serves 1, 4, 16 and 64 concurrent sessions over in-memory
+//! channels, and we measure wall-clock throughput from first submission to
+//! last teardown (setup included — that is what a provider actually pays per
+//! fresh session).
+//!
+//! `--workload` selects what the fleet runs: `spam` (the default dot-product
+//! classification workload), `search` (encrypted keyword search — index
+//! uploads and RLWE-packed query responses, a very different cost profile),
+//! or `mixed` (sessions split evenly across spam, topic, virus and search —
+//! the heterogeneous fleet a real provider serves).
 //!
 //! On a multi-core host the per-session work is independent, so aggregate
 //! throughput should scale with min(sessions, workers, cores); on a
@@ -19,6 +25,8 @@
 //! cargo run --release -p pretzel_bench --bin throughput_mailroom
 //! cargo run --release -p pretzel_bench --bin throughput_mailroom -- \
 //!     --scale paper --sessions 1,4,16,64 --emails 8 --workers 16
+//! cargo run --release -p pretzel_bench --bin throughput_mailroom -- \
+//!     --workload search --json
 //! ```
 
 use std::time::Instant;
@@ -36,8 +44,43 @@ use pretzel_core::{PretzelConfig, ProviderModelSuite, Scale};
 use pretzel_server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
 use pretzel_transport::memory_pair;
 
+/// Which session mix the fleet runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Workload {
+    /// Every session classifies spam (dot products + one Yao round).
+    Spam,
+    /// Every session runs encrypted keyword search (index + RLWE queries).
+    Search,
+    /// Sessions split round-robin across spam, topic, virus and search.
+    Mixed,
+}
+
+impl Workload {
+    fn parse(s: &str) -> Workload {
+        match s {
+            "spam" => Workload::Spam,
+            "search" => Workload::Search,
+            "mixed" => Workload::Mixed,
+            // Hard-fail like the other flag parsers: a typo must not let a
+            // script record spam numbers as a search run.
+            other => panic!("unknown workload {other:?} (--workload takes spam|search|mixed)"),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Spam => "spam",
+            Workload::Search => "search",
+            Workload::Mixed => "mixed",
+        }
+    }
+}
+
 fn main() {
     let scale = pretzel_bench::parse_scale();
+    let workload = arg_value("--workload")
+        .map(|v| Workload::parse(&v))
+        .unwrap_or(Workload::Spam);
     let sessions: Vec<usize> = arg_value("--sessions")
         .map(|v| {
             v.split(',')
@@ -73,8 +116,12 @@ fn main() {
     };
 
     println!(
-        "Mailroom throughput — spam sessions, {} features, {} emails/session, {} workers, scale {:?}",
-        num_features, emails_per_session, workers, scale
+        "Mailroom throughput — {} sessions, {} features, {} emails/session, {} workers, scale {:?}",
+        workload.name(),
+        num_features,
+        emails_per_session,
+        workers,
+        scale
     );
     println!(
         "(host reports {} hardware threads)\n",
@@ -102,6 +149,7 @@ fn main() {
         let (throughput, wall, bytes_per_email, total_emails) = run_fleet(
             &suite,
             &config,
+            workload,
             n_sessions,
             emails_per_session,
             workers,
@@ -137,6 +185,7 @@ fn main() {
         "throughput_mailroom",
         &JsonValue::obj([
             ("bench", JsonValue::Str("throughput_mailroom".into())),
+            ("workload", JsonValue::Str(workload.name().into())),
             ("scale", JsonValue::Str(format!("{scale:?}"))),
             ("workers", JsonValue::Int(workers as u64)),
             (
@@ -153,11 +202,12 @@ fn main() {
     );
 }
 
-/// Serves `n_sessions` concurrent spam sessions and returns
-/// (emails/sec, wall seconds, bytes/email, total emails).
+/// Serves `n_sessions` concurrent sessions of the selected workload and
+/// returns (rounds/sec, wall seconds, bytes/round, total rounds).
 fn run_fleet(
     suite: &ProviderModelSuite,
     config: &PretzelConfig,
+    workload: Workload,
     n_sessions: usize,
     emails_per_session: usize,
     workers: usize,
@@ -180,17 +230,71 @@ fn run_fleet(
             mailroom
                 .submit(provider_end)
                 .expect("queue sized for the fleet");
-            let spec = ClientSpec::spam(config.clone());
+            let config = config.clone();
             let emails = emails_per_session;
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(1000 + i as u64);
-                let mut client =
-                    MailroomClient::connect(client_end, &spec, &mut rng).expect("client setup");
-                for _ in 0..emails {
-                    let email = random_email(&mut rng, num_features);
-                    client.classify_spam(&email, &mut rng).expect("classify");
+                // Mixed fleets hand session i the (i mod 4)-th kind; the
+                // single-workload fleets are uniform.
+                let kind = match workload {
+                    Workload::Spam => 0,
+                    Workload::Search => 3,
+                    Workload::Mixed => i % 4,
+                };
+                match kind {
+                    0 => {
+                        let spec = ClientSpec::spam(config);
+                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
+                            .expect("client setup");
+                        for _ in 0..emails {
+                            let email = random_email(&mut rng, num_features);
+                            client.classify_spam(&email, &mut rng).expect("classify");
+                        }
+                        client.finish().expect("teardown");
+                    }
+                    1 => {
+                        let spec = ClientSpec::topic(config, CandidateMode::Full, None);
+                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
+                            .expect("client setup");
+                        for _ in 0..emails {
+                            let email = random_email(&mut rng, 64);
+                            client.extract_topic(&email, &mut rng).expect("extract");
+                        }
+                        client.finish().expect("teardown");
+                    }
+                    2 => {
+                        let spec = ClientSpec::virus(config);
+                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
+                            .expect("client setup");
+                        for e in 0..emails {
+                            let attachment: Vec<u8> =
+                                (0..64).map(|b| ((b * 7 + e + i) % 251) as u8).collect();
+                            client.scan_attachment(&attachment, &mut rng).expect("scan");
+                        }
+                        client.finish().expect("teardown");
+                    }
+                    _ => {
+                        let spec = ClientSpec::search(config);
+                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
+                            .expect("client setup");
+                        for e in 0..emails {
+                            // Alternate index uploads and keyword queries so a
+                            // "round" covers both halves of the workload.
+                            if e % 2 == 0 {
+                                client
+                                    .index_email(
+                                        e as u64,
+                                        &format!("message {e} about invoices and travel"),
+                                        &mut rng,
+                                    )
+                                    .expect("index");
+                            } else {
+                                client.search_keyword("invoices", &mut rng).expect("query");
+                            }
+                        }
+                        client.finish().expect("teardown");
+                    }
                 }
-                client.finish().expect("teardown");
             })
         })
         .collect();

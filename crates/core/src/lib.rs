@@ -24,7 +24,11 @@
 //!   footnote 3).
 //! * [`replay`] — the per-sender replay defense of §4.4.
 //! * [`config`] — parameter presets ("test" scale vs "paper" scale).
-//! * [`session`] — uniform, session-reusable entry points over the three
+//! * [`search`] — provider-served encrypted keyword search over searchable
+//!   symmetric encryption with RLWE-packed responses (the provider-side
+//!   search the paper sketches as future work in §5, promoted to a full
+//!   function module).
+//! * [`session`] — uniform, session-reusable entry points over the four
 //!   function modules, used by the `pretzel_server` mailroom to multiplex
 //!   many concurrent sessions.
 
@@ -34,6 +38,7 @@ pub mod config;
 pub mod costmodel;
 pub mod noprivate;
 pub mod replay;
+pub mod search;
 pub mod session;
 pub mod setup;
 pub mod spam;
@@ -56,6 +61,8 @@ pub enum PretzelError {
     Gc(pretzel_gc::GcError),
     /// Secure dot-product failure.
     Sdp(pretzel_sdp::SdpError),
+    /// Searchable-symmetric-encryption failure (search sessions).
+    Sse(pretzel_sse::SseError),
     /// AHE failure.
     Ahe(String),
     /// A protocol message was malformed or out of order.
@@ -75,6 +82,7 @@ impl std::fmt::Display for PretzelError {
             PretzelError::Transport(e) => write!(f, "transport: {e}"),
             PretzelError::Gc(e) => write!(f, "garbled circuits: {e}"),
             PretzelError::Sdp(e) => write!(f, "secure dot product: {e}"),
+            PretzelError::Sse(e) => write!(f, "searchable encryption: {e}"),
             PretzelError::Ahe(e) => write!(f, "AHE: {e}"),
             PretzelError::Protocol(e) => write!(f, "protocol: {e}"),
             PretzelError::Replay { sender, message_id } => {
@@ -101,6 +109,12 @@ impl From<pretzel_gc::GcError> for PretzelError {
 impl From<pretzel_sdp::SdpError> for PretzelError {
     fn from(e: pretzel_sdp::SdpError) -> Self {
         PretzelError::Sdp(e)
+    }
+}
+
+impl From<pretzel_sse::SseError> for PretzelError {
+    fn from(e: pretzel_sse::SseError) -> Self {
+        PretzelError::Sse(e)
     }
 }
 

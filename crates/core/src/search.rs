@@ -1,0 +1,571 @@
+//! Provider-served encrypted keyword search as a Pretzel function module.
+//!
+//! The paper's keyword-search module (§5) is client-side; the provider-side
+//! variant it sketches as future work is implemented by `pretzel_sse` as a
+//! bare two-message protocol. This module promotes that protocol to a
+//! first-class function module with the same shape as spam/topic/virus —
+//! `setup → precompute(budget) → process_round` — so the `pretzel_server`
+//! mailroom can serve search sessions next to classification sessions.
+//!
+//! Protocol (one session):
+//!
+//! * **Setup** — commit–reveal joint randomness (§3.3 footnote 3) seeds the
+//!   RLWE public polynomial `a`; the *client* generates the XPIR-BV key pair
+//!   (it is the response recipient here, the reverse of the dot-product
+//!   modules) and ships the public key; the provider confirms the agreed
+//!   per-response capacity. Building [`pretzel_rlwe::Params`] precomputes the
+//!   NTT twiddle tables once per session — every later encryption and
+//!   decryption reuses them.
+//! * **Offline phase** — [`SearchProvider::precompute`] banks encryptions of
+//!   zero under the client's key (2 NTTs + noise sampling each). The online
+//!   query path then reduces to `pooled_zero + plaintext` — `n` modular
+//!   additions, no NTT, no sampling — with inline encryption as the pool-dry
+//!   fallback. Pool depth never changes what a query returns, only its
+//!   latency, matching the phase-split contract the other modules obey.
+//! * **Per-round phase** — the client drives one of two operations per round:
+//!   an **index** round uploads the encrypted postings of one email
+//!   (opaque HMAC labels + sealed ids, exactly the `pretzel_sse` update
+//!   format), or a **query** round sends a 32-byte label key
+//!   (response-hiding: the value key never leaves the client) and receives
+//!   the matching sealed postings packed into the slots of one RLWE
+//!   ciphertext of fixed size, along with an encrypted checksum. The client
+//!   decrypts, verifies the checksum, and opens the sealed ids locally.
+//!
+//! What the provider learns: posting counts, per-query result counts and the
+//! access pattern — the standard SSE leakage. It never sees keywords, email
+//! contents, or (thanks to response hiding) even the matching document ids.
+//! The fixed-size RLWE response also hides the per-query result count from a
+//! network observer, and the encrypted checksum makes response tampering or
+//! truncation a detected protocol error rather than misdecoded results
+//! (`tests/adversarial.rs` pins both).
+
+use rand::Rng;
+
+use pretzel_primitives::sha256;
+use pretzel_rlwe::{keygen, Ciphertext, Params, Plaintext, PublicKey, SecretKey};
+use pretzel_sse::{DocId, EncryptedIndex, SseClient, UpdateBatch};
+use pretzel_transport::Channel;
+
+use crate::config::PretzelConfig;
+use crate::setup::{joint_randomness_initiator, joint_randomness_responder};
+use crate::{parse_u64, u64_bytes, PretzelError, Result};
+
+/// Round-message tag: upload one email's encrypted postings.
+const TAG_INDEX: u8 = 0;
+/// Round-message tag: single-keyword query (32-byte label key follows).
+const TAG_QUERY: u8 = 1;
+
+/// Each sealed 8-byte posting occupies this many 16-bit response slots.
+const SLOTS_PER_POSTING: usize = 4;
+/// Slots reserved besides the postings: the result count and two checksum
+/// slots at the end of the ring.
+const RESERVED_SLOTS: usize = 3;
+
+/// Sealed postings one RLWE response ciphertext can carry for ring degree
+/// `n`: slot 0 holds the result count, the last two slots the checksum, and
+/// every posting takes four 16-bit slots in between.
+pub fn response_capacity(params: &Params) -> usize {
+    params.slots().saturating_sub(RESERVED_SLOTS) / SLOTS_PER_POSTING
+}
+
+/// What one provider-side round did (the search analogue of the topic index
+/// a topic round reports): either postings were indexed or a query was
+/// answered with some number of sealed results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchOp {
+    /// An index round stored this many postings.
+    Indexed(usize),
+    /// A query round returned this many sealed postings (post-truncation).
+    Answered(usize),
+}
+
+/// What a query round returned to the client. `total` is the provider's true
+/// match count; when it exceeds `ids.len()` the result set was truncated to
+/// the per-response capacity, and the client knows exactly how many matches
+/// were dropped rather than mistaking a full response for an exact one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchResults {
+    /// Ids of the returned matching emails (at most the response capacity).
+    pub ids: Vec<DocId>,
+    /// Total matching postings at the provider, before truncation.
+    pub total: u64,
+}
+
+impl SearchResults {
+    /// True when the provider had more matches than one response carries.
+    pub fn truncated(&self) -> bool {
+        self.total > self.ids.len() as u64
+    }
+}
+
+/// Provider endpoint of the encrypted-search module.
+pub struct SearchProvider {
+    params: Params,
+    /// The client's public key — responses are encrypted under it.
+    pk: PublicKey,
+    index: EncryptedIndex,
+    /// Offline-banked encryptions of zero, one per future query round.
+    pool: Vec<Ciphertext>,
+    capacity: usize,
+}
+
+impl SearchProvider {
+    /// Runs the setup phase as the provider: joint randomness, receive the
+    /// client's RLWE public key, confirm the per-response capacity.
+    pub fn setup<C: Channel, R: Rng + ?Sized>(
+        channel: &mut C,
+        config: &PretzelConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let _seed = joint_randomness_initiator(channel, rng)?;
+        let params = config.rlwe_params();
+        check_params(&params)?;
+        let pk = PublicKey::from_bytes(&params, &channel.recv()?)
+            .map_err(|e| PretzelError::Ahe(e.to_string()))?;
+        let capacity = response_capacity(&params);
+        channel.send(&u64_bytes(capacity as u64))?;
+        Ok(SearchProvider {
+            params,
+            pk,
+            index: EncryptedIndex::new(),
+            pool: Vec::new(),
+            capacity,
+        })
+    }
+
+    /// Offline phase: tops the pool of pre-encrypted response randomizers
+    /// (encryptions of zero under the client's key) up to `target`, returning
+    /// the number produced. Each pooled ciphertext turns one future query
+    /// response from a full RLWE encryption into `n` modular additions.
+    pub fn precompute<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> usize {
+        let mut produced = 0;
+        while self.pool.len() < target {
+            self.pool.push(self.pk.encrypt_zero(rng));
+            produced += 1;
+        }
+        produced
+    }
+
+    /// Query rounds the offline pool can serve without inline encryption.
+    pub fn pool_depth(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Read access to the stored encrypted index (size accounting).
+    pub fn index(&self) -> &EncryptedIndex {
+        &self.index
+    }
+
+    /// Serves one round: an index upload or a query, as chosen by the
+    /// client's round message.
+    pub fn process_round<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        rng: &mut R,
+    ) -> Result<SearchOp> {
+        let msg = channel.recv()?;
+        match msg.first() {
+            Some(&TAG_INDEX) => {
+                let batch = parse_upload(&msg[1..])?;
+                self.index.apply(&batch);
+                channel.send(&u64_bytes(batch.len() as u64))?;
+                Ok(SearchOp::Indexed(batch.len()))
+            }
+            Some(&TAG_QUERY) => {
+                if msg.len() != 1 + 32 {
+                    return Err(PretzelError::Protocol(
+                        "search query must carry a 32-byte label key".into(),
+                    ));
+                }
+                let mut label_key = [0u8; 32];
+                label_key.copy_from_slice(&msg[1..]);
+                let sealed = self.index.lookup_sealed(&label_key);
+                let returned = sealed.len().min(self.capacity);
+                let slots = encode_response(&self.params, &sealed[..returned], sealed.len() as u64);
+                let pt = Plaintext::encode(&self.params, &slots)
+                    .map_err(|e| PretzelError::Ahe(e.to_string()))?;
+                // Online path: add the plaintext onto a pooled encryption of
+                // zero; fall back to a fresh inline encryption when dry.
+                let ct = match self.pool.pop() {
+                    Some(zero) => self.pk.add_plain(&zero, &pt),
+                    None => self.pk.encrypt(&pt, rng),
+                };
+                channel.send(&ct.to_bytes())?;
+                Ok(SearchOp::Answered(returned))
+            }
+            Some(other) => Err(PretzelError::Protocol(format!(
+                "unknown search round tag {other}"
+            ))),
+            None => Err(PretzelError::Protocol("empty search round message".into())),
+        }
+    }
+}
+
+/// Client endpoint of the encrypted-search module.
+pub struct SearchClient {
+    params: Params,
+    sk: SecretKey,
+    sse: SseClient,
+    capacity: usize,
+}
+
+impl SearchClient {
+    /// Runs the setup phase as the client: joint randomness, RLWE keygen
+    /// (the shared seed fixes the public polynomial `a`), ship the public
+    /// key, verify the provider's capacity announcement, and derive a fresh
+    /// SSE master key.
+    pub fn setup<C: Channel, R: Rng + ?Sized>(
+        channel: &mut C,
+        config: &PretzelConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let seed = joint_randomness_responder(channel, rng)?;
+        let params = config.rlwe_params();
+        check_params(&params)?;
+        let (sk, pk) = keygen(&params, Some(&seed), rng);
+        channel.send(&pk.to_bytes())?;
+        let announced = parse_u64(&channel.recv()?)? as usize;
+        let capacity = response_capacity(&params);
+        if announced != capacity {
+            return Err(PretzelError::Protocol(format!(
+                "provider announced response capacity {announced}, expected {capacity}"
+            )));
+        }
+        Ok(SearchClient {
+            params,
+            sk,
+            sse: SseClient::generate(rng),
+            capacity,
+        })
+    }
+
+    /// Client-side storage: the SSE master key, one counter per distinct
+    /// keyword, and the RLWE secret key.
+    pub fn storage_bytes(&self) -> usize {
+        32 + self.sse.distinct_keywords() * 8 + self.params.slots() * 8
+    }
+
+    /// Distinct keywords indexed so far (the size of the client's sync
+    /// state, see [`SseClient::distinct_keywords`]).
+    pub fn distinct_keywords(&self) -> usize {
+        self.sse.distinct_keywords()
+    }
+
+    /// Index round: encrypts one email body's postings under the SSE keys and
+    /// uploads them. Returns the number of postings stored.
+    pub fn index_email<C: Channel>(
+        &mut self,
+        channel: &mut C,
+        doc_id: DocId,
+        body: &str,
+    ) -> Result<usize> {
+        let batch = self.sse.index_email(doc_id, body);
+        let mut msg = Vec::with_capacity(1 + 8 + batch.len() * 40);
+        msg.push(TAG_INDEX);
+        msg.extend_from_slice(&batch.to_wire_bytes());
+        channel.send(&msg)?;
+        let acked = parse_u64(&channel.recv()?)? as usize;
+        if acked != batch.len() {
+            return Err(PretzelError::Protocol(format!(
+                "provider acknowledged {acked} postings, uploaded {}",
+                batch.len()
+            )));
+        }
+        Ok(batch.len())
+    }
+
+    /// Query round: sends the keyword's label key, decrypts the fixed-size
+    /// RLWE response, verifies its checksum, and opens the sealed ids.
+    ///
+    /// Any tampering with or truncation of the response fails decryption or
+    /// the checksum and surfaces as a [`PretzelError::Protocol`] error — the
+    /// client never returns misdecoded document ids.
+    pub fn query<C: Channel>(&self, channel: &mut C, keyword: &str) -> Result<SearchResults> {
+        let token = self.sse.search_token(keyword);
+        let mut msg = Vec::with_capacity(1 + 32);
+        msg.push(TAG_QUERY);
+        msg.extend_from_slice(&token.label_key);
+        channel.send(&msg)?;
+
+        let reply = channel.recv()?;
+        let ct = Ciphertext::from_bytes(&self.params, &reply).map_err(|_| {
+            PretzelError::Protocol("search response is not a well-formed ciphertext".into())
+        })?;
+        let slots = self.sk.decrypt_slots(&ct);
+        let n = self.params.slots();
+        let total = slots[0];
+        let returned = (total as usize).min(self.capacity);
+        let mut sealed = Vec::with_capacity(returned);
+        for i in 0..returned {
+            let mut bytes = [0u8; 8];
+            for c in 0..SLOTS_PER_POSTING {
+                let v = slots[1 + i * SLOTS_PER_POSTING + c];
+                if v >= 1 << 16 {
+                    return Err(PretzelError::Protocol(
+                        "search response rejected: posting slot out of range".into(),
+                    ));
+                }
+                bytes[2 * c..2 * c + 2].copy_from_slice(&(v as u16).to_le_bytes());
+            }
+            sealed.push(bytes);
+        }
+        let (c0, c1) = response_checksum(total, &sealed);
+        if slots[n - 2] != c0 || slots[n - 1] != c1 {
+            return Err(PretzelError::Protocol(
+                "search response rejected: checksum mismatch".into(),
+            ));
+        }
+        Ok(SearchResults {
+            ids: self.sse.open_results(keyword, &sealed),
+            total,
+        })
+    }
+}
+
+/// Both presets satisfy these; a hand-rolled config might not.
+fn check_params(params: &Params) -> Result<()> {
+    if params.plain_bits < 16 || params.slots() < RESERVED_SLOTS + SLOTS_PER_POSTING {
+        return Err(PretzelError::Protocol(format!(
+            "RLWE parameters too small for search responses \
+             (need >= 16-bit slots and a ring degree >= {})",
+            RESERVED_SLOTS + SLOTS_PER_POSTING
+        )));
+    }
+    Ok(())
+}
+
+/// Parses the body of an index-round upload — the shared
+/// [`UpdateBatch::to_wire_bytes`] format, with its count-vs-length check.
+fn parse_upload(body: &[u8]) -> Result<UpdateBatch> {
+    Ok(UpdateBatch::from_wire_bytes(body)?)
+}
+
+/// Lays a query response out over the ring's slots: the provider's *total*
+/// match count in slot 0 (so a truncated result set is visible to the
+/// client), four 16-bit chunks per returned sealed posting, and the checksum
+/// in the last two slots. Unused slots stay zero, so every response is the
+/// same size.
+fn encode_response(params: &Params, sealed: &[[u8; 8]], total: u64) -> Vec<u64> {
+    let n = params.slots();
+    let mut slots = vec![0u64; n];
+    // The total always fits a slot: plain_bits >= 16 and the encrypted index
+    // cannot plausibly hold 2^16 postings for one keyword in these tests and
+    // benches; clamp defensively anyway.
+    slots[0] = total.min(params.t - 1);
+    for (i, posting) in sealed.iter().enumerate() {
+        for c in 0..SLOTS_PER_POSTING {
+            slots[1 + i * SLOTS_PER_POSTING + c] =
+                u16::from_le_bytes([posting[2 * c], posting[2 * c + 1]]) as u64;
+        }
+    }
+    let (c0, c1) = response_checksum(slots[0], sealed);
+    slots[n - 2] = c0;
+    slots[n - 1] = c1;
+    slots
+}
+
+/// 32-bit checksum over a response's total-count slot and returned sealed
+/// postings, split into two 16-bit slots. A tampered RLWE ciphertext
+/// decrypts to essentially uniform slots, so a forged response passes this
+/// check with probability ~2⁻³², on top of the posting-slot range checks.
+fn response_checksum(total: u64, sealed: &[[u8; 8]]) -> (u64, u64) {
+    let mut data = Vec::with_capacity(8 + sealed.len() * 8);
+    data.extend_from_slice(&total.to_le_bytes());
+    for s in sealed {
+        data.extend_from_slice(s);
+    }
+    let h = sha256(&data);
+    (
+        u16::from_le_bytes([h[0], h[1]]) as u64,
+        u16::from_le_bytes([h[2], h[3]]) as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_transport::run_two_party;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_session(budget: usize) -> (Vec<SearchOp>, Vec<Vec<DocId>>) {
+        let config = PretzelConfig::test();
+        let config_client = config.clone();
+        run_two_party(
+            move |chan| {
+                let mut rng = StdRng::seed_from_u64(31);
+                let mut provider = SearchProvider::setup(chan, &config, &mut rng).unwrap();
+                assert_eq!(provider.precompute(budget, &mut rng), budget);
+                let mut ops = Vec::new();
+                for _ in 0..6 {
+                    ops.push(provider.process_round(chan, &mut rng).unwrap());
+                    provider.precompute(budget, &mut rng);
+                }
+                assert!(!provider.index().is_empty());
+                ops
+            },
+            move |chan| {
+                let mut rng = StdRng::seed_from_u64(32);
+                let mut client = SearchClient::setup(chan, &config_client, &mut rng).unwrap();
+                assert!(client.storage_bytes() > 0);
+                client
+                    .index_email(chan, 1, "quarterly earnings report attached")
+                    .unwrap();
+                client.index_email(chan, 2, "lunch at noon").unwrap();
+                client
+                    .index_email(chan, 3, "earnings call rescheduled")
+                    .unwrap();
+                let mut results = Vec::new();
+                for kw in ["earnings", "lunch", "nonexistent"] {
+                    let results_kw = client.query(chan, kw).unwrap();
+                    assert_eq!(results_kw.total, results_kw.ids.len() as u64);
+                    assert!(!results_kw.truncated());
+                    let mut hits = results_kw.ids;
+                    hits.sort_unstable();
+                    results.push(hits);
+                }
+                assert_eq!(client.distinct_keywords(), 9);
+                results
+            },
+        )
+    }
+
+    #[test]
+    fn search_round_trip_finds_exactly_the_matching_emails() {
+        let (ops, results) = run_session(0);
+        assert_eq!(results, vec![vec![1, 3], vec![2], vec![]]);
+        assert_eq!(
+            &ops[..3],
+            &[
+                SearchOp::Indexed(4),
+                SearchOp::Indexed(3),
+                SearchOp::Indexed(3)
+            ]
+        );
+        assert_eq!(
+            &ops[3..],
+            &[
+                SearchOp::Answered(2),
+                SearchOp::Answered(1),
+                SearchOp::Answered(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn pool_budget_never_changes_results() {
+        let baseline = run_session(0);
+        assert_eq!(run_session(1), baseline, "drain-and-refill must match");
+        assert_eq!(run_session(16), baseline, "never-dry pool must match");
+    }
+
+    #[test]
+    fn oversized_result_sets_truncate_to_capacity_and_report_the_total() {
+        let config = PretzelConfig::test();
+        let capacity = response_capacity(&config.rlwe_params());
+        let config_client = config.clone();
+        let (_, results) = run_two_party(
+            move |chan| {
+                let mut rng = StdRng::seed_from_u64(33);
+                let mut provider = SearchProvider::setup(chan, &config, &mut rng).unwrap();
+                for _ in 0..capacity + 3 {
+                    provider.process_round(chan, &mut rng).unwrap();
+                }
+                let op = provider.process_round(chan, &mut rng).unwrap();
+                assert_eq!(op, SearchOp::Answered(capacity));
+            },
+            move |chan| {
+                let mut rng = StdRng::seed_from_u64(34);
+                let mut client = SearchClient::setup(chan, &config_client, &mut rng).unwrap();
+                for id in 0..(capacity as u64) + 3 {
+                    client
+                        .index_email(chan, id, "recurring newsletter")
+                        .unwrap();
+                }
+                client.query(chan, "recurring").unwrap()
+            },
+        );
+        assert_eq!(
+            results.ids.len(),
+            capacity,
+            "responses cap at the ring capacity"
+        );
+        assert_eq!(
+            results.total,
+            (capacity + 3) as u64,
+            "the true match count still reaches the client"
+        );
+        assert!(results.truncated());
+    }
+
+    #[test]
+    fn capacity_formula_reserves_count_and_checksum_slots() {
+        let params = PretzelConfig::test().rlwe_params();
+        let cap = response_capacity(&params);
+        assert!(cap > 0);
+        assert!(RESERVED_SLOTS + cap * SLOTS_PER_POSTING <= params.slots());
+        assert!(RESERVED_SLOTS + (cap + 1) * SLOTS_PER_POSTING > params.slots());
+    }
+
+    #[test]
+    fn provider_rejects_malformed_round_messages() {
+        for bad in [vec![], vec![9u8, 1, 2], vec![TAG_QUERY, 1, 2, 3], {
+            let mut m = vec![TAG_INDEX];
+            m.extend_from_slice(&5u64.to_le_bytes());
+            m
+        }] {
+            let config = PretzelConfig::test();
+            let (provider_res, _) = run_two_party(
+                move |chan| {
+                    let mut rng = StdRng::seed_from_u64(35);
+                    let mut provider = SearchProvider::setup(chan, &config, &mut rng).unwrap();
+                    provider.process_round(chan, &mut rng)
+                },
+                move |chan| {
+                    let mut rng = StdRng::seed_from_u64(36);
+                    let _client =
+                        SearchClient::setup(chan, &PretzelConfig::test(), &mut rng).unwrap();
+                    chan.send(&bad).unwrap();
+                },
+            );
+            assert!(
+                matches!(
+                    provider_res,
+                    Err(PretzelError::Protocol(_))
+                        | Err(PretzelError::Sse(pretzel_sse::SseError::Protocol(_)))
+                ),
+                "provider must reject malformed round messages, got {provider_res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn upload_count_overflow_is_rejected_not_panicking() {
+        // An attacker-controlled posting count near u64::MAX must be a clean
+        // protocol error: naive `count * 40` panics in debug builds and
+        // wraps in release (letting `1 + 2^61` masquerade as one entry).
+        for evil_count in [u64::MAX, 1 + (1u64 << 61)] {
+            let config = PretzelConfig::test();
+            let (provider_res, _) = run_two_party(
+                move |chan| {
+                    let mut rng = StdRng::seed_from_u64(37);
+                    let mut provider = SearchProvider::setup(chan, &config, &mut rng).unwrap();
+                    provider.process_round(chan, &mut rng)
+                },
+                move |chan| {
+                    let mut rng = StdRng::seed_from_u64(38);
+                    let _client =
+                        SearchClient::setup(chan, &PretzelConfig::test(), &mut rng).unwrap();
+                    let mut msg = vec![TAG_INDEX];
+                    msg.extend_from_slice(&evil_count.to_le_bytes());
+                    msg.extend_from_slice(&[0u8; 40]); // one real entry
+                    chan.send(&msg).unwrap();
+                },
+            );
+            assert!(
+                matches!(provider_res, Err(PretzelError::Sse(_))),
+                "count {evil_count} must be rejected, got {provider_res:?}"
+            );
+        }
+    }
+}

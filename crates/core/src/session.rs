@@ -24,9 +24,11 @@
 use rand::Rng;
 
 use pretzel_classifiers::{LinearModel, NGramExtractor, SparseVector};
+use pretzel_sse::DocId;
 use pretzel_transport::Channel;
 
 use crate::config::PretzelConfig;
+use crate::search::{SearchClient, SearchProvider};
 use crate::spam::{AheVariant, SpamClient, SpamProvider};
 use crate::topic::{CandidateMode, TopicClient, TopicProvider};
 use crate::virus::{VirusScanClient, VirusScanProvider};
@@ -43,15 +45,27 @@ pub enum ProtocolKind {
     Topic,
     /// Private virus scanning ([`crate::virus`]); the client learns the bit.
     Virus,
+    /// Encrypted keyword search ([`crate::search`]); the client learns the
+    /// matching document ids.
+    Search,
 }
 
 impl ProtocolKind {
+    /// Every kind, in wire-byte order (for per-kind reporting loops).
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Spam,
+        ProtocolKind::Topic,
+        ProtocolKind::Virus,
+        ProtocolKind::Search,
+    ];
+
     /// Wire encoding used in session handshakes.
     pub fn as_byte(self) -> u8 {
         match self {
             ProtocolKind::Spam => 1,
             ProtocolKind::Topic => 2,
             ProtocolKind::Virus => 3,
+            ProtocolKind::Search => 4,
         }
     }
 
@@ -61,6 +75,7 @@ impl ProtocolKind {
             1 => Ok(ProtocolKind::Spam),
             2 => Ok(ProtocolKind::Topic),
             3 => Ok(ProtocolKind::Virus),
+            4 => Ok(ProtocolKind::Search),
             other => Err(PretzelError::Protocol(format!(
                 "unknown protocol kind byte {other}"
             ))),
@@ -74,6 +89,7 @@ impl std::fmt::Display for ProtocolKind {
             ProtocolKind::Spam => write!(f, "spam"),
             ProtocolKind::Topic => write!(f, "topic"),
             ProtocolKind::Virus => write!(f, "virus"),
+            ProtocolKind::Search => write!(f, "search"),
         }
     }
 }
@@ -129,6 +145,10 @@ pub enum ProviderSession {
     Topic(TopicProvider),
     /// A virus-scanning session.
     Virus(VirusScanProvider),
+    /// An encrypted-keyword-search session. Needs no trained model — only the
+    /// suite's parameter preset; the AHE variant byte is accepted but
+    /// ignored (search always runs over RLWE).
+    Search(SearchProvider),
 }
 
 impl ProviderSession {
@@ -165,6 +185,11 @@ impl ProviderSession {
                 variant,
                 rng,
             )?)),
+            ProtocolKind::Search => Ok(ProviderSession::Search(SearchProvider::setup(
+                channel,
+                &suite.config,
+                rng,
+            )?)),
         }
     }
 
@@ -174,6 +199,7 @@ impl ProviderSession {
             ProviderSession::Spam(_) => ProtocolKind::Spam,
             ProviderSession::Topic(_) => ProtocolKind::Topic,
             ProviderSession::Virus(_) => ProtocolKind::Virus,
+            ProviderSession::Search(_) => ProtocolKind::Search,
         }
     }
 
@@ -186,6 +212,7 @@ impl ProviderSession {
             ProviderSession::Spam(p) => p.precompute(budget, rng),
             ProviderSession::Topic(p) => p.precompute(budget, rng),
             ProviderSession::Virus(p) => p.precompute(budget, rng),
+            ProviderSession::Search(p) => p.precompute(budget, rng),
         }
     }
 
@@ -195,12 +222,15 @@ impl ProviderSession {
             ProviderSession::Spam(p) => p.pool_depth(),
             ProviderSession::Topic(p) => p.pool_depth(),
             ProviderSession::Virus(p) => p.pool_depth(),
+            ProviderSession::Search(p) => p.pool_depth(),
         }
     }
 
     /// Runs one per-email round. Returns the topic index for topic sessions
     /// (the only module whose output goes to the provider, Guarantee 3) and
-    /// `None` for spam/virus sessions (the provider learns nothing).
+    /// `None` for spam/virus/search sessions (spam and virus reveal nothing
+    /// to the provider; a search round only reveals the standard SSE leakage,
+    /// which is not a per-round output).
     ///
     /// Draws from the pools filled by [`ProviderSession::precompute`] when
     /// they are non-empty and computes inline otherwise.
@@ -219,18 +249,32 @@ impl ProviderSession {
                 p.process_attachment(channel, rng)?;
                 Ok(None)
             }
+            ProviderSession::Search(p) => {
+                p.process_round(channel, rng)?;
+                Ok(None)
+            }
         }
     }
 }
 
-/// One email as submitted to a client session: token counts for spam/topic,
-/// raw bytes for virus scanning (the provider's extractor hashes them).
+/// One round's input as submitted to a client session: token counts for
+/// spam/topic, raw bytes for virus scanning (the provider's extractor hashes
+/// them), and index/query operations for search sessions.
 #[derive(Clone, Debug)]
 pub enum EmailPayload {
     /// Sparse token counts over the model's feature space.
     Tokens(SparseVector),
     /// Raw attachment bytes.
     Attachment(Vec<u8>),
+    /// Search session: index one email body under a stable document id.
+    SearchIndex {
+        /// Stable identifier the matching queries will return.
+        doc_id: DocId,
+        /// Decrypted email body to tokenize and index.
+        body: String,
+    },
+    /// Search session: single-keyword query.
+    SearchQuery(String),
 }
 
 /// What the client learned from one per-email round.
@@ -252,6 +296,20 @@ pub enum Verdict {
         /// `true` when the attachment was classified as malicious.
         is_malicious: bool,
     },
+    /// Search session, index round: the upload was stored.
+    SearchIndexed {
+        /// Encrypted postings the round added to the provider's index.
+        postings: usize,
+    },
+    /// Search session, query round: the matching document ids.
+    SearchHits {
+        /// Ids of the returned matching emails (at most one response's
+        /// capacity).
+        ids: Vec<DocId>,
+        /// Total matches at the provider; `total > ids.len()` means the
+        /// result set was truncated to the per-response capacity.
+        total: u64,
+    },
 }
 
 /// Client endpoint of one live session, mirroring [`ProviderSession`].
@@ -263,6 +321,8 @@ pub enum ClientSession {
     Topic(Box<TopicClient>),
     /// A virus-scanning session.
     Virus(VirusScanClient),
+    /// An encrypted-keyword-search session.
+    Search(SearchClient),
 }
 
 impl ClientSession {
@@ -296,6 +356,9 @@ impl ClientSession {
             ProtocolKind::Virus => Ok(ClientSession::Virus(VirusScanClient::setup(
                 channel, config, variant, rng,
             )?)),
+            ProtocolKind::Search => Ok(ClientSession::Search(SearchClient::setup(
+                channel, config, rng,
+            )?)),
         }
     }
 
@@ -305,27 +368,34 @@ impl ClientSession {
             ClientSession::Spam(_) => ProtocolKind::Spam,
             ClientSession::Topic(_) => ProtocolKind::Topic,
             ClientSession::Virus(_) => ProtocolKind::Virus,
+            ClientSession::Search(_) => ProtocolKind::Search,
         }
     }
 
-    /// Client-side storage consumed by the encrypted model, in bytes.
+    /// Client-side storage consumed by the session state, in bytes: the
+    /// encrypted model for the classification modules, the SSE master key,
+    /// keyword counters and RLWE secret key for search sessions.
     pub fn model_storage_bytes(&self) -> usize {
         match self {
             ClientSession::Spam(c) => c.model_storage_bytes(),
             ClientSession::Topic(c) => c.model_storage_bytes(),
             ClientSession::Virus(c) => c.model_storage_bytes(),
+            ClientSession::Search(c) => c.storage_bytes(),
         }
     }
 
     /// Offline phase: tops this session's precomputation pools up to
     /// `budget` future rounds, returning the number of work units produced.
     /// Topic clients pre-garble argmax circuits; Baseline-variant sessions
-    /// additionally pre-exponentiate Paillier randomizers.
+    /// additionally pre-exponentiate Paillier randomizers. Search clients
+    /// have no client-side offline work (the provider banks the
+    /// pre-encrypted responses) and return 0.
     pub fn precompute<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) -> usize {
         match self {
             ClientSession::Spam(c) => c.precompute(budget, rng),
             ClientSession::Topic(c) => c.precompute(budget, rng),
             ClientSession::Virus(c) => c.precompute(budget, rng),
+            ClientSession::Search(_) => 0,
         }
     }
 
@@ -335,12 +405,15 @@ impl ClientSession {
             ClientSession::Spam(c) => c.pool_depth(),
             ClientSession::Topic(c) => c.pool_depth(),
             ClientSession::Virus(c) => c.pool_depth(),
+            ClientSession::Search(_) => 0,
         }
     }
 
     /// Runs one per-email round with `payload`, which must match the session
-    /// kind: [`EmailPayload::Tokens`] for spam/topic, and
-    /// [`EmailPayload::Attachment`] for virus scanning.
+    /// kind: [`EmailPayload::Tokens`] for spam/topic,
+    /// [`EmailPayload::Attachment`] for virus scanning, and
+    /// [`EmailPayload::SearchIndex`] / [`EmailPayload::SearchQuery`] for
+    /// search sessions.
     pub fn process_round<C: Channel, R: Rng + ?Sized>(
         &mut self,
         channel: &mut C,
@@ -357,6 +430,18 @@ impl ClientSession {
             (ClientSession::Virus(c), EmailPayload::Attachment(bytes)) => Ok(Verdict::Virus {
                 is_malicious: c.scan(channel, bytes, rng)?,
             }),
+            (ClientSession::Search(c), EmailPayload::SearchIndex { doc_id, body }) => {
+                Ok(Verdict::SearchIndexed {
+                    postings: c.index_email(channel, *doc_id, body)?,
+                })
+            }
+            (ClientSession::Search(c), EmailPayload::SearchQuery(keyword)) => {
+                let results = c.query(channel, keyword)?;
+                Ok(Verdict::SearchHits {
+                    ids: results.ids,
+                    total: results.total,
+                })
+            }
             (session, _) => Err(PretzelError::Protocol(format!(
                 "payload type does not match a {} session",
                 session.kind()
@@ -474,6 +559,77 @@ mod tests {
     }
 
     #[test]
+    fn search_session_roundtrip() {
+        let suite_p = suite();
+        let config = suite_p.config.clone();
+        let rounds = 3usize;
+        let (provider_out, verdicts) = run_two_party(
+            move |chan| -> crate::Result<Option<usize>> {
+                let mut rng = StdRng::seed_from_u64(13);
+                let mut session = ProviderSession::setup(
+                    ProtocolKind::Search,
+                    chan,
+                    &suite_p,
+                    AheVariant::Pretzel,
+                    &mut rng,
+                )?;
+                assert_eq!(session.kind(), ProtocolKind::Search);
+                assert!(session.precompute(2, &mut rng) > 0);
+                assert_eq!(session.pool_depth(), 2);
+                let mut last = None;
+                for _ in 0..rounds {
+                    last = session.process_round(chan, &mut rng)?;
+                }
+                Ok(last)
+            },
+            move |chan| -> crate::Result<Vec<Verdict>> {
+                let mut rng = StdRng::seed_from_u64(14);
+                let mut session = ClientSession::setup(
+                    ProtocolKind::Search,
+                    chan,
+                    &config,
+                    AheVariant::Pretzel,
+                    CandidateMode::Full,
+                    None,
+                    &mut rng,
+                )?;
+                assert_eq!(session.kind(), ProtocolKind::Search);
+                assert!(session.model_storage_bytes() > 0);
+                assert_eq!(session.precompute(4, &mut rng), 0);
+                let payloads = [
+                    EmailPayload::SearchIndex {
+                        doc_id: 7,
+                        body: "encrypted budget spreadsheet".into(),
+                    },
+                    EmailPayload::SearchQuery("budget".into()),
+                    EmailPayload::SearchQuery("absent".into()),
+                ];
+                payloads
+                    .iter()
+                    .map(|p| session.process_round(chan, p, &mut rng))
+                    .collect()
+            },
+        );
+        assert_eq!(provider_out.unwrap(), None);
+        let verdicts = verdicts.unwrap();
+        assert_eq!(verdicts[0], Verdict::SearchIndexed { postings: 3 });
+        assert_eq!(
+            verdicts[1],
+            Verdict::SearchHits {
+                ids: vec![7],
+                total: 1
+            }
+        );
+        assert_eq!(
+            verdicts[2],
+            Verdict::SearchHits {
+                ids: vec![],
+                total: 0
+            }
+        );
+    }
+
+    #[test]
     fn mismatched_payload_is_a_protocol_error() {
         let suite_p = suite();
         let config = suite_p.config.clone();
@@ -512,10 +668,12 @@ mod tests {
 
     #[test]
     fn wire_bytes_roundtrip() {
-        for kind in [ProtocolKind::Spam, ProtocolKind::Topic, ProtocolKind::Virus] {
+        for kind in ProtocolKind::ALL {
             assert_eq!(ProtocolKind::from_byte(kind.as_byte()).unwrap(), kind);
         }
+        assert_eq!(ProtocolKind::Search.as_byte(), 4);
         assert!(ProtocolKind::from_byte(0).is_err());
+        assert!(ProtocolKind::from_byte(5).is_err());
         for variant in [
             AheVariant::Pretzel,
             AheVariant::Baseline,

@@ -23,6 +23,8 @@
 //!   left by `k` (used by §4.2 packing and the Figure 5 candidate-topic
 //!   protocol).
 
+#![warn(missing_docs)]
+
 pub mod ntt;
 
 use std::sync::Arc;
@@ -36,9 +38,19 @@ use pretzel_primitives::Prg;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RlweError {
     /// Plaintext slot value does not fit in the plaintext modulus.
-    SlotOutOfRange { slot: usize, value: u64 },
+    SlotOutOfRange {
+        /// Index of the offending slot.
+        slot: usize,
+        /// The out-of-range value supplied for it.
+        value: u64,
+    },
     /// Too many slots supplied for the ring degree.
-    TooManySlots { given: usize, max: usize },
+    TooManySlots {
+        /// Number of slot values supplied.
+        given: usize,
+        /// Ring degree (maximum slots per ciphertext).
+        max: usize,
+    },
     /// Ciphertext bytes could not be parsed.
     Malformed,
     /// Parameters of two operands do not match.

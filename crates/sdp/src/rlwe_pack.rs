@@ -468,6 +468,61 @@ mod tests {
         }
     }
 
+    /// Runs encrypt → dot-product → blind → decrypt with every RNG pinned to
+    /// `seed`, returning the serialized model bytes and the recovered dot
+    /// products. Determinism of this whole pipeline is what lets the
+    /// integration suite pin transcripts across runs.
+    fn fixed_seed_pipeline(seed: u64, packing: Packing) -> (Vec<u8>, Vec<u64>) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let params = Params::new(64, 24);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = keygen(&params, Some(&[7u8; 32]), &mut rng);
+        let model = demo_model(40, 2);
+        let features = demo_features(40, 12);
+        let enc = encrypt_model(&pk, &model, packing, &mut rng).unwrap();
+        let model_bytes: Vec<u8> = enc
+            .ciphertexts()
+            .iter()
+            .flat_map(|c| c.to_bytes())
+            .collect();
+        let result = client_dot_product(&pk, &enc, &features).unwrap();
+        let (blinded, noise) = blind(&pk, &result[0], 2, &mut rng);
+        let dec = provider_decrypt(&sk, &[blinded], 2);
+        let t = pk.params().t;
+        let unblinded: Vec<u64> = dec[0]
+            .iter()
+            .zip(noise.iter())
+            .map(|(&d, &n)| (d + t - n) % t)
+            .collect();
+        (model_bytes, unblinded)
+    }
+
+    #[test]
+    fn fixed_seed_roundtrip_is_deterministic_and_correct() {
+        for packing in [Packing::AcrossRow, Packing::LegacyPerRow] {
+            let (bytes_a, dots_a) = fixed_seed_pipeline(0x5EED, packing);
+            let (bytes_b, dots_b) = fixed_seed_pipeline(0x5EED, packing);
+            assert_eq!(
+                bytes_a, bytes_b,
+                "{packing:?}: same seed must give byte-identical encrypted models"
+            );
+            assert_eq!(dots_a, dots_b);
+            // And the recovered values agree with the plaintext reference.
+            let expected = demo_model(40, 2).dot_sparse(&demo_features(40, 12));
+            assert_eq!(dots_a, expected, "{packing:?}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_ciphertexts_but_not_dot_products() {
+        let (bytes_a, dots_a) = fixed_seed_pipeline(1, Packing::AcrossRow);
+        let (bytes_b, dots_b) = fixed_seed_pipeline(2, Packing::AcrossRow);
+        assert_ne!(bytes_a, bytes_b, "encryption must be randomized");
+        assert_eq!(dots_a, dots_b, "randomness must not affect results");
+    }
+
     #[test]
     fn oversized_model_values_rejected() {
         let (_, pk) = setup(64, 12);

@@ -7,6 +7,8 @@
 //! index with the same externally visible behaviour — index size, query
 //! latency and update latency are what Figure 15 reports.
 
+#![warn(missing_docs)]
+
 use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};

@@ -74,6 +74,18 @@ impl ClientSpec {
         }
     }
 
+    /// Spec for an encrypted-keyword-search session (always served over
+    /// RLWE; the variant byte is carried but ignored by search sessions).
+    pub fn search(config: PretzelConfig) -> Self {
+        ClientSpec {
+            kind: ProtocolKind::Search,
+            variant: AheVariant::Pretzel,
+            config,
+            topic_mode: CandidateMode::Full,
+            candidate_model: None,
+        }
+    }
+
     /// Same spec with a different AHE variant.
     pub fn with_variant(mut self, variant: AheVariant) -> Self {
         self.variant = variant;
@@ -221,6 +233,41 @@ impl<C: Channel> MailroomClient<C> {
             Verdict::Virus { is_malicious } => Ok(is_malicious),
             other => Err(ServerError::Pretzel(PretzelError::Protocol(format!(
                 "expected a virus verdict, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Convenience for search sessions: index one email body under `doc_id`
+    /// at the provider, returning the number of encrypted postings stored.
+    pub fn index_email<R: Rng + ?Sized>(
+        &mut self,
+        doc_id: u64,
+        body: &str,
+        rng: &mut R,
+    ) -> Result<usize, ServerError> {
+        let payload = EmailPayload::SearchIndex {
+            doc_id,
+            body: body.to_string(),
+        };
+        match self.process(&payload, rng)? {
+            Verdict::SearchIndexed { postings } => Ok(postings),
+            other => Err(ServerError::Pretzel(PretzelError::Protocol(format!(
+                "expected a search-index verdict, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Convenience for search sessions: run one single-keyword query round,
+    /// returning the ids of the matching indexed emails.
+    pub fn search_keyword<R: Rng + ?Sized>(
+        &mut self,
+        keyword: &str,
+        rng: &mut R,
+    ) -> Result<Vec<u64>, ServerError> {
+        match self.process(&EmailPayload::SearchQuery(keyword.to_string()), rng)? {
+            Verdict::SearchHits { ids, .. } => Ok(ids),
+            other => Err(ServerError::Pretzel(PretzelError::Protocol(format!(
+                "expected search hits, got {other:?}"
             )))),
         }
     }

@@ -7,9 +7,10 @@
 //! layer: a [`Mailroom`] accepts many concurrent client sessions over any
 //! [`pretzel_transport::Channel`] (in-memory pairs for tests and benchmarks,
 //! framed TCP via [`pretzel_transport::TcpAcceptor`] for real sockets), runs
-//! each session through the spam / topic / virus protocols of
-//! [`pretzel_core`], and manages the whole lifecycle — handshake, one-time
-//! setup whose state is reused across per-email rounds, teardown.
+//! each session through the spam / topic / virus / encrypted-search
+//! protocols of [`pretzel_core`], and manages the whole lifecycle —
+//! handshake, one-time setup whose state is reused across per-email rounds,
+//! teardown.
 //!
 //! Architecture (see `docs/ARCHITECTURE.md` for the full layer diagram):
 //!
@@ -52,8 +53,8 @@ mod queue;
 
 pub use client::{ClientSpec, MailroomClient};
 pub use mailroom::{
-    serve_tcp_sessions, Mailroom, MailroomConfig, MailroomReport, SessionId, SessionState,
-    SessionStats,
+    serve_tcp_sessions, KindTotals, Mailroom, MailroomConfig, MailroomReport, SessionId,
+    SessionState, SessionStats,
 };
 pub use queue::{BoundedQueue, PushError};
 

@@ -184,6 +184,37 @@ impl Shared {
     }
 }
 
+/// Aggregate accounting for all sessions of one [`ProtocolKind`] — the rows
+/// of [`MailroomReport::by_kind`]. Summing the totals across kinds (plus any
+/// sessions that never parsed a handshake) reproduces the fleet-wide
+/// counters, which `tests/mailroom_concurrency.rs` pins for a mixed fleet.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindTotals {
+    /// Sessions that handshook as this kind.
+    pub sessions: usize,
+    /// Per-email rounds served.
+    pub emails: u64,
+    /// Payload bytes sent provider→client.
+    pub bytes_sent: u64,
+    /// Payload bytes received client→provider.
+    pub bytes_received: u64,
+    /// Messages exchanged in both directions.
+    pub messages: u64,
+    /// Final offline-pool depth summed over this kind's sessions.
+    pub pool_depth: u64,
+}
+
+impl KindTotals {
+    fn absorb(&mut self, s: &SessionStats) {
+        self.sessions += 1;
+        self.emails += s.emails;
+        self.bytes_sent += s.bytes_sent;
+        self.bytes_received += s.bytes_received;
+        self.messages += s.messages;
+        self.pool_depth += s.pool_depth;
+    }
+}
+
 /// Final accounting returned by [`Mailroom::shutdown`].
 #[derive(Clone, Debug)]
 pub struct MailroomReport {
@@ -211,6 +242,24 @@ impl MailroomReport {
             .count()
     }
 
+    /// Per-kind aggregation of the fleet, in wire-byte order. Kinds no
+    /// session ran are omitted; sessions whose handshake never parsed (kind
+    /// `None`) are excluded, so a garbage-handshake session can make the
+    /// per-kind sums fall short of the fleet meters.
+    pub fn by_kind(&self) -> Vec<(ProtocolKind, KindTotals)> {
+        let mut out: Vec<(ProtocolKind, KindTotals)> = Vec::new();
+        for kind in ProtocolKind::ALL {
+            let mut totals = KindTotals::default();
+            for s in self.sessions.iter().filter(|s| s.kind == Some(kind)) {
+                totals.absorb(s);
+            }
+            if totals.sessions > 0 {
+                out.push((kind, totals));
+            }
+        }
+        out
+    }
+
     /// Average payload bytes per served email across the fleet (0 when no
     /// email was served).
     pub fn bytes_per_email(&self) -> f64 {
@@ -221,8 +270,8 @@ impl MailroomReport {
     }
 }
 
-/// A multi-session provider serving spam, topic and virus sessions over any
-/// [`Channel`] through a worker pool with bounded intake.
+/// A multi-session provider serving spam, topic, virus and encrypted-search
+/// sessions over any [`Channel`] through a worker pool with bounded intake.
 pub struct Mailroom {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -578,6 +627,60 @@ mod tests {
             report.fleet_bytes_sent, stats.bytes_sent,
             "one session: fleet meter equals the session meter"
         );
+    }
+
+    #[test]
+    fn serves_a_search_session_with_per_kind_accounting() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+        let (provider_end, client_end) = memory_pair();
+        let id = mailroom.submit(provider_end).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = ClientSpec::search(PretzelConfig::test());
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        assert_eq!(client.kind(), ProtocolKind::Search);
+        assert!(client.model_storage_bytes() > 0);
+        assert_eq!(
+            client
+                .index_email(10, "project pretzel kickoff agenda", &mut rng)
+                .unwrap(),
+            4
+        );
+        client
+            .index_email(11, "pretzel budget spreadsheet", &mut rng)
+            .unwrap();
+        let mut hits = client.search_keyword("pretzel", &mut rng).unwrap();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![10, 11]);
+        assert!(client
+            .search_keyword("absent", &mut rng)
+            .unwrap()
+            .is_empty());
+        client.finish().unwrap();
+
+        let report = mailroom.shutdown();
+        let stats = report.sessions.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(stats.kind, Some(ProtocolKind::Search));
+        assert_eq!(stats.state, SessionState::Completed);
+        assert_eq!(stats.emails, 4, "2 index rounds + 2 query rounds");
+        assert_eq!(
+            stats.pool_depth, 2,
+            "worker topped the pre-encrypted response pool back up"
+        );
+
+        let by_kind = report.by_kind();
+        assert_eq!(by_kind.len(), 1);
+        let (kind, totals) = by_kind[0];
+        assert_eq!(kind, ProtocolKind::Search);
+        assert_eq!(totals.sessions, 1);
+        assert_eq!(totals.emails, 4);
+        assert_eq!(totals.bytes_sent, report.fleet_bytes_sent);
+        assert_eq!(totals.bytes_received, report.fleet_bytes_received);
+        assert_eq!(totals.messages, report.fleet_messages);
+        assert_eq!(totals.pool_depth, report.pool_depth_total);
     }
 
     #[test]

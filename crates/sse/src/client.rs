@@ -42,6 +42,45 @@ impl UpdateBatch {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Serializes the batch for transmission: a `u64` little-endian posting
+    /// count followed by 40 bytes (32-byte label + 8-byte sealed id) per
+    /// posting. The single wire format shared by the bare SSE endpoints and
+    /// the mailroom-served search protocol.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.entries.len() * 40);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (label, value) in &self.entries {
+            out.extend_from_slice(label);
+            out.extend_from_slice(value);
+        }
+        out
+    }
+
+    /// Parses bytes produced by [`UpdateBatch::to_wire_bytes`], rejecting
+    /// truncated headers and any mismatch between the claimed count and the
+    /// payload length (the count is attacker-controlled, so the comparison
+    /// is done without multiplying it).
+    pub fn from_wire_bytes(bytes: &[u8]) -> crate::Result<Self> {
+        if bytes.len() < 8 {
+            return Err(crate::SseError::Protocol("truncated upload header".into()));
+        }
+        let count = u64::from_le_bytes(bytes[..8].try_into().expect("checked length"));
+        let entries_bytes = &bytes[8..];
+        if !entries_bytes.len().is_multiple_of(40) || (entries_bytes.len() / 40) as u64 != count {
+            return Err(crate::SseError::Protocol("upload length mismatch".into()));
+        }
+        let mut batch = UpdateBatch::default();
+        batch.entries.reserve(entries_bytes.len() / 40);
+        for chunk in entries_bytes.chunks_exact(40) {
+            let mut label = [0u8; 32];
+            label.copy_from_slice(&chunk[..32]);
+            let mut value = [0u8; 8];
+            value.copy_from_slice(&chunk[32..]);
+            batch.entries.push((label, value));
+        }
+        Ok(batch)
+    }
 }
 
 /// Client state of the SSE scheme.

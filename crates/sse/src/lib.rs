@@ -42,6 +42,8 @@
 //!   client/provider exchange over the same [`pretzel_transport::Channel`]
 //!   abstraction the other function modules use.
 
+#![warn(missing_docs)]
+
 mod client;
 mod protocol;
 mod server;

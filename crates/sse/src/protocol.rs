@@ -47,11 +47,7 @@ impl SseClientEndpoint {
         let batch = self.state.index_email(doc_id, body);
         let mut msg = Vec::with_capacity(1 + 8 + batch.len() * 40);
         msg.push(TAG_UPLOAD);
-        msg.extend_from_slice(&(batch.len() as u64).to_le_bytes());
-        for (label, value) in &batch.entries {
-            msg.extend_from_slice(label);
-            msg.extend_from_slice(value);
-        }
+        msg.extend_from_slice(&batch.to_wire_bytes());
         channel.send(&msg)?;
         Ok(batch.len())
     }
@@ -129,22 +125,7 @@ impl SseProviderEndpoint {
     }
 
     fn handle_upload(&mut self, body: &[u8]) -> Result<()> {
-        if body.len() < 8 {
-            return Err(SseError::Protocol("truncated upload header".into()));
-        }
-        let count = u64::from_le_bytes(body[..8].try_into().expect("checked length")) as usize;
-        let entries_bytes = &body[8..];
-        if entries_bytes.len() != count * 40 {
-            return Err(SseError::Protocol("upload length mismatch".into()));
-        }
-        let mut batch = UpdateBatch::default();
-        for chunk in entries_bytes.chunks_exact(40) {
-            let mut label = [0u8; 32];
-            label.copy_from_slice(&chunk[..32]);
-            let mut value = [0u8; 8];
-            value.copy_from_slice(&chunk[32..]);
-            batch.entries.push((label, value));
-        }
+        let batch = UpdateBatch::from_wire_bytes(body)?;
         self.index.apply(&batch);
         Ok(())
     }

@@ -1,6 +1,7 @@
-//! Provider mailroom walkthrough: one provider serves six concurrent client
-//! sessions — spam filtering, topic extraction and virus scanning — over
-//! in-memory channels, then prints per-session and fleet-wide meter stats.
+//! Provider mailroom walkthrough: one provider serves eight concurrent
+//! client sessions — spam filtering, topic extraction, virus scanning and
+//! encrypted keyword search — over in-memory channels, then prints
+//! per-session and fleet-wide meter stats.
 //!
 //! Run with: `cargo run --release --example mailroom`
 
@@ -75,9 +76,9 @@ fn main() {
     );
     let mailroom = Mailroom::start(suite, mailroom_cfg);
 
-    // Six concurrent senders: two per function module.
+    // Eight concurrent senders: two per function module.
     let mut handles = Vec::new();
-    for i in 0..6usize {
+    for i in 0..8usize {
         let (provider_end, client_end) = memory_pair();
         mailroom.submit(provider_end).expect("intake has room");
         let config = config.clone();
@@ -95,7 +96,7 @@ fn main() {
             .collect();
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(90 + i as u64);
-            match i % 3 {
+            match i % 4 {
                 0 => {
                     let spec = ClientSpec::spam(config);
                     let mut client =
@@ -117,7 +118,7 @@ fn main() {
                     client.finish().expect("teardown");
                     format!("client {i}: topic session, 4 emails (indices go to the provider)")
                 }
-                _ => {
+                2 => {
                     let spec = ClientSpec::virus(config);
                     let mut client =
                         MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
@@ -130,6 +131,23 @@ fn main() {
                     client.finish().expect("teardown");
                     format!(
                         "client {i}: virus session, malicious flagged={flagged}, benign flagged={clean}"
+                    )
+                }
+                _ => {
+                    let spec = ClientSpec::search(config);
+                    let mut client =
+                        MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
+                    client
+                        .index_email(1, "quarterly budget review tomorrow", &mut rng)
+                        .expect("index");
+                    client
+                        .index_email(2, "offsite travel budget approved", &mut rng)
+                        .expect("index");
+                    let hits = client.search_keyword("budget", &mut rng).expect("query");
+                    client.finish().expect("teardown");
+                    format!(
+                        "client {i}: search session, \"budget\" matched {} of 2 indexed emails",
+                        hits.len()
                     )
                 }
             }

@@ -221,6 +221,114 @@ fn replay_guard_rejects_duplicates_per_sender() {
     assert!(guard.check_and_record("alice@example.com", 2));
 }
 
+/// A channel decorator that flips one bit in every sent message at least
+/// `min_len` bytes long — a stand-in for an active network adversary
+/// corrupting the large RLWE search-response frames while leaving the small
+/// control messages alone.
+struct BitFlipChannel<C> {
+    inner: C,
+    min_len: usize,
+}
+
+impl<C: Channel> Channel for BitFlipChannel<C> {
+    fn send(&mut self, msg: &[u8]) -> pretzel::transport::Result<()> {
+        if msg.len() >= self.min_len {
+            let mut corrupted = msg.to_vec();
+            corrupted[msg.len() / 2] ^= 0x01;
+            self.inner.send(&corrupted)
+        } else {
+            self.inner.send(msg)
+        }
+    }
+    fn recv(&mut self) -> pretzel::transport::Result<Vec<u8>> {
+        self.inner.recv()
+    }
+    fn flush(&mut self) -> pretzel::transport::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[test]
+fn search_client_rejects_a_tampered_response_instead_of_misdecoding() {
+    use pretzel::core::search::{SearchClient, SearchProvider};
+
+    let config = PretzelConfig::test();
+    let config_client = config.clone();
+    // The response ciphertext (2·n·8 bytes) is the only provider message
+    // this large; everything else passes through untouched.
+    let ct_len = config.rlwe_params().ciphertext_bytes();
+    let (provider_res, client_res) = run_two_party(
+        move |chan| {
+            let mut tampering = BitFlipChannel {
+                inner: chan,
+                min_len: ct_len,
+            };
+            let mut rng = test_rng(60);
+            let mut provider = SearchProvider::setup(&mut tampering, &config, &mut rng)?;
+            provider.process_round(&mut tampering, &mut rng)?; // honest index round
+            provider.process_round(&mut tampering, &mut rng) // corrupted query round
+        },
+        move |chan| {
+            let mut rng = test_rng(61);
+            let mut client = SearchClient::setup(chan, &config_client, &mut rng)?;
+            client.index_email(chan, 1, "confidential merger draft")?;
+            client.query(chan, "merger")
+        },
+    );
+    provider_res.unwrap();
+    let err = client_res.expect_err("a bit-flipped response must not decode");
+    assert!(
+        matches!(err, PretzelError::Protocol(_)),
+        "tampering must surface as a protocol error, got {err:?}"
+    );
+}
+
+#[test]
+fn search_client_rejects_a_truncated_response() {
+    use pretzel::core::search::{response_capacity, SearchClient};
+
+    let config = PretzelConfig::test();
+    let capacity = response_capacity(&config.rlwe_params()) as u64;
+    let (client_res, _) = run_two_party(
+        move |chan| {
+            let mut rng = test_rng(62);
+            let client = SearchClient::setup(chan, &config, &mut rng)?;
+            client.query(chan, "anything")
+        },
+        move |chan| {
+            // A provider that runs the setup honestly…
+            run_joint_randomness_as_initiator(chan);
+            let _pk = chan.recv().unwrap();
+            chan.send(&capacity.to_le_bytes()).unwrap();
+            // …then answers the query with a truncated ciphertext.
+            let _query = chan.recv().unwrap();
+            chan.send(&[0u8; 100]).unwrap();
+        },
+    );
+    let err = client_res.expect_err("a truncated response must be rejected");
+    assert!(matches!(err, PretzelError::Protocol(_)));
+}
+
+#[test]
+fn search_client_rejects_a_capacity_downgrade() {
+    use pretzel::core::search::SearchClient;
+
+    // A malicious provider announcing a different response capacity (e.g. to
+    // smuggle truncated result sets past the client) fails the setup.
+    let (client_res, _) = run_two_party(
+        |chan| {
+            let mut rng = test_rng(63);
+            SearchClient::setup(chan, &PretzelConfig::test(), &mut rng)
+        },
+        |chan| {
+            run_joint_randomness_as_initiator(chan);
+            let _pk = chan.recv().unwrap();
+            chan.send(&1u64.to_le_bytes()).unwrap();
+        },
+    );
+    assert!(matches!(client_res, Err(PretzelError::Protocol(_))));
+}
+
 #[test]
 fn sse_provider_rejects_malformed_uploads_without_panicking() {
     use pretzel::sse::{SseError, SseProviderEndpoint};

@@ -33,12 +33,32 @@ fn spam_suite() -> (
     let corpus = spec.generate();
     let (train, test) = corpus.train_test_split(0.6, 7);
     let model = GrNbTrainer::default().train(&train, corpus.num_features, 2);
+    // The virus model lives in the extractor's bucket space, not the token
+    // vocabulary, so it needs its own tiny training set.
     let extractor = NGramExtractor::new(3, 64);
+    let virus_examples: Vec<pretzel::classifiers::LabeledExample> = (0..20u8)
+        .flat_map(|i| {
+            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
+            bad.push(i);
+            let good = format!("meeting notes attachment {i}");
+            [
+                pretzel::classifiers::LabeledExample {
+                    features: extractor.extract(&bad),
+                    label: 1,
+                },
+                pretzel::classifiers::LabeledExample {
+                    features: extractor.extract(good.as_bytes()),
+                    label: 0,
+                },
+            ]
+        })
+        .collect();
+    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
     let suite = ProviderModelSuite {
         spam: model.clone(),
-        topic: model.clone(),
+        topic: model,
         topic_mode: CandidateMode::Full,
-        virus: model,
+        virus: virus_model,
         virus_extractor: extractor,
         config: PretzelConfig::test(),
     };
@@ -298,4 +318,121 @@ fn sixteen_concurrent_sessions_match_the_single_session_baseline() {
     // a corpus split 95/5 ham/spam should not classify all one way.
     let spam_count: usize = fleet.iter().flatten().filter(|&&v| v).count();
     assert!(spam_count < SESSIONS * EMAILS_PER_SESSION);
+}
+
+/// 16 concurrent sessions spanning all four protocol kinds on one mailroom:
+/// every session completes, and the per-kind meter totals of
+/// `MailroomReport::by_kind` sum exactly to the fleet-wide report.
+#[test]
+fn mixed_fleet_of_all_four_kinds_reconciles_per_kind_accounting() {
+    const PER_KIND: usize = 4;
+
+    let (suite, emails) = spam_suite();
+    let config = PretzelConfig::test();
+    let mailroom = Mailroom::start(
+        suite,
+        MailroomConfig {
+            workers: 4,
+            queue_capacity: 4 * PER_KIND,
+            rng_seed: 0x4B1D,
+            ..MailroomConfig::default()
+        },
+    );
+
+    let handles: Vec<_> = (0..4 * PER_KIND)
+        .map(|i| {
+            let (provider_end, client_end) = memory_pair();
+            mailroom.submit(provider_end).unwrap();
+            let config = config.clone();
+            let email = emails[i].features.clone();
+            std::thread::spawn(move || {
+                let mut rng = test_rng(900 + i as u64);
+                match i % 4 {
+                    0 => {
+                        let spec = ClientSpec::spam(config);
+                        let mut client =
+                            MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+                        client.classify_spam(&email, &mut rng).unwrap();
+                        client.classify_spam(&email, &mut rng).unwrap();
+                        client.finish().unwrap();
+                    }
+                    1 => {
+                        let spec = ClientSpec::topic(config, CandidateMode::Full, None);
+                        let mut client =
+                            MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+                        client.extract_topic(&email, &mut rng).unwrap();
+                        client.extract_topic(&email, &mut rng).unwrap();
+                        client.finish().unwrap();
+                    }
+                    2 => {
+                        let spec = ClientSpec::virus(config);
+                        let mut client =
+                            MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+                        client
+                            .scan_attachment(b"MZ\x90\x00attachment payload", &mut rng)
+                            .unwrap();
+                        client.scan_attachment(b"meeting notes", &mut rng).unwrap();
+                        client.finish().unwrap();
+                    }
+                    _ => {
+                        let spec = ClientSpec::search(config);
+                        let mut client =
+                            MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+                        client
+                            .index_email(i as u64, "expense report for the offsite", &mut rng)
+                            .unwrap();
+                        let hits = client.search_keyword("offsite", &mut rng).unwrap();
+                        assert_eq!(hits, vec![i as u64]);
+                        client.finish().unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), 4 * PER_KIND);
+
+    let by_kind = report.by_kind();
+    let kinds: Vec<ProtocolKind> = by_kind.iter().map(|(k, _)| *k).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ProtocolKind::Spam,
+            ProtocolKind::Topic,
+            ProtocolKind::Virus,
+            ProtocolKind::Search
+        ],
+        "by_kind reports in wire-byte order"
+    );
+    for (kind, totals) in &by_kind {
+        assert_eq!(totals.sessions, PER_KIND, "{kind}: session count");
+        assert_eq!(totals.emails, 2 * PER_KIND as u64, "{kind}: round count");
+        assert!(totals.bytes_sent > 0 && totals.bytes_received > 0, "{kind}");
+    }
+
+    // The per-kind split is a partition: each axis sums to the fleet totals.
+    assert_eq!(
+        by_kind.iter().map(|(_, t)| t.emails).sum::<u64>(),
+        report.emails_total
+    );
+    assert_eq!(
+        by_kind.iter().map(|(_, t)| t.bytes_sent).sum::<u64>(),
+        report.fleet_bytes_sent
+    );
+    assert_eq!(
+        by_kind.iter().map(|(_, t)| t.bytes_received).sum::<u64>(),
+        report.fleet_bytes_received
+    );
+    assert_eq!(
+        by_kind.iter().map(|(_, t)| t.messages).sum::<u64>(),
+        report.fleet_messages
+    );
+    assert_eq!(
+        by_kind.iter().map(|(_, t)| t.pool_depth).sum::<u64>(),
+        report.pool_depth_total
+    );
 }

@@ -1,0 +1,279 @@
+//! Encrypted keyword search through the serving stack (the tentpole
+//! acceptance test): a fixed script of index and query rounds is run four
+//! ways — directly over the in-process `ProviderSession`/`ClientSession`
+//! endpoints and through a `Mailroom` — at precompute budgets 0 (every
+//! response encrypted inline), 1 (the pre-encrypted response pool drains and
+//! refills every round), and effectively unbounded (no response is ever
+//! encrypted inline). All runs must produce byte-identical verdict
+//! transcripts: the offline pool is a latency knob, never a semantics knob,
+//! and the mailroom adds no observable behaviour over the bare protocol.
+
+use pretzel::core::session::{ClientSession, EmailPayload, ProviderSession, Verdict};
+use pretzel::core::spam::AheVariant;
+use pretzel::core::topic::CandidateMode;
+use pretzel::core::{PretzelConfig, ProtocolKind, ProviderModelSuite};
+use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel::transport::{memory_pair, run_two_party};
+
+mod common;
+use common::test_rng;
+
+/// One client seed drives every run, so the SSE master key — and therefore
+/// every label, sealed id, and verdict — is identical across runs.
+const CLIENT_SEED: u64 = 90;
+/// Stands in for an unbounded pool: larger than the whole round count.
+const UNBOUNDED: usize = 64;
+
+fn mailbox() -> Vec<(u64, &'static str)> {
+    vec![
+        (1, "quarterly budget review meeting tomorrow"),
+        (2, "free pills discount offer budget"),
+        (3, "meeting notes and budget discussion"),
+        (4, "lunch menu attached"),
+    ]
+}
+
+fn script() -> Vec<EmailPayload> {
+    let mut ops: Vec<EmailPayload> = mailbox()
+        .into_iter()
+        .map(|(doc_id, body)| EmailPayload::SearchIndex {
+            doc_id,
+            body: body.into(),
+        })
+        .collect();
+    for kw in ["budget", "meeting", "lunch", "nonexistent"] {
+        ops.push(EmailPayload::SearchQuery(kw.into()));
+    }
+    ops
+}
+
+/// A model suite for the mailroom runs; search sessions only use the config,
+/// so tiny untrained-quality models are fine for the unused modules.
+fn suite() -> ProviderModelSuite {
+    use pretzel::classifiers::nb::GrNbTrainer;
+    use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+
+    let examples: Vec<LabeledExample> = (0..8)
+        .map(|i| LabeledExample {
+            features: SparseVector::from_pairs(vec![(i % 4, 2u32)]),
+            label: i % 2,
+        })
+        .collect();
+    let model = GrNbTrainer::default().train(&examples, 4, 2);
+    ProviderModelSuite {
+        spam: model.clone(),
+        topic: model.clone(),
+        topic_mode: CandidateMode::Full,
+        virus: model,
+        virus_extractor: NGramExtractor::new(3, 64),
+        config: PretzelConfig::test(),
+    }
+}
+
+/// Renders a verdict transcript; equality of these strings is the
+/// byte-identical acceptance criterion.
+fn render(verdicts: &[Verdict]) -> Vec<String> {
+    verdicts.iter().map(|v| format!("{v:?}")).collect()
+}
+
+/// Runs the script over bare in-process sessions (no mailroom) with the
+/// given provider-side precompute budget.
+fn run_direct(budget: usize) -> Vec<String> {
+    let suite_p = suite();
+    let config = suite_p.config.clone();
+    let rounds = script().len();
+    let (provider_res, client_res) = run_two_party(
+        move |chan| -> pretzel::core::Result<()> {
+            let mut rng = test_rng(91);
+            let mut session = ProviderSession::setup(
+                ProtocolKind::Search,
+                chan,
+                &suite_p,
+                AheVariant::Pretzel,
+                &mut rng,
+            )?;
+            session.precompute(budget, &mut rng);
+            for _ in 0..rounds {
+                session.process_round(chan, &mut rng)?;
+                session.precompute(budget, &mut rng);
+            }
+            Ok(())
+        },
+        move |chan| -> pretzel::core::Result<Vec<Verdict>> {
+            let mut rng = test_rng(CLIENT_SEED);
+            let mut session = ClientSession::setup(
+                ProtocolKind::Search,
+                chan,
+                &config,
+                AheVariant::Pretzel,
+                CandidateMode::Full,
+                None,
+                &mut rng,
+            )?;
+            script()
+                .iter()
+                .map(|op| session.process_round(chan, op, &mut rng))
+                .collect()
+        },
+    );
+    provider_res.unwrap();
+    render(&client_res.unwrap())
+}
+
+/// Runs the same script through a mailroom whose worker precomputes with the
+/// given budget.
+fn run_mailroom(budget: usize) -> Vec<String> {
+    let mailroom = Mailroom::start(
+        suite(),
+        MailroomConfig {
+            workers: 1,
+            queue_capacity: 2,
+            rng_seed: 0x5EA2C4,
+            precompute_budget: budget,
+        },
+    );
+    let (provider_end, client_end) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+    let mut rng = test_rng(CLIENT_SEED);
+    let spec = ClientSpec::search(PretzelConfig::test());
+    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    let verdicts: Vec<Verdict> = script()
+        .iter()
+        .map(|op| client.process(op, &mut rng).unwrap())
+        .collect();
+    client.finish().unwrap();
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), 1);
+    assert_eq!(report.emails_total, script().len() as u64);
+    let stats = &report.sessions[0];
+    assert_eq!(stats.kind, Some(ProtocolKind::Search));
+    if budget == 0 {
+        assert_eq!(stats.pool_depth, 0, "budget 0 disables the offline phase");
+    } else {
+        assert!(
+            stats.pool_depth > 0,
+            "warm budgets leave pre-encrypted responses banked"
+        );
+    }
+    render(&verdicts)
+}
+
+/// The acceptance criterion: mailroom-served search verdicts are
+/// byte-identical to the direct in-process protocol at budgets 0, 1, and
+/// unbounded.
+#[test]
+fn mailroom_search_matches_direct_protocol_at_every_budget() {
+    let baseline = run_direct(0);
+
+    // Sanity: the transcript itself is correct against the plaintext truth.
+    assert_eq!(
+        baseline,
+        vec![
+            format!("{:?}", Verdict::SearchIndexed { postings: 5 }),
+            format!("{:?}", Verdict::SearchIndexed { postings: 5 }),
+            format!("{:?}", Verdict::SearchIndexed { postings: 5 }),
+            format!("{:?}", Verdict::SearchIndexed { postings: 3 }),
+            format!(
+                "{:?}",
+                Verdict::SearchHits {
+                    ids: vec![1, 2, 3],
+                    total: 3
+                }
+            ),
+            format!(
+                "{:?}",
+                Verdict::SearchHits {
+                    ids: vec![1, 3],
+                    total: 2
+                }
+            ),
+            format!(
+                "{:?}",
+                Verdict::SearchHits {
+                    ids: vec![4],
+                    total: 1
+                }
+            ),
+            format!(
+                "{:?}",
+                Verdict::SearchHits {
+                    ids: vec![],
+                    total: 0
+                }
+            ),
+        ]
+    );
+
+    for budget in [1, UNBOUNDED] {
+        assert_eq!(
+            run_direct(budget),
+            baseline,
+            "direct protocol at budget {budget} diverged from inline"
+        );
+    }
+    for budget in [0, 1, UNBOUNDED] {
+        assert_eq!(
+            run_mailroom(budget),
+            baseline,
+            "mailroom-served search at budget {budget} diverged from the direct protocol"
+        );
+    }
+}
+
+/// A search session coexists with classification sessions on one mailroom,
+/// and the per-kind report splits them correctly.
+#[test]
+fn search_and_spam_sessions_share_one_mailroom() {
+    use pretzel::classifiers::SparseVector;
+
+    let mailroom = Mailroom::start(
+        suite(),
+        MailroomConfig {
+            workers: 2,
+            queue_capacity: 4,
+            rng_seed: 0xC0FE,
+            ..MailroomConfig::default()
+        },
+    );
+
+    let (provider_end, client_end) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+    let mut rng = test_rng(93);
+    let mut search_client = MailroomClient::connect(
+        client_end,
+        &ClientSpec::search(PretzelConfig::test()),
+        &mut rng,
+    )
+    .unwrap();
+    search_client
+        .index_email(8, "tax season reminder", &mut rng)
+        .unwrap();
+    assert_eq!(
+        search_client.search_keyword("tax", &mut rng).unwrap(),
+        vec![8]
+    );
+
+    let (provider_end, client_end) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+    let mut rng_s = test_rng(94);
+    let mut spam_client = MailroomClient::connect(
+        client_end,
+        &ClientSpec::spam(PretzelConfig::test()),
+        &mut rng_s,
+    )
+    .unwrap();
+    let email = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
+    spam_client.classify_spam(&email, &mut rng_s).unwrap();
+
+    search_client.finish().unwrap();
+    spam_client.finish().unwrap();
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), 2);
+    let by_kind = report.by_kind();
+    let kinds: Vec<ProtocolKind> = by_kind.iter().map(|(k, _)| *k).collect();
+    assert_eq!(kinds, vec![ProtocolKind::Spam, ProtocolKind::Search]);
+    let emails: u64 = by_kind.iter().map(|(_, t)| t.emails).sum();
+    assert_eq!(emails, report.emails_total);
+}
