@@ -17,6 +17,11 @@
 //!    a warm pool of pre-encrypted response randomizers turns each response
 //!    from a full RLWE encryption (NTTs + sampling) into `n` modular
 //!    additions.
+//! 4. **Batched rounds** — sequential vs coalesced (`process_batch`)
+//!    per-email latency for the spam and search workloads: a batch collapses
+//!    each round's frames into a handful per batch (one blinded-ciphertext
+//!    frame + one batched Yao/OT exchange for spam, two frames total for
+//!    search), so light-crypto rounds speed up most.
 //!
 //! Always emits `BENCH_phase_split.json` (the machine-readable record is the
 //! point of this bin). Run with:
@@ -68,6 +73,7 @@ fn main() {
     let micro = run_paillier_micro(paillier_bits, iters);
     let online = run_online_latency(paillier_bits, &sessions, emails);
     let search = run_search_latency(&sessions, emails);
+    let batch = run_batch_online(&sessions, emails);
 
     let json = JsonValue::obj([
         ("bench", JsonValue::Str("phase_split".into())),
@@ -76,8 +82,145 @@ fn main() {
         ("paillier", micro),
         ("online", JsonValue::Arr(online)),
         ("search_online", JsonValue::Arr(search)),
+        ("batch_online", JsonValue::Arr(batch)),
     ]);
     write_bench_json_reported("phase_split", &json);
+}
+
+/// Sequential vs batched per-email online latency for the spam (Pretzel
+/// variant) and search workloads, at each fleet size. One batch covers the
+/// session's whole email budget.
+fn run_batch_online(sessions: &[usize], emails: usize) -> Vec<JsonValue> {
+    let config = PretzelConfig::test();
+    let suite = ProviderModelSuite {
+        spam: synthetic_model(256, 2, 11),
+        topic: synthetic_model(64, 4, 12),
+        topic_mode: CandidateMode::Full,
+        virus: synthetic_model(64, 2, 13),
+        virus_extractor: NGramExtractor::new(3, 64),
+        config: config.clone(),
+    };
+
+    println!("\nBatched rounds — sequential vs one coalesced batch of {emails}");
+    let widths = [10, 8, 14, 14, 10];
+    print_header(
+        &[
+            "workload",
+            "sessions",
+            "seq/email",
+            "batch/email",
+            "speedup",
+        ],
+        &widths,
+    );
+
+    let mut rows = Vec::new();
+    for workload in ["spam", "search"] {
+        for &n in sessions {
+            let seq = run_batch_fleet(&suite, &config, workload, n, emails, false);
+            let batched = run_batch_fleet(&suite, &config, workload, n, emails, true);
+            let speedup = seq.as_secs_f64() / batched.as_secs_f64();
+            print_row(
+                &[
+                    workload.into(),
+                    format!("{n}"),
+                    human_us(seq),
+                    human_us(batched),
+                    format!("{speedup:.2}x"),
+                ],
+                &widths,
+            );
+            rows.push(JsonValue::obj([
+                ("workload", JsonValue::Str(workload.into())),
+                ("sessions", JsonValue::Int(n as u64)),
+                ("seq_us_per_email", micros(seq)),
+                ("batch_us_per_email", micros(batched)),
+                ("speedup", JsonValue::Num(speedup)),
+            ]));
+        }
+    }
+    rows
+}
+
+/// Serves `n_sessions` sessions of one workload, each submitting `emails`
+/// rounds either sequentially or as one coalesced batch, and returns the
+/// mean wall-clock per email of the round loop alone.
+fn run_batch_fleet(
+    suite: &ProviderModelSuite,
+    config: &PretzelConfig,
+    workload: &str,
+    n_sessions: usize,
+    emails: usize,
+    batched: bool,
+) -> Duration {
+    use pretzel_core::session::EmailPayload;
+
+    let mailroom = Mailroom::start(
+        suite.clone(),
+        MailroomConfig {
+            workers: n_sessions,
+            queue_capacity: n_sessions,
+            rng_seed: 44,
+            precompute_budget: 2,
+        },
+    );
+    let start_line = Arc::new(Barrier::new(n_sessions));
+
+    let clients: Vec<_> = (0..n_sessions)
+        .map(|i| {
+            let (provider_end, client_end) = memory_pair();
+            mailroom
+                .submit(provider_end)
+                .expect("queue sized for fleet");
+            let spec = if workload == "spam" {
+                ClientSpec::spam(config.clone())
+            } else {
+                ClientSpec::search(config.clone())
+            };
+            let barrier = Arc::clone(&start_line);
+            let workload = workload.to_string();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(3000 + i as u64);
+                let mut client =
+                    MailroomClient::connect(client_end, &spec, &mut rng).expect("client setup");
+                let payloads: Vec<EmailPayload> = (0..emails)
+                    .map(|e| {
+                        if workload == "spam" {
+                            EmailPayload::Tokens(SparseVector::from_pairs(
+                                (0..20)
+                                    .map(|_| (rng.gen_range(0..256), rng.gen_range(1..4u32)))
+                                    .collect(),
+                            ))
+                        } else if e % 2 == 0 {
+                            EmailPayload::SearchIndex {
+                                doc_id: e as u64,
+                                body: format!("message {e} about invoices and travel"),
+                            }
+                        } else {
+                            EmailPayload::SearchQuery("invoices".into())
+                        }
+                    })
+                    .collect();
+                barrier.wait();
+                let start = Instant::now();
+                if batched {
+                    client.process_batch(&payloads, &mut rng).expect("batch");
+                } else {
+                    for p in &payloads {
+                        client.process(p, &mut rng).expect("round");
+                    }
+                }
+                let elapsed = start.elapsed();
+                client.finish().expect("teardown");
+                elapsed
+            })
+        })
+        .collect();
+
+    let total: Duration = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), n_sessions, "every session must finish");
+    total / (n_sessions * emails) as u32
 }
 
 /// CRT vs. inline decryption and pooled vs. inline encryption, averaged over

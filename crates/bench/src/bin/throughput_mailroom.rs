@@ -14,6 +14,15 @@
 //! or `mixed` (sessions split evenly across spam, topic, virus and search —
 //! the heterogeneous fleet a real provider serves).
 //!
+//! `--batch N` measures **batched rounds**: each session submits its emails
+//! in coalesced N-round batches (`MailroomClient::process_batch` — one
+//! frame of blinded ciphertexts, one batched Yao/OT exchange or one
+//! coalesced search exchange) instead of N sequential rounds. Every fleet
+//! size then runs twice, sequential then batched, and the table/JSON report
+//! the batch speedup. The JSON record lands in
+//! `BENCH_throughput_mailroom_batch.json` so the sequential record is not
+//! overwritten.
+//!
 //! On a multi-core host the per-session work is independent, so aggregate
 //! throughput should scale with min(sessions, workers, cores); on a
 //! single-core host the columns stay flat — the table prints the measured
@@ -26,7 +35,7 @@
 //! cargo run --release -p pretzel_bench --bin throughput_mailroom -- \
 //!     --scale paper --sessions 1,4,16,64 --emails 8 --workers 16
 //! cargo run --release -p pretzel_bench --bin throughput_mailroom -- \
-//!     --workload search --json
+//!     --workload mixed --batch 8 --json
 //! ```
 
 use std::time::Instant;
@@ -39,10 +48,11 @@ use pretzel_bench::{
     JsonValue,
 };
 use pretzel_classifiers::{NGramExtractor, SparseVector};
+use pretzel_core::session::EmailPayload;
 use pretzel_core::topic::CandidateMode;
 use pretzel_core::{PretzelConfig, ProviderModelSuite, Scale};
-use pretzel_server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
-use pretzel_transport::memory_pair;
+use pretzel_server::{serve_tcp_sessions, ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel_transport::{memory_pair, TcpAcceptor, TcpChannel};
 
 /// Which session mix the fleet runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +101,15 @@ fn main() {
     let emails_per_session: usize = arg_value("--emails")
         .map(|v| v.parse().expect("--emails takes a number"))
         .unwrap_or(8);
+    let batch: usize = arg_value("--batch")
+        .map(|v| v.parse().expect("--batch takes a number"))
+        .unwrap_or(1);
+    assert!(batch >= 1, "--batch takes a round count >= 1");
+    let repeat: usize = arg_value("--repeat")
+        .map(|v| v.parse().expect("--repeat takes a number"))
+        .unwrap_or(1);
+    assert!(repeat >= 1, "--repeat takes a run count >= 1");
+    let tcp = std::env::args().any(|a| a == "--tcp");
     let workers: usize = arg_value("--workers")
         .map(|v| v.parse().expect("--workers takes a number"))
         .unwrap_or_else(|| {
@@ -116,11 +135,12 @@ fn main() {
     };
 
     println!(
-        "Mailroom throughput — {} sessions, {} features, {} emails/session, {} workers, scale {:?}",
+        "Mailroom throughput — {} sessions, {} features, {} emails/session, {} workers, batch {}, scale {:?}",
         workload.name(),
         num_features,
         emails_per_session,
         workers,
+        batch,
         scale
     );
     println!(
@@ -130,6 +150,55 @@ fn main() {
             .unwrap_or(1)
     );
 
+    if batch > 1 {
+        run_batch_comparison(
+            &suite,
+            &config,
+            scale,
+            workload,
+            &sessions,
+            emails_per_session,
+            batch,
+            repeat,
+            workers,
+            num_features,
+            tcp,
+        );
+    } else {
+        run_sequential_table(
+            &suite,
+            &config,
+            scale,
+            workload,
+            &sessions,
+            emails_per_session,
+            repeat,
+            workers,
+            num_features,
+            tcp,
+        );
+    }
+    println!(
+        "\nThroughput counts wall-clock from first submission to last teardown;\n\
+         bytes/email is fleet payload traffic divided by emails served (setup\n\
+         transfers amortized across each session's emails)."
+    );
+}
+
+/// The classic one-row-per-fleet-size table (batch size 1).
+#[allow(clippy::too_many_arguments)]
+fn run_sequential_table(
+    suite: &ProviderModelSuite,
+    config: &PretzelConfig,
+    scale: Scale,
+    workload: Workload,
+    sessions: &[usize],
+    emails_per_session: usize,
+    repeat: usize,
+    workers: usize,
+    num_features: usize,
+    tcp: bool,
+) {
     let widths = [10, 8, 10, 12, 12, 12];
     print_header(
         &[
@@ -145,40 +214,44 @@ fn main() {
 
     let mut baseline_throughput: Option<f64> = None;
     let mut json_rows = Vec::new();
-    for &n_sessions in &sessions {
-        let (throughput, wall, bytes_per_email, total_emails) = run_fleet(
-            &suite,
-            &config,
-            workload,
-            n_sessions,
-            emails_per_session,
-            workers,
-            num_features,
-        );
+    for &n_sessions in sessions {
+        let run = best_of(repeat, || {
+            run_fleet(
+                suite,
+                config,
+                workload,
+                n_sessions,
+                emails_per_session,
+                1,
+                workers,
+                num_features,
+                tcp,
+            )
+        });
         let speedup = match baseline_throughput {
-            Some(base) => format!("{:.2}x", throughput / base),
+            Some(base) => format!("{:.2}x", run.throughput / base),
             None => {
-                baseline_throughput = Some(throughput);
+                baseline_throughput = Some(run.throughput);
                 "1.00x".to_string()
             }
         };
         print_row(
             &[
                 format!("{n_sessions}"),
-                format!("{total_emails}"),
-                format!("{wall:.2}"),
-                format!("{throughput:.1}"),
+                format!("{}", run.total_emails),
+                format!("{:.2}", run.wall),
+                format!("{:.1}", run.throughput),
                 speedup,
-                human_bytes(bytes_per_email),
+                human_bytes(run.bytes_per_email),
             ],
             &widths,
         );
         json_rows.push(JsonValue::obj([
             ("sessions", JsonValue::Int(n_sessions as u64)),
-            ("emails", JsonValue::Int(total_emails)),
-            ("wall_s", JsonValue::Num(wall)),
-            ("emails_per_sec", JsonValue::Num(throughput)),
-            ("bytes_per_email", JsonValue::Num(bytes_per_email)),
+            ("emails", JsonValue::Int(run.total_emails)),
+            ("wall_s", JsonValue::Num(run.wall)),
+            ("emails_per_sec", JsonValue::Num(run.throughput)),
+            ("bytes_per_email", JsonValue::Num(run.bytes_per_email)),
         ]));
     }
     maybe_write_bench_json(
@@ -188,6 +261,11 @@ fn main() {
             ("workload", JsonValue::Str(workload.name().into())),
             ("scale", JsonValue::Str(format!("{scale:?}"))),
             ("workers", JsonValue::Int(workers as u64)),
+            ("repeat", JsonValue::Int(repeat as u64)),
+            (
+                "transport",
+                JsonValue::Str(if tcp { "tcp" } else { "memory" }.into()),
+            ),
             (
                 "emails_per_session",
                 JsonValue::Int(emails_per_session as u64),
@@ -195,24 +273,247 @@ fn main() {
             ("rows", JsonValue::Arr(json_rows)),
         ]),
     );
-    println!(
-        "\nThroughput counts wall-clock from first submission to last teardown;\n\
-         bytes/email is fleet payload traffic divided by emails served (setup\n\
-         transfers amortized across each session's emails)."
+}
+
+/// Batched-round mode: every fleet size runs sequential (batch 1) then
+/// batched (batch N), and the table reports the batch speedup.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_comparison(
+    suite: &ProviderModelSuite,
+    config: &PretzelConfig,
+    scale: Scale,
+    workload: Workload,
+    sessions: &[usize],
+    emails_per_session: usize,
+    batch: usize,
+    repeat: usize,
+    workers: usize,
+    num_features: usize,
+    tcp: bool,
+) {
+    let widths = [10, 8, 14, 14, 12, 12];
+    print_header(
+        &[
+            "sessions",
+            "emails",
+            "seq em/s",
+            "batch em/s",
+            "speedup",
+            "bytes/email",
+        ],
+        &widths,
+    );
+
+    let mut json_rows = Vec::new();
+    for &n_sessions in sessions {
+        let seq = best_of(repeat, || {
+            run_fleet(
+                suite,
+                config,
+                workload,
+                n_sessions,
+                emails_per_session,
+                1,
+                workers,
+                num_features,
+                tcp,
+            )
+        });
+        let batched = best_of(repeat, || {
+            run_fleet(
+                suite,
+                config,
+                workload,
+                n_sessions,
+                emails_per_session,
+                batch,
+                workers,
+                num_features,
+                tcp,
+            )
+        });
+        let speedup = batched.throughput / seq.throughput;
+        print_row(
+            &[
+                format!("{n_sessions}"),
+                format!("{}", batched.total_emails),
+                format!("{:.1}", seq.throughput),
+                format!("{:.1}", batched.throughput),
+                format!("{speedup:.2}x"),
+                human_bytes(batched.bytes_per_email),
+            ],
+            &widths,
+        );
+        json_rows.push(JsonValue::obj([
+            ("sessions", JsonValue::Int(n_sessions as u64)),
+            ("emails", JsonValue::Int(batched.total_emails)),
+            ("seq_emails_per_sec", JsonValue::Num(seq.throughput)),
+            ("batch_emails_per_sec", JsonValue::Num(batched.throughput)),
+            ("batch_speedup", JsonValue::Num(speedup)),
+            ("seq_bytes_per_email", JsonValue::Num(seq.bytes_per_email)),
+            (
+                "batch_bytes_per_email",
+                JsonValue::Num(batched.bytes_per_email),
+            ),
+        ]));
+    }
+    maybe_write_bench_json(
+        "throughput_mailroom_batch",
+        &JsonValue::obj([
+            ("bench", JsonValue::Str("throughput_mailroom_batch".into())),
+            ("workload", JsonValue::Str(workload.name().into())),
+            ("scale", JsonValue::Str(format!("{scale:?}"))),
+            ("workers", JsonValue::Int(workers as u64)),
+            ("batch", JsonValue::Int(batch as u64)),
+            ("repeat", JsonValue::Int(repeat as u64)),
+            (
+                "transport",
+                JsonValue::Str(if tcp { "tcp" } else { "memory" }.into()),
+            ),
+            (
+                "emails_per_session",
+                JsonValue::Int(emails_per_session as u64),
+            ),
+            ("rows", JsonValue::Arr(json_rows)),
+        ]),
     );
 }
 
-/// Serves `n_sessions` concurrent sessions of the selected workload and
-/// returns (rounds/sec, wall seconds, bytes/round, total rounds).
+/// Repeats a noisy fleet measurement and keeps the fastest run (standard
+/// minimum-wall-clock noise reduction: scheduler hiccups only ever slow a
+/// run down, so the minimum is the cleanest estimate on a busy host).
+fn best_of(repeat: usize, mut run: impl FnMut() -> FleetRun) -> FleetRun {
+    let mut best = run();
+    for _ in 1..repeat {
+        let candidate = run();
+        if candidate.throughput > best.throughput {
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// One fleet run's measurements.
+struct FleetRun {
+    throughput: f64,
+    wall: f64,
+    bytes_per_email: f64,
+    total_emails: u64,
+}
+
+/// The per-session payload script for one client of the fleet.
+fn session_payloads(
+    config: PretzelConfig,
+    workload: Workload,
+    session_index: usize,
+    emails: usize,
+    num_features: usize,
+    rng: &mut StdRng,
+) -> (ClientSpec, Vec<EmailPayload>) {
+    // Mixed fleets hand session i the (i mod 4)-th kind; the
+    // single-workload fleets are uniform.
+    let kind = match workload {
+        Workload::Spam => 0,
+        Workload::Search => 3,
+        Workload::Mixed => session_index % 4,
+    };
+    match kind {
+        0 => (
+            ClientSpec::spam(config),
+            (0..emails)
+                .map(|_| EmailPayload::Tokens(random_email(rng, num_features)))
+                .collect(),
+        ),
+        1 => (
+            ClientSpec::topic(config, CandidateMode::Full, None),
+            (0..emails)
+                .map(|_| EmailPayload::Tokens(random_email(rng, 64)))
+                .collect(),
+        ),
+        2 => (
+            ClientSpec::virus(config),
+            (0..emails)
+                .map(|e| {
+                    EmailPayload::Attachment(
+                        (0..64)
+                            .map(|b| ((b * 7 + e + session_index) % 251) as u8)
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ),
+        _ => (
+            ClientSpec::search(config),
+            (0..emails)
+                .map(|e| {
+                    // Alternate index uploads and keyword queries so a
+                    // "round" covers both halves of the workload. Bodies
+                    // carry mostly-unique terms so a query's posting list
+                    // stays small and round cost stays flat as the mailbox
+                    // grows (a shared term would make every query scan the
+                    // whole session's uploads).
+                    if e % 2 == 0 {
+                        EmailPayload::SearchIndex {
+                            doc_id: e as u64,
+                            body: format!("message{e} invoice{e} travel{}", e / 8),
+                        }
+                    } else {
+                        EmailPayload::SearchQuery(format!("invoice{}", e - 1))
+                    }
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Drives one client session end to end over any transport.
+fn drive_session<C: pretzel_transport::Channel>(
+    channel: C,
+    config: PretzelConfig,
+    workload: Workload,
+    session_index: usize,
+    emails: usize,
+    batch: usize,
+    num_features: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(1000 + session_index as u64);
+    let (spec, payloads) = session_payloads(
+        config,
+        workload,
+        session_index,
+        emails,
+        num_features,
+        &mut rng,
+    );
+    let mut client = MailroomClient::connect(channel, &spec, &mut rng).expect("client setup");
+    if batch <= 1 {
+        for payload in &payloads {
+            client.process(payload, &mut rng).expect("round");
+        }
+    } else {
+        for chunk in payloads.chunks(batch) {
+            client.process_batch(chunk, &mut rng).expect("batch round");
+        }
+    }
+    client.finish().expect("teardown");
+}
+
+/// Serves `n_sessions` concurrent sessions of the selected workload, each
+/// submitting its emails in `batch`-round chunks (1 = sequential rounds),
+/// over in-memory channels or framed loopback TCP (`--tcp` — every frame
+/// then costs real syscalls, the transport a deployed mailroom pays).
+#[allow(clippy::too_many_arguments)]
 fn run_fleet(
     suite: &ProviderModelSuite,
     config: &PretzelConfig,
     workload: Workload,
     n_sessions: usize,
     emails_per_session: usize,
+    batch: usize,
     workers: usize,
     num_features: usize,
-) -> (f64, f64, f64, u64) {
+    tcp: bool,
+) -> FleetRun {
     let mailroom = Mailroom::start(
         suite.clone(),
         MailroomConfig {
@@ -224,94 +525,65 @@ fn run_fleet(
     );
 
     let start = Instant::now();
-    let clients: Vec<_> = (0..n_sessions)
-        .map(|i| {
-            let (provider_end, client_end) = memory_pair();
-            mailroom
-                .submit(provider_end)
-                .expect("queue sized for the fleet");
-            let config = config.clone();
-            let emails = emails_per_session;
-            std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(1000 + i as u64);
-                // Mixed fleets hand session i the (i mod 4)-th kind; the
-                // single-workload fleets are uniform.
-                let kind = match workload {
-                    Workload::Spam => 0,
-                    Workload::Search => 3,
-                    Workload::Mixed => i % 4,
-                };
-                match kind {
-                    0 => {
-                        let spec = ClientSpec::spam(config);
-                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
-                            .expect("client setup");
-                        for _ in 0..emails {
-                            let email = random_email(&mut rng, num_features);
-                            client.classify_spam(&email, &mut rng).expect("classify");
-                        }
-                        client.finish().expect("teardown");
-                    }
-                    1 => {
-                        let spec = ClientSpec::topic(config, CandidateMode::Full, None);
-                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
-                            .expect("client setup");
-                        for _ in 0..emails {
-                            let email = random_email(&mut rng, 64);
-                            client.extract_topic(&email, &mut rng).expect("extract");
-                        }
-                        client.finish().expect("teardown");
-                    }
-                    2 => {
-                        let spec = ClientSpec::virus(config);
-                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
-                            .expect("client setup");
-                        for e in 0..emails {
-                            let attachment: Vec<u8> =
-                                (0..64).map(|b| ((b * 7 + e + i) % 251) as u8).collect();
-                            client.scan_attachment(&attachment, &mut rng).expect("scan");
-                        }
-                        client.finish().expect("teardown");
-                    }
-                    _ => {
-                        let spec = ClientSpec::search(config);
-                        let mut client = MailroomClient::connect(client_end, &spec, &mut rng)
-                            .expect("client setup");
-                        for e in 0..emails {
-                            // Alternate index uploads and keyword queries so a
-                            // "round" covers both halves of the workload.
-                            if e % 2 == 0 {
-                                client
-                                    .index_email(
-                                        e as u64,
-                                        &format!("message {e} about invoices and travel"),
-                                        &mut rng,
-                                    )
-                                    .expect("index");
-                            } else {
-                                client.search_keyword("invoices", &mut rng).expect("query");
-                            }
-                        }
-                        client.finish().expect("teardown");
-                    }
-                }
+    if tcp {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = acceptor.local_addr().expect("local addr");
+        std::thread::scope(|scope| {
+            let mailroom = &mailroom;
+            let acceptor = &acceptor;
+            scope.spawn(move || {
+                let accepted = serve_tcp_sessions(mailroom, acceptor, n_sessions);
+                assert_eq!(accepted, n_sessions, "every connection must be accepted");
+            });
+            let clients: Vec<_> = (0..n_sessions)
+                .map(|i| {
+                    let config = config.clone();
+                    scope.spawn(move || {
+                        let channel = TcpChannel::connect(addr).expect("connect loopback");
+                        drive_session(
+                            channel,
+                            config,
+                            workload,
+                            i,
+                            emails_per_session,
+                            batch,
+                            num_features,
+                        );
+                    })
+                })
+                .collect();
+            for c in clients {
+                c.join().expect("client thread");
+            }
+        });
+    } else {
+        let clients: Vec<_> = (0..n_sessions)
+            .map(|i| {
+                let (provider_end, client_end) = memory_pair();
+                mailroom
+                    .submit(provider_end)
+                    .expect("queue sized for the fleet");
+                let config = config.clone();
+                let emails = emails_per_session;
+                std::thread::spawn(move || {
+                    drive_session(client_end, config, workload, i, emails, batch, num_features);
+                })
             })
-        })
-        .collect();
-    for c in clients {
-        c.join().expect("client thread");
+            .collect();
+        for c in clients {
+            c.join().expect("client thread");
+        }
     }
     let wall = start.elapsed().as_secs_f64();
 
     let report = mailroom.shutdown();
     assert_eq!(report.completed(), n_sessions, "every session must finish");
-    let throughput = report.emails_total as f64 / wall;
-    (
-        throughput,
+    FleetRun {
+        throughput: report.emails_total as f64 / wall,
         wall,
-        report.bytes_per_email(),
-        report.emails_total,
-    )
+        bytes_per_email: report.bytes_per_email(),
+        total_emails: report.emails_total,
+    }
 }
 
 /// A synthetic email: ~20 distinct token indices with small counts.

@@ -28,15 +28,21 @@
 //!   symmetric encryption with RLWE-packed responses (the provider-side
 //!   search the paper sketches as future work in §5, promoted to a full
 //!   function module).
-//! * [`session`] — uniform, session-reusable entry points over the four
-//!   function modules, used by the `pretzel_server` mailroom to multiplex
-//!   many concurrent sessions.
+//! * [`registry`] — the function-module registry: object-safe
+//!   [`FunctionModule`] descriptors keyed by wire tag, the extension point
+//!   that makes a fifth provider function a registration instead of a core
+//!   edit.
+//! * [`session`] — uniform, session-reusable entry points over the
+//!   registered function modules, used by the `pretzel_server` mailroom to
+//!   multiplex many concurrent sessions; rounds run one at a time or as
+//!   coalesced batches.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod costmodel;
 pub mod noprivate;
+pub mod registry;
 pub mod replay;
 pub mod search;
 pub mod session;
@@ -47,10 +53,11 @@ pub mod virus;
 
 pub use config::{PretzelConfig, Scale};
 pub use noprivate::NoPrivProvider;
-pub use replay::ReplayGuard;
-pub use session::{
-    ClientSession, EmailPayload, ProtocolKind, ProviderModelSuite, ProviderSession, Verdict,
+pub use registry::{
+    ClientContext, ClientModule, FunctionModule, ProtocolRegistry, ProviderModule, WireTag,
 };
+pub use replay::ReplayGuard;
+pub use session::{ClientSession, EmailPayload, ProviderModelSuite, ProviderSession, Verdict};
 
 /// Errors surfaced by the Pretzel function modules.
 #[derive(Debug)]

@@ -39,15 +39,18 @@
 //! truncation a detected protocol error rather than misdecoded results
 //! (`tests/adversarial.rs` pins both).
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use pretzel_primitives::sha256;
 use pretzel_rlwe::{keygen, Ciphertext, Params, Plaintext, PublicKey, SecretKey};
 use pretzel_sse::{DocId, EncryptedIndex, SseClient, UpdateBatch};
-use pretzel_transport::Channel;
+use pretzel_transport::{pack_frames, unpack_frames, Channel};
 
 use crate::config::PretzelConfig;
+use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
+use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
 use crate::setup::{joint_randomness_initiator, joint_randomness_responder};
+use crate::spam::AheVariant;
 use crate::{parse_u64, u64_bytes, PretzelError, Result};
 
 /// Round-message tag: upload one email's encrypted postings.
@@ -164,12 +167,59 @@ impl SearchProvider {
         rng: &mut R,
     ) -> Result<SearchOp> {
         let msg = channel.recv()?;
+        let (reply, op) = self.handle_op(&msg, rng)?;
+        channel.send(&reply)?;
+        Ok(op)
+    }
+
+    /// Serves `count` rounds whose operation messages arrive as one
+    /// coalesced frame, replying with one coalesced frame of responses —
+    /// two messages for the whole batch instead of `2 × count`. Results
+    /// equal `count` sequential [`SearchProvider::process_round`] calls.
+    /// An empty batch exchanges no traffic, mirroring the client's batched
+    /// path.
+    pub fn process_round_batch<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Vec<SearchOp>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let msgs = unpack_frames(&channel.recv()?).map_err(PretzelError::Transport)?;
+        if msgs.len() != count {
+            return Err(PretzelError::Protocol(format!(
+                "batch announced {count} rounds but carried {}",
+                msgs.len()
+            )));
+        }
+        let mut replies = Vec::with_capacity(count);
+        let mut ops = Vec::with_capacity(count);
+        for msg in &msgs {
+            let (reply, op) = self.handle_op(msg, rng)?;
+            replies.push(reply);
+            ops.push(op);
+        }
+        channel.send(&pack_frames(&replies))?;
+        Ok(ops)
+    }
+
+    /// Executes one operation message, returning the reply bytes and the
+    /// operation record (shared by the sequential and batched paths).
+    fn handle_op<R: Rng + ?Sized>(
+        &mut self,
+        msg: &[u8],
+        rng: &mut R,
+    ) -> Result<(Vec<u8>, SearchOp)> {
         match msg.first() {
             Some(&TAG_INDEX) => {
                 let batch = parse_upload(&msg[1..])?;
                 self.index.apply(&batch);
-                channel.send(&u64_bytes(batch.len() as u64))?;
-                Ok(SearchOp::Indexed(batch.len()))
+                Ok((
+                    u64_bytes(batch.len() as u64).to_vec(),
+                    SearchOp::Indexed(batch.len()),
+                ))
             }
             Some(&TAG_QUERY) => {
                 if msg.len() != 1 + 32 {
@@ -190,8 +240,7 @@ impl SearchProvider {
                     Some(zero) => self.pk.add_plain(&zero, &pt),
                     None => self.pk.encrypt(&pt, rng),
                 };
-                channel.send(&ct.to_bytes())?;
-                Ok(SearchOp::Answered(returned))
+                Ok((ct.to_bytes(), SearchOp::Answered(returned)))
             }
             Some(other) => Err(PretzelError::Protocol(format!(
                 "unknown search round tag {other}"
@@ -259,19 +308,41 @@ impl SearchClient {
         doc_id: DocId,
         body: &str,
     ) -> Result<usize> {
+        let (msg, uploaded) = self.index_request(doc_id, body);
+        channel.send(&msg)?;
+        self.check_index_ack(&channel.recv()?, uploaded)?;
+        Ok(uploaded)
+    }
+
+    /// Builds one index round's request message, returning it with the
+    /// number of postings it uploads. Advances the per-keyword SSE counters,
+    /// so requests must reach the provider in build order.
+    fn index_request(&mut self, doc_id: DocId, body: &str) -> (Vec<u8>, usize) {
         let batch = self.sse.index_email(doc_id, body);
         let mut msg = Vec::with_capacity(1 + 8 + batch.len() * 40);
         msg.push(TAG_INDEX);
         msg.extend_from_slice(&batch.to_wire_bytes());
-        channel.send(&msg)?;
-        let acked = parse_u64(&channel.recv()?)? as usize;
-        if acked != batch.len() {
+        (msg, batch.len())
+    }
+
+    /// Validates an index round's acknowledgement against the upload size.
+    fn check_index_ack(&self, reply: &[u8], uploaded: usize) -> Result<()> {
+        let acked = parse_u64(reply)? as usize;
+        if acked != uploaded {
             return Err(PretzelError::Protocol(format!(
-                "provider acknowledged {acked} postings, uploaded {}",
-                batch.len()
+                "provider acknowledged {acked} postings, uploaded {uploaded}"
             )));
         }
-        Ok(batch.len())
+        Ok(())
+    }
+
+    /// Builds one query round's request message.
+    fn query_request(&self, keyword: &str) -> Vec<u8> {
+        let token = self.sse.search_token(keyword);
+        let mut msg = Vec::with_capacity(1 + 32);
+        msg.push(TAG_QUERY);
+        msg.extend_from_slice(&token.label_key);
+        msg
     }
 
     /// Query round: sends the keyword's label key, decrypts the fixed-size
@@ -281,14 +352,15 @@ impl SearchClient {
     /// the checksum and surfaces as a [`PretzelError::Protocol`] error — the
     /// client never returns misdecoded document ids.
     pub fn query<C: Channel>(&self, channel: &mut C, keyword: &str) -> Result<SearchResults> {
-        let token = self.sse.search_token(keyword);
-        let mut msg = Vec::with_capacity(1 + 32);
-        msg.push(TAG_QUERY);
-        msg.extend_from_slice(&token.label_key);
-        channel.send(&msg)?;
-
+        channel.send(&self.query_request(keyword))?;
         let reply = channel.recv()?;
-        let ct = Ciphertext::from_bytes(&self.params, &reply).map_err(|_| {
+        self.open_response(keyword, &reply)
+    }
+
+    /// Decrypts and verifies one query response (shared by the sequential
+    /// and batched paths).
+    fn open_response(&self, keyword: &str, reply: &[u8]) -> Result<SearchResults> {
+        let ct = Ciphertext::from_bytes(&self.params, reply).map_err(|_| {
             PretzelError::Protocol("search response is not a well-formed ciphertext".into())
         })?;
         let slots = self.sk.decrypt_slots(&ct);
@@ -319,6 +391,203 @@ impl SearchClient {
             ids: self.sse.open_results(keyword, &sealed),
             total,
         })
+    }
+}
+
+/// The registrable encrypted-keyword-search function module (wire tag 4).
+pub struct SearchFunction;
+
+impl SearchFunction {
+    /// Handshake byte of the search module.
+    pub const WIRE_TAG: WireTag = 4;
+}
+
+impl FunctionModule for SearchFunction {
+    fn wire_tag(&self) -> WireTag {
+        Self::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "search"
+    }
+
+    fn provider_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        suite: &ProviderModelSuite,
+        _variant: AheVariant,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ProviderModule>> {
+        // Search needs no trained model — only the suite's parameter preset;
+        // the AHE variant byte is accepted but ignored (search always runs
+        // over RLWE).
+        Ok(Box::new(SearchProvider::setup(
+            &mut channel,
+            &suite.config,
+            rng,
+        )?))
+    }
+
+    fn client_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        ctx: &ClientContext,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ClientModule>> {
+        Ok(Box::new(SearchClient::setup(
+            &mut channel,
+            &ctx.config,
+            rng,
+        )?))
+    }
+}
+
+impl ProviderModule for SearchProvider {
+    fn wire_tag(&self) -> WireTag {
+        SearchFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "search"
+    }
+
+    fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize {
+        SearchProvider::precompute(self, budget, rng)
+    }
+
+    fn pool_depth(&self) -> usize {
+        SearchProvider::pool_depth(self)
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> Result<Option<usize>> {
+        // A search round only produces the standard SSE leakage, not a
+        // per-round provider output.
+        SearchProvider::process_round(self, &mut channel, rng)?;
+        Ok(None)
+    }
+
+    fn process_batch(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Option<usize>>> {
+        self.process_round_batch(&mut channel, count, rng)?;
+        Ok(vec![None; count])
+    }
+}
+
+/// Per-round context a batched search client keeps between sending its
+/// coalesced requests and parsing the coalesced replies.
+enum PendingSearchOp {
+    Index { uploaded: usize },
+    Query { keyword: String },
+}
+
+impl ClientModule for SearchClient {
+    fn wire_tag(&self) -> WireTag {
+        SearchFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "search"
+    }
+
+    fn model_storage_bytes(&self) -> usize {
+        self.storage_bytes()
+    }
+
+    fn precompute(&mut self, _budget: usize, _rng: &mut dyn RngCore) -> usize {
+        // Search clients have no client-side offline work (the provider
+        // banks the pre-encrypted responses).
+        0
+    }
+
+    fn pool_depth(&self) -> usize {
+        0
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        payload: &EmailPayload,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Verdict> {
+        match payload {
+            EmailPayload::SearchIndex { doc_id, body } => Ok(Verdict::SearchIndexed {
+                postings: self.index_email(&mut channel, *doc_id, body)?,
+            }),
+            EmailPayload::SearchQuery(keyword) => {
+                let results = self.query(&mut channel, keyword)?;
+                Ok(Verdict::SearchHits {
+                    ids: results.ids,
+                    total: results.total,
+                })
+            }
+            other => Err(crate::session::payload_mismatch("search", other)),
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        channel: &mut dyn Channel,
+        payloads: &[EmailPayload],
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<Verdict>> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Build every round's request first (index requests advance the SSE
+        // counters in payload order, exactly as sequential rounds would),
+        // then exchange two coalesced frames with the provider.
+        let mut requests = Vec::with_capacity(payloads.len());
+        let mut pending = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            match payload {
+                EmailPayload::SearchIndex { doc_id, body } => {
+                    let (msg, uploaded) = self.index_request(*doc_id, body);
+                    requests.push(msg);
+                    pending.push(PendingSearchOp::Index { uploaded });
+                }
+                EmailPayload::SearchQuery(keyword) => {
+                    requests.push(self.query_request(keyword));
+                    pending.push(PendingSearchOp::Query {
+                        keyword: keyword.clone(),
+                    });
+                }
+                other => return Err(crate::session::payload_mismatch("search", other)),
+            }
+        }
+        channel.send(&pack_frames(&requests))?;
+        let replies = unpack_frames(&channel.recv()?).map_err(PretzelError::Transport)?;
+        if replies.len() != pending.len() {
+            return Err(PretzelError::Protocol(format!(
+                "provider replied to {} of {} batched rounds",
+                replies.len(),
+                pending.len()
+            )));
+        }
+        pending
+            .into_iter()
+            .zip(&replies)
+            .map(|(op, reply)| match op {
+                PendingSearchOp::Index { uploaded } => {
+                    self.check_index_ack(reply, uploaded)?;
+                    Ok(Verdict::SearchIndexed { postings: uploaded })
+                }
+                PendingSearchOp::Query { keyword } => {
+                    let results = self.open_response(&keyword, reply)?;
+                    Ok(Verdict::SearchHits {
+                        ids: results.ids,
+                        total: results.total,
+                    })
+                }
+            })
+            .collect()
     }
 }
 

@@ -1,98 +1,42 @@
-//! Uniform, session-reusable entry points over the three function modules.
+//! Uniform, session-reusable entry points over the registered function
+//! modules.
 //!
-//! The spam, topic and virus modules each expose a `setup` / per-email pair
-//! with module-specific types. A serving layer that multiplexes many client
-//! sessions (see the `pretzel_server` mailroom) needs one dispatchable shape
-//! instead: a [`ProtocolKind`] tag that travels in the session handshake, a
-//! [`ProviderSession`] the provider can drive round by round, and a matching
-//! [`ClientSession`] for the sending side. Both wrap the existing protocol
-//! endpoints without changing a byte of the wire format — a
-//! `ProviderSession::Spam` speaks exactly the protocol a bare
-//! [`SpamProvider`] speaks.
+//! A serving layer that multiplexes many client sessions (see the
+//! `pretzel_server` mailroom) needs one dispatchable shape per endpoint
+//! instead of module-specific types. [`ProviderSession`] and
+//! [`ClientSession`] are that shape: thin wrappers over the object-safe
+//! [`ProviderModule`] / [`ClientModule`] traits, produced by looking a
+//! handshake [`WireTag`] up in a [`ProtocolRegistry`]. They contain **no**
+//! per-kind dispatch — every protocol the registry knows (the four built-ins
+//! and anything registered from outside, e.g. `examples/mailroom.rs`'s
+//! attachment-analytics module) flows through the same code, and neither
+//! wrapper changes a byte of any protocol's wire format.
 //!
-//! The lifecycle both enums model is the one §3.3/§4 prescribe: one
+//! The lifecycle both wrappers model is the one §3.3/§4 prescribe: one
 //! **setup** phase per (client, provider) pair — joint randomness, encrypted
 //! model transfer, base OTs — whose state is then **reused** across an
 //! arbitrary number of cheap per-email rounds. Between setup and the rounds
 //! sits an optional **offline phase**: `precompute(budget)` fills
 //! per-session pools (pre-garbled circuits, pre-exponentiated Paillier
-//! randomizers) that `process_round` drains, falling back to inline
-//! computation whenever a pool runs dry. Pool depth therefore only moves
-//! work off the latency path — verdicts and wire sizes are identical at any
-//! budget, which `tests/phase_split.rs` pins.
+//! randomizers) that the online rounds drain, falling back to inline
+//! computation whenever a pool runs dry. Rounds come in two flavours:
+//! `process_round` serves one email, `process_batch` serves N in one
+//! coalesced exchange (same verdicts, far fewer frames — see
+//! `pretzel_transport::batch`). Pool depth and batching only move work off
+//! the latency path — verdicts are identical either way, which
+//! `tests/phase_split.rs` and `tests/batching.rs` pin.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use pretzel_classifiers::{LinearModel, NGramExtractor, SparseVector};
 use pretzel_sse::DocId;
 use pretzel_transport::Channel;
 
 use crate::config::PretzelConfig;
-use crate::search::{SearchClient, SearchProvider};
-use crate::spam::{AheVariant, SpamClient, SpamProvider};
-use crate::topic::{CandidateMode, TopicClient, TopicProvider};
-use crate::virus::{VirusScanClient, VirusScanProvider};
-use crate::{PretzelError, Result};
-
-/// Which function module a session runs — the first byte of a mailroom
-/// handshake.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ProtocolKind {
-    /// Private spam filtering ([`crate::spam`]); the client learns the bit.
-    Spam,
-    /// Private topic extraction ([`crate::topic`]); the provider learns the
-    /// topic index.
-    Topic,
-    /// Private virus scanning ([`crate::virus`]); the client learns the bit.
-    Virus,
-    /// Encrypted keyword search ([`crate::search`]); the client learns the
-    /// matching document ids.
-    Search,
-}
-
-impl ProtocolKind {
-    /// Every kind, in wire-byte order (for per-kind reporting loops).
-    pub const ALL: [ProtocolKind; 4] = [
-        ProtocolKind::Spam,
-        ProtocolKind::Topic,
-        ProtocolKind::Virus,
-        ProtocolKind::Search,
-    ];
-
-    /// Wire encoding used in session handshakes.
-    pub fn as_byte(self) -> u8 {
-        match self {
-            ProtocolKind::Spam => 1,
-            ProtocolKind::Topic => 2,
-            ProtocolKind::Virus => 3,
-            ProtocolKind::Search => 4,
-        }
-    }
-
-    /// Decodes a handshake byte.
-    pub fn from_byte(b: u8) -> Result<Self> {
-        match b {
-            1 => Ok(ProtocolKind::Spam),
-            2 => Ok(ProtocolKind::Topic),
-            3 => Ok(ProtocolKind::Virus),
-            4 => Ok(ProtocolKind::Search),
-            other => Err(PretzelError::Protocol(format!(
-                "unknown protocol kind byte {other}"
-            ))),
-        }
-    }
-}
-
-impl std::fmt::Display for ProtocolKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ProtocolKind::Spam => write!(f, "spam"),
-            ProtocolKind::Topic => write!(f, "topic"),
-            ProtocolKind::Virus => write!(f, "virus"),
-            ProtocolKind::Search => write!(f, "search"),
-        }
-    }
-}
+use crate::registry::{ClientContext, ClientModule, ProtocolRegistry, ProviderModule, WireTag};
+use crate::spam::AheVariant;
+use crate::topic::CandidateMode;
+use crate::Result;
 
 /// Wire encoding of an [`AheVariant`] for session handshakes.
 pub fn variant_byte(variant: AheVariant) -> u8 {
@@ -109,14 +53,16 @@ pub fn variant_from_byte(b: u8) -> Result<AheVariant> {
         1 => Ok(AheVariant::Pretzel),
         2 => Ok(AheVariant::Baseline),
         3 => Ok(AheVariant::PretzelNoOptimPack),
-        other => Err(PretzelError::Protocol(format!(
+        other => Err(crate::PretzelError::Protocol(format!(
             "unknown AHE variant byte {other}"
         ))),
     }
 }
 
-/// Everything a provider needs to serve any [`ProtocolKind`]: one trained
-/// model per function module plus the shared parameter preset.
+/// Everything a provider needs to serve the built-in modules: one trained
+/// model per classification module plus the shared parameter preset.
+/// Custom modules registered from outside receive the same suite and use
+/// whatever subset applies (usually just [`ProviderModelSuite::config`]).
 ///
 /// The suite is immutable once built, so a serving layer can share one
 /// instance across all of its worker threads.
@@ -137,129 +83,96 @@ pub struct ProviderModelSuite {
     pub config: PretzelConfig,
 }
 
-/// Provider endpoint of one live session, dispatchable over [`ProtocolKind`].
-pub enum ProviderSession {
-    /// A spam-filtering session.
-    Spam(SpamProvider),
-    /// A topic-extraction session.
-    Topic(TopicProvider),
-    /// A virus-scanning session.
-    Virus(VirusScanProvider),
-    /// An encrypted-keyword-search session. Needs no trained model — only the
-    /// suite's parameter preset; the AHE variant byte is accepted but
-    /// ignored (search always runs over RLWE).
-    Search(SearchProvider),
+/// Provider endpoint of one live session: a registry-resolved
+/// [`ProviderModule`] behind a uniform, module-agnostic surface.
+pub struct ProviderSession {
+    module: Box<dyn ProviderModule>,
 }
 
 impl ProviderSession {
-    /// Runs the setup phase for `kind` against the peer on `channel`,
-    /// returning reusable per-session state.
-    pub fn setup<C: Channel, R: Rng + ?Sized>(
-        kind: ProtocolKind,
+    /// Runs the setup phase of the module registered under `tag` against
+    /// the peer on `channel`, returning reusable per-session state. Unknown
+    /// tags fail with the registry's [`crate::PretzelError::Protocol`].
+    pub fn setup<C: Channel, R: Rng>(
+        registry: &ProtocolRegistry,
+        tag: WireTag,
         channel: &mut C,
         suite: &ProviderModelSuite,
         variant: AheVariant,
         rng: &mut R,
     ) -> Result<Self> {
-        match kind {
-            ProtocolKind::Spam => Ok(ProviderSession::Spam(SpamProvider::setup(
-                channel,
-                &suite.spam,
-                &suite.config,
-                variant,
-                rng,
-            )?)),
-            ProtocolKind::Topic => Ok(ProviderSession::Topic(TopicProvider::setup(
-                channel,
-                &suite.topic,
-                &suite.config,
-                variant,
-                suite.topic_mode,
-                rng,
-            )?)),
-            ProtocolKind::Virus => Ok(ProviderSession::Virus(VirusScanProvider::setup(
-                channel,
-                &suite.virus,
-                suite.virus_extractor,
-                &suite.config,
-                variant,
-                rng,
-            )?)),
-            ProtocolKind::Search => Ok(ProviderSession::Search(SearchProvider::setup(
-                channel,
-                &suite.config,
-                rng,
-            )?)),
-        }
+        let module = registry.from_wire_tag(tag)?.provider_setup(
+            as_dyn_channel(channel),
+            suite,
+            variant,
+            as_dyn_rng(rng),
+        )?;
+        Ok(ProviderSession { module })
     }
 
-    /// Which function module this session runs.
-    pub fn kind(&self) -> ProtocolKind {
-        match self {
-            ProviderSession::Spam(_) => ProtocolKind::Spam,
-            ProviderSession::Topic(_) => ProtocolKind::Topic,
-            ProviderSession::Virus(_) => ProtocolKind::Virus,
-            ProviderSession::Search(_) => ProtocolKind::Search,
-        }
+    /// Wraps an already-set-up provider endpoint (for drivers that hold the
+    /// module directly instead of going through a registry).
+    pub fn from_module(module: Box<dyn ProviderModule>) -> Self {
+        ProviderSession { module }
+    }
+
+    /// The handshake byte of the module this session runs.
+    pub fn wire_tag(&self) -> WireTag {
+        self.module.wire_tag()
+    }
+
+    /// Human-readable name of the module this session runs.
+    pub fn display_name(&self) -> &'static str {
+        self.module.display_name()
     }
 
     /// Offline phase: tops this session's precomputation pools up to
     /// `budget` future rounds, returning the number of work units produced
-    /// (0 when the session kind has no provider-side offline work, e.g.
+    /// (0 when the session's module has no provider-side offline work, e.g.
     /// topic sessions where the client garbles).
-    pub fn precompute<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) -> usize {
-        match self {
-            ProviderSession::Spam(p) => p.precompute(budget, rng),
-            ProviderSession::Topic(p) => p.precompute(budget, rng),
-            ProviderSession::Virus(p) => p.precompute(budget, rng),
-            ProviderSession::Search(p) => p.precompute(budget, rng),
-        }
+    pub fn precompute<R: Rng>(&mut self, budget: usize, rng: &mut R) -> usize {
+        self.module.precompute(budget, as_dyn_rng(rng))
     }
 
     /// Rounds the offline pools can currently serve without inline work.
     pub fn pool_depth(&self) -> usize {
-        match self {
-            ProviderSession::Spam(p) => p.pool_depth(),
-            ProviderSession::Topic(p) => p.pool_depth(),
-            ProviderSession::Virus(p) => p.pool_depth(),
-            ProviderSession::Search(p) => p.pool_depth(),
-        }
+        self.module.pool_depth()
     }
 
-    /// Runs one per-email round. Returns the topic index for topic sessions
-    /// (the only module whose output goes to the provider, Guarantee 3) and
-    /// `None` for spam/virus/search sessions (spam and virus reveal nothing
-    /// to the provider; a search round only reveals the standard SSE leakage,
-    /// which is not a per-round output).
+    /// Runs one per-email round. Returns the module's per-round provider
+    /// output — the topic index for topic sessions (the only built-in whose
+    /// output goes to the provider, Guarantee 3) and `None` for the others.
     ///
     /// Draws from the pools filled by [`ProviderSession::precompute`] when
     /// they are non-empty and computes inline otherwise.
-    pub fn process_round<C: Channel, R: Rng + ?Sized>(
+    pub fn process_round<C: Channel, R: Rng>(
         &mut self,
         channel: &mut C,
         rng: &mut R,
     ) -> Result<Option<usize>> {
-        match self {
-            ProviderSession::Spam(p) => {
-                p.process_email(channel, rng)?;
-                Ok(None)
-            }
-            ProviderSession::Topic(p) => Ok(Some(p.process_email(channel)?)),
-            ProviderSession::Virus(p) => {
-                p.process_attachment(channel, rng)?;
-                Ok(None)
-            }
-            ProviderSession::Search(p) => {
-                p.process_round(channel, rng)?;
-                Ok(None)
-            }
-        }
+        self.module
+            .process_round(as_dyn_channel(channel), as_dyn_rng(rng))
+    }
+
+    /// Runs `count` rounds as one batched exchange against a client driving
+    /// [`ClientSession::process_batch`] with the same count. Outputs equal
+    /// `count` sequential [`ProviderSession::process_round`] calls; only the
+    /// frame count changes.
+    pub fn process_batch<C: Channel, R: Rng>(
+        &mut self,
+        channel: &mut C,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Option<usize>>> {
+        self.module
+            .process_batch(as_dyn_channel(channel), count, as_dyn_rng(rng))
     }
 }
 
 /// One round's input as submitted to a client session: token counts for
 /// spam/topic, raw bytes for virus scanning (the provider's extractor hashes
-/// them), and index/query operations for search sessions.
+/// them), index/query operations for search sessions, and opaque bytes for
+/// custom registered modules.
 #[derive(Clone, Debug)]
 pub enum EmailPayload {
     /// Sparse token counts over the model's feature space.
@@ -275,6 +188,9 @@ pub enum EmailPayload {
     },
     /// Search session: single-keyword query.
     SearchQuery(String),
+    /// Module-defined bytes for custom registered functions (the closed
+    /// variants above cover only the built-ins).
+    Opaque(Vec<u8>),
 }
 
 /// What the client learned from one per-email round.
@@ -310,149 +226,141 @@ pub enum Verdict {
         /// result set was truncated to the per-response capacity.
         total: u64,
     },
+    /// Scalar output of a custom registered module.
+    Custom {
+        /// Wire tag of the module that produced the value.
+        tag: WireTag,
+        /// Module-defined scalar result.
+        value: u64,
+    },
 }
 
 /// Client endpoint of one live session, mirroring [`ProviderSession`].
-pub enum ClientSession {
-    /// A spam-filtering session.
-    Spam(SpamClient),
-    /// A topic-extraction session (boxed: the client-side garbling pool
-    /// makes this variant much larger than its siblings).
-    Topic(Box<TopicClient>),
-    /// A virus-scanning session.
-    Virus(VirusScanClient),
-    /// An encrypted-keyword-search session.
-    Search(SearchClient),
+pub struct ClientSession {
+    module: Box<dyn ClientModule>,
 }
 
 impl ClientSession {
-    /// Runs the setup phase for `kind` against the provider on `channel`.
-    ///
-    /// `topic_mode` and `candidate_model` only matter for topic sessions;
-    /// the mode must match the provider's [`ProviderModelSuite::topic_mode`]
-    /// (it fixes the garbled-circuit shape) and a candidate model is required
-    /// when the mode is [`CandidateMode::Decomposed`].
-    pub fn setup<C: Channel, R: Rng + ?Sized>(
-        kind: ProtocolKind,
+    /// Runs the setup phase of the module registered under `tag` against
+    /// the provider on `channel`.
+    pub fn setup<C: Channel, R: Rng>(
+        registry: &ProtocolRegistry,
+        tag: WireTag,
         channel: &mut C,
-        config: &PretzelConfig,
-        variant: AheVariant,
-        topic_mode: CandidateMode,
-        candidate_model: Option<LinearModel>,
+        ctx: &ClientContext,
         rng: &mut R,
     ) -> Result<Self> {
-        match kind {
-            ProtocolKind::Spam => Ok(ClientSession::Spam(SpamClient::setup(
-                channel, config, variant, rng,
-            )?)),
-            ProtocolKind::Topic => Ok(ClientSession::Topic(Box::new(TopicClient::setup(
-                channel,
-                config,
-                variant,
-                topic_mode,
-                candidate_model,
-                rng,
-            )?))),
-            ProtocolKind::Virus => Ok(ClientSession::Virus(VirusScanClient::setup(
-                channel, config, variant, rng,
-            )?)),
-            ProtocolKind::Search => Ok(ClientSession::Search(SearchClient::setup(
-                channel, config, rng,
-            )?)),
-        }
+        let module = registry.from_wire_tag(tag)?.client_setup(
+            as_dyn_channel(channel),
+            ctx,
+            as_dyn_rng(rng),
+        )?;
+        Ok(ClientSession { module })
     }
 
-    /// Which function module this session runs.
-    pub fn kind(&self) -> ProtocolKind {
-        match self {
-            ClientSession::Spam(_) => ProtocolKind::Spam,
-            ClientSession::Topic(_) => ProtocolKind::Topic,
-            ClientSession::Virus(_) => ProtocolKind::Virus,
-            ClientSession::Search(_) => ProtocolKind::Search,
-        }
+    /// Wraps an already-set-up client endpoint.
+    pub fn from_module(module: Box<dyn ClientModule>) -> Self {
+        ClientSession { module }
+    }
+
+    /// The handshake byte of the module this session runs.
+    pub fn wire_tag(&self) -> WireTag {
+        self.module.wire_tag()
+    }
+
+    /// Human-readable name of the module this session runs.
+    pub fn display_name(&self) -> &'static str {
+        self.module.display_name()
     }
 
     /// Client-side storage consumed by the session state, in bytes: the
     /// encrypted model for the classification modules, the SSE master key,
     /// keyword counters and RLWE secret key for search sessions.
     pub fn model_storage_bytes(&self) -> usize {
-        match self {
-            ClientSession::Spam(c) => c.model_storage_bytes(),
-            ClientSession::Topic(c) => c.model_storage_bytes(),
-            ClientSession::Virus(c) => c.model_storage_bytes(),
-            ClientSession::Search(c) => c.storage_bytes(),
-        }
+        self.module.model_storage_bytes()
     }
 
     /// Offline phase: tops this session's precomputation pools up to
     /// `budget` future rounds, returning the number of work units produced.
     /// Topic clients pre-garble argmax circuits; Baseline-variant sessions
-    /// additionally pre-exponentiate Paillier randomizers. Search clients
-    /// have no client-side offline work (the provider banks the
-    /// pre-encrypted responses) and return 0.
-    pub fn precompute<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) -> usize {
-        match self {
-            ClientSession::Spam(c) => c.precompute(budget, rng),
-            ClientSession::Topic(c) => c.precompute(budget, rng),
-            ClientSession::Virus(c) => c.precompute(budget, rng),
-            ClientSession::Search(_) => 0,
-        }
+    /// additionally pre-exponentiate Paillier randomizers. Modules without
+    /// client-side offline work return 0.
+    pub fn precompute<R: Rng>(&mut self, budget: usize, rng: &mut R) -> usize {
+        self.module.precompute(budget, as_dyn_rng(rng))
     }
 
     /// Rounds the offline pools can currently serve without inline work.
     pub fn pool_depth(&self) -> usize {
-        match self {
-            ClientSession::Spam(c) => c.pool_depth(),
-            ClientSession::Topic(c) => c.pool_depth(),
-            ClientSession::Virus(c) => c.pool_depth(),
-            ClientSession::Search(_) => 0,
-        }
+        self.module.pool_depth()
     }
 
-    /// Runs one per-email round with `payload`, which must match the session
-    /// kind: [`EmailPayload::Tokens`] for spam/topic,
-    /// [`EmailPayload::Attachment`] for virus scanning, and
+    /// Runs one per-email round with `payload`, which must match the
+    /// session's module: [`EmailPayload::Tokens`] for spam/topic,
+    /// [`EmailPayload::Attachment`] for virus scanning,
     /// [`EmailPayload::SearchIndex`] / [`EmailPayload::SearchQuery`] for
-    /// search sessions.
-    pub fn process_round<C: Channel, R: Rng + ?Sized>(
+    /// search sessions, and whatever a custom module documents.
+    pub fn process_round<C: Channel, R: Rng>(
         &mut self,
         channel: &mut C,
         payload: &EmailPayload,
         rng: &mut R,
     ) -> Result<Verdict> {
-        match (self, payload) {
-            (ClientSession::Spam(c), EmailPayload::Tokens(features)) => Ok(Verdict::Spam {
-                is_spam: c.classify(channel, features, rng)?,
-            }),
-            (ClientSession::Topic(c), EmailPayload::Tokens(features)) => Ok(Verdict::Topic {
-                candidates: c.extract(channel, features, rng)?,
-            }),
-            (ClientSession::Virus(c), EmailPayload::Attachment(bytes)) => Ok(Verdict::Virus {
-                is_malicious: c.scan(channel, bytes, rng)?,
-            }),
-            (ClientSession::Search(c), EmailPayload::SearchIndex { doc_id, body }) => {
-                Ok(Verdict::SearchIndexed {
-                    postings: c.index_email(channel, *doc_id, body)?,
-                })
-            }
-            (ClientSession::Search(c), EmailPayload::SearchQuery(keyword)) => {
-                let results = c.query(channel, keyword)?;
-                Ok(Verdict::SearchHits {
-                    ids: results.ids,
-                    total: results.total,
-                })
-            }
-            (session, _) => Err(PretzelError::Protocol(format!(
-                "payload type does not match a {} session",
-                session.kind()
-            ))),
-        }
+        self.module
+            .process_round(as_dyn_channel(channel), payload, as_dyn_rng(rng))
     }
+
+    /// Runs one batch of rounds against a provider executing
+    /// [`ProviderSession::process_batch`] with the same count. Verdicts equal
+    /// sequential [`ClientSession::process_round`] calls over the same
+    /// payloads.
+    pub fn process_batch<C: Channel, R: Rng>(
+        &mut self,
+        channel: &mut C,
+        payloads: &[EmailPayload],
+        rng: &mut R,
+    ) -> Result<Vec<Verdict>> {
+        self.module
+            .process_batch(as_dyn_channel(channel), payloads, as_dyn_rng(rng))
+    }
+}
+
+/// Short name of a payload's shape, for mismatch diagnostics.
+pub(crate) fn payload_kind(payload: &EmailPayload) -> &'static str {
+    match payload {
+        EmailPayload::Tokens(_) => "tokens",
+        EmailPayload::Attachment(_) => "attachment",
+        EmailPayload::SearchIndex { .. } => "search-index",
+        EmailPayload::SearchQuery(_) => "search-query",
+        EmailPayload::Opaque(_) => "opaque",
+    }
+}
+
+/// The error every built-in module raises for a payload of the wrong shape.
+pub(crate) fn payload_mismatch(module: &str, payload: &EmailPayload) -> crate::PretzelError {
+    crate::PretzelError::Protocol(format!(
+        "{} payload does not match a {module} session",
+        payload_kind(payload)
+    ))
+}
+
+/// Coerces a concrete channel to the object-safe form the module traits use.
+fn as_dyn_channel<C: Channel>(channel: &mut C) -> &mut (dyn Channel + '_) {
+    channel
+}
+
+/// Coerces a concrete RNG to the object-safe form the module traits use.
+fn as_dyn_rng<R: RngCore>(rng: &mut R) -> &mut (dyn RngCore + '_) {
+    rng
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::SearchFunction;
+    use crate::spam::SpamFunction;
+    use crate::topic::TopicFunction;
+    use crate::virus::VirusFunction;
+    use crate::PretzelError;
     use pretzel_classifiers::nb::{GrNbTrainer, MultinomialNbTrainer};
     use pretzel_classifiers::{LabeledExample, Trainer};
     use pretzel_transport::run_two_party;
@@ -501,29 +409,30 @@ mod tests {
         }
     }
 
-    fn roundtrip(kind: ProtocolKind, payload: EmailPayload) -> (Option<usize>, Verdict) {
+    fn roundtrip(tag: WireTag, payload: EmailPayload) -> (Option<usize>, Verdict) {
         let suite_p = suite();
         let config = suite_p.config.clone();
         let (provider_res, client_res) = run_two_party(
             move |chan| -> crate::Result<Option<usize>> {
+                let registry = ProtocolRegistry::builtin();
                 let mut rng = StdRng::seed_from_u64(11);
-                let mut session =
-                    ProviderSession::setup(kind, chan, &suite_p, AheVariant::Pretzel, &mut rng)?;
-                assert_eq!(session.kind(), kind);
+                let mut session = ProviderSession::setup(
+                    &registry,
+                    tag,
+                    chan,
+                    &suite_p,
+                    AheVariant::Pretzel,
+                    &mut rng,
+                )?;
+                assert_eq!(session.wire_tag(), tag);
                 session.process_round(chan, &mut rng)
             },
             move |chan| -> crate::Result<Verdict> {
+                let registry = ProtocolRegistry::builtin();
                 let mut rng = StdRng::seed_from_u64(12);
-                let mut session = ClientSession::setup(
-                    kind,
-                    chan,
-                    &config,
-                    AheVariant::Pretzel,
-                    CandidateMode::Full,
-                    None,
-                    &mut rng,
-                )?;
-                assert_eq!(session.kind(), kind);
+                let ctx = ClientContext::new(config);
+                let mut session = ClientSession::setup(&registry, tag, chan, &ctx, &mut rng)?;
+                assert_eq!(session.wire_tag(), tag);
                 assert!(session.model_storage_bytes() > 0);
                 session.process_round(chan, &payload, &mut rng)
             },
@@ -534,7 +443,7 @@ mod tests {
     #[test]
     fn spam_session_roundtrip() {
         let spammy = EmailPayload::Tokens(SparseVector::from_pairs(vec![(0, 3), (1, 1)]));
-        let (provider_out, verdict) = roundtrip(ProtocolKind::Spam, spammy);
+        let (provider_out, verdict) = roundtrip(SpamFunction::WIRE_TAG, spammy);
         assert_eq!(provider_out, None);
         assert_eq!(verdict, Verdict::Spam { is_spam: true });
     }
@@ -542,7 +451,7 @@ mod tests {
     #[test]
     fn topic_session_roundtrip() {
         let email = EmailPayload::Tokens(SparseVector::from_pairs(vec![(8, 3), (9, 1)]));
-        let (provider_out, verdict) = roundtrip(ProtocolKind::Topic, email);
+        let (provider_out, verdict) = roundtrip(TopicFunction::WIRE_TAG, email);
         assert_eq!(provider_out, Some(2), "topic 2 owns features 8..12");
         match verdict {
             Verdict::Topic { candidates } => assert!(candidates.contains(&2)),
@@ -553,7 +462,7 @@ mod tests {
     #[test]
     fn virus_session_roundtrip() {
         let bad = EmailPayload::Attachment(vec![0xde, 0xad, 0xbe, 0xef, 0xcc, 0xcc, 0xcc, 0x01]);
-        let (provider_out, verdict) = roundtrip(ProtocolKind::Virus, bad);
+        let (provider_out, verdict) = roundtrip(VirusFunction::WIRE_TAG, bad);
         assert_eq!(provider_out, None);
         assert_eq!(verdict, Verdict::Virus { is_malicious: true });
     }
@@ -565,15 +474,17 @@ mod tests {
         let rounds = 3usize;
         let (provider_out, verdicts) = run_two_party(
             move |chan| -> crate::Result<Option<usize>> {
+                let registry = ProtocolRegistry::builtin();
                 let mut rng = StdRng::seed_from_u64(13);
                 let mut session = ProviderSession::setup(
-                    ProtocolKind::Search,
+                    &registry,
+                    SearchFunction::WIRE_TAG,
                     chan,
                     &suite_p,
                     AheVariant::Pretzel,
                     &mut rng,
                 )?;
-                assert_eq!(session.kind(), ProtocolKind::Search);
+                assert_eq!(session.display_name(), "search");
                 assert!(session.precompute(2, &mut rng) > 0);
                 assert_eq!(session.pool_depth(), 2);
                 let mut last = None;
@@ -583,17 +494,17 @@ mod tests {
                 Ok(last)
             },
             move |chan| -> crate::Result<Vec<Verdict>> {
+                let registry = ProtocolRegistry::builtin();
                 let mut rng = StdRng::seed_from_u64(14);
+                let ctx = ClientContext::new(config);
                 let mut session = ClientSession::setup(
-                    ProtocolKind::Search,
+                    &registry,
+                    SearchFunction::WIRE_TAG,
                     chan,
-                    &config,
-                    AheVariant::Pretzel,
-                    CandidateMode::Full,
-                    None,
+                    &ctx,
                     &mut rng,
                 )?;
-                assert_eq!(session.kind(), ProtocolKind::Search);
+                assert_eq!(session.wire_tag(), SearchFunction::WIRE_TAG);
                 assert!(session.model_storage_bytes() > 0);
                 assert_eq!(session.precompute(4, &mut rng), 0);
                 let payloads = [
@@ -635,9 +546,11 @@ mod tests {
         let config = suite_p.config.clone();
         let (_, client_res) = run_two_party(
             move |chan| {
+                let registry = ProtocolRegistry::builtin();
                 let mut rng = StdRng::seed_from_u64(21);
                 let mut session = ProviderSession::setup(
-                    ProtocolKind::Spam,
+                    &registry,
+                    SpamFunction::WIRE_TAG,
                     chan,
                     &suite_p,
                     AheVariant::Pretzel,
@@ -649,17 +562,12 @@ mod tests {
                 assert!(session.process_round(chan, &mut rng).is_err());
             },
             move |chan| {
+                let registry = ProtocolRegistry::builtin();
                 let mut rng = StdRng::seed_from_u64(22);
-                let mut session = ClientSession::setup(
-                    ProtocolKind::Spam,
-                    chan,
-                    &config,
-                    AheVariant::Pretzel,
-                    CandidateMode::Full,
-                    None,
-                    &mut rng,
-                )
-                .unwrap();
+                let ctx = ClientContext::new(config);
+                let mut session =
+                    ClientSession::setup(&registry, SpamFunction::WIRE_TAG, chan, &ctx, &mut rng)
+                        .unwrap();
                 session.process_round(chan, &EmailPayload::Attachment(vec![1, 2, 3]), &mut rng)
             },
         );
@@ -667,13 +575,24 @@ mod tests {
     }
 
     #[test]
-    fn wire_bytes_roundtrip() {
-        for kind in ProtocolKind::ALL {
-            assert_eq!(ProtocolKind::from_byte(kind.as_byte()).unwrap(), kind);
-        }
-        assert_eq!(ProtocolKind::Search.as_byte(), 4);
-        assert!(ProtocolKind::from_byte(0).is_err());
-        assert!(ProtocolKind::from_byte(5).is_err());
+    fn unknown_tag_setup_fails_before_any_traffic() {
+        let suite_p = suite();
+        let registry = ProtocolRegistry::builtin();
+        let (mut chan, _peer) = pretzel_transport::memory_pair();
+        let mut rng = StdRng::seed_from_u64(31);
+        let err = ProviderSession::setup(
+            &registry,
+            0xEE,
+            &mut chan,
+            &suite_p,
+            AheVariant::Pretzel,
+            &mut rng,
+        );
+        assert!(matches!(err, Err(PretzelError::Protocol(_))));
+    }
+
+    #[test]
+    fn variant_bytes_roundtrip() {
         for variant in [
             AheVariant::Pretzel,
             AheVariant::Baseline,

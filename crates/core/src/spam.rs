@@ -26,7 +26,7 @@
 //! per-email path drains those pools and falls back to inline computation
 //! when they run dry, so pool depth never affects correctness — only latency.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use pretzel_classifiers::{LinearModel, QuantizedModel, SparseVector};
 use pretzel_gc::{
@@ -35,9 +35,11 @@ use pretzel_gc::{
 use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
 use pretzel_sdp::rlwe_pack::{self, Packing};
 use pretzel_sdp::ModelMatrix;
-use pretzel_transport::Channel;
+use pretzel_transport::{pack_frames, unpack_frames, Channel};
 
 use crate::config::PretzelConfig;
+use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
+use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
 use crate::setup::{joint_randomness_initiator, joint_randomness_responder};
 use crate::{parse_u64, u64_bytes, PretzelError, Result};
 
@@ -202,18 +204,12 @@ impl SpamProvider {
         self.ready.depth()
     }
 
-    /// Per-email phase, provider side: decrypts the blinded dot products and
-    /// plays the garbler in the comparison circuit. The provider learns
-    /// nothing about the email or the result.
-    pub fn process_email<C: Channel, R: Rng + ?Sized>(
-        &mut self,
-        channel: &mut C,
-        rng: &mut R,
-    ) -> Result<()> {
-        let blob = channel.recv()?;
+    /// Decrypts one round's blinded (ham, spam) dot products and lays them
+    /// out as garbler input bits (spam column first, matching the circuit).
+    fn garbler_bits_for(&self, blob: &[u8]) -> Result<Vec<bool>> {
         let blinded = match &self.crypto {
             ProviderCrypto::Pretzel { sk } => {
-                let ct = pretzel_rlwe::Ciphertext::from_bytes(sk.params(), &blob)
+                let ct = pretzel_rlwe::Ciphertext::from_bytes(sk.params(), blob)
                     .map_err(|e| PretzelError::Ahe(e.to_string()))?;
                 let dec = rlwe_pack::provider_decrypt(sk, &[ct], 2);
                 [dec[0][0], dec[0][1]]
@@ -223,7 +219,7 @@ impl SpamProvider {
                 slot_bits,
                 slots_per_ct,
             } => {
-                let ct = pretzel_paillier::Ciphertext::from_bytes(&blob);
+                let ct = pretzel_paillier::Ciphertext::from_bytes(blob);
                 let dec = paillier_pack::provider_decrypt(sk, 2, *slot_bits, *slots_per_ct, &[ct])?;
                 [dec[0], dec[1]]
             }
@@ -231,6 +227,19 @@ impl SpamProvider {
         let mask = bits_mask(self.width);
         let mut garbler_bits = to_bits(blinded[1] & mask, self.width); // spam column
         garbler_bits.extend(to_bits(blinded[0] & mask, self.width)); // ham column
+        Ok(garbler_bits)
+    }
+
+    /// Per-email phase, provider side: decrypts the blinded dot products and
+    /// plays the garbler in the comparison circuit. The provider learns
+    /// nothing about the email or the result.
+    pub fn process_email<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        rng: &mut R,
+    ) -> Result<()> {
+        let blob = channel.recv()?;
+        let garbler_bits = self.garbler_bits_for(&blob)?;
 
         // Online phase: draw an offline-garbled circuit if one is pooled,
         // fall back to inline garbling otherwise.
@@ -240,6 +249,43 @@ impl SpamProvider {
             &self.circuit,
             pre,
             &garbler_bits,
+            OutputMode::EvaluatorOnly,
+        )?;
+        Ok(())
+    }
+
+    /// Batched per-email phase: serves `count` rounds whose blinded dot
+    /// products arrive as one coalesced frame (see
+    /// [`pretzel_transport::pack_frames`]), drawing `count` pooled garblings
+    /// in bulk and running one batched Yao exchange. Verdicts equal `count`
+    /// sequential [`SpamProvider::process_email`] rounds. An empty batch
+    /// exchanges no traffic, mirroring [`SpamClient::classify_batch`].
+    pub fn process_email_batch<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        let blobs = unpack_frames(&channel.recv()?).map_err(PretzelError::Transport)?;
+        if blobs.len() != count {
+            return Err(PretzelError::Protocol(format!(
+                "batch announced {count} rounds but carried {}",
+                blobs.len()
+            )));
+        }
+        let inputs = blobs
+            .iter()
+            .map(|blob| self.garbler_bits_for(blob))
+            .collect::<Result<Vec<_>>>()?;
+        let pres = self.ready.draw_many(&self.circuit, count, rng);
+        self.yao.run_batch(
+            channel,
+            &self.circuit,
+            pres,
+            &inputs,
             OutputMode::EvaluatorOnly,
         )?;
         Ok(())
@@ -379,22 +425,21 @@ impl SpamClient {
         out
     }
 
-    /// Per-email phase, client side: returns `true` when the email is spam.
-    /// The provider learns nothing (the output goes only to the client).
-    pub fn classify<C: Channel, R: Rng + ?Sized>(
+    /// Computes one email's blinded dot-product ciphertext (drawing pooled
+    /// Paillier randomizers when available) and the matching evaluator input
+    /// bits, without touching the channel.
+    fn blinded_round<R: Rng + ?Sized>(
         &mut self,
-        channel: &mut C,
         features: &SparseVector,
         rng: &mut R,
-    ) -> Result<bool> {
+    ) -> Result<(Vec<u8>, Vec<bool>)> {
         let sparse = self.protocol_features(features);
         let mask = bits_mask(self.width);
-        let noise = match &self.crypto {
+        let (blob, noise) = match &self.crypto {
             ClientCrypto::Pretzel { pk, model } => {
                 let result = rlwe_pack::client_dot_product(pk, model, &sparse)?;
                 let (blinded, noise) = rlwe_pack::blind(pk, &result[0], 2, rng);
-                channel.send(&blinded.to_bytes())?;
-                noise
+                (blinded.to_bytes(), noise)
             }
             ClientCrypto::Baseline { pk, model } => {
                 let result = paillier_pack::client_dot_product_pooled(
@@ -405,13 +450,25 @@ impl SpamClient {
                     rng,
                 )?;
                 let (blinded, noise) = paillier_pack::blind(pk, model, &result[0], 2, rng);
-                channel.send(&blinded.to_bytes(pk))?;
-                noise
+                (blinded.to_bytes(pk), noise)
             }
         };
         // Evaluator inputs: noise for the spam column, then the ham column.
         let mut evaluator_bits = to_bits(noise[1] & mask, self.width);
         evaluator_bits.extend(to_bits(noise[0] & mask, self.width));
+        Ok((blob, evaluator_bits))
+    }
+
+    /// Per-email phase, client side: returns `true` when the email is spam.
+    /// The provider learns nothing (the output goes only to the client).
+    pub fn classify<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        features: &SparseVector,
+        rng: &mut R,
+    ) -> Result<bool> {
+        let (blob, evaluator_bits) = self.blinded_round(features, rng)?;
+        channel.send(&blob)?;
         let out = self
             .yao
             .run(
@@ -423,6 +480,41 @@ impl SpamClient {
             .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))?;
         Ok(out[0])
     }
+
+    /// Batched per-email phase: classifies every email in one coalesced
+    /// exchange against a provider running
+    /// [`SpamProvider::process_email_batch`] with the same count. All blinded
+    /// dot products travel in one frame and the comparison circuits run as
+    /// one batched Yao exchange; pooled randomizers are drawn in bulk while
+    /// the blinded ciphertexts are prepared. Verdicts equal sequential
+    /// [`SpamClient::classify`] calls.
+    pub fn classify_batch<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        emails: &[&SparseVector],
+        rng: &mut R,
+    ) -> Result<Vec<bool>> {
+        if emails.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut blobs = Vec::with_capacity(emails.len());
+        let mut inputs = Vec::with_capacity(emails.len());
+        for features in emails {
+            let (blob, evaluator_bits) = self.blinded_round(features, rng)?;
+            blobs.push(blob);
+            inputs.push(evaluator_bits);
+        }
+        channel.send(&pack_frames(&blobs))?;
+        let outs =
+            self.yao
+                .run_batch(channel, &self.circuit, &inputs, OutputMode::EvaluatorOnly)?;
+        outs.into_iter()
+            .map(|out| {
+                out.map(|bits| bits[0])
+                    .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))
+            })
+            .collect()
+    }
 }
 
 fn bits_mask(width: usize) -> u64 {
@@ -430,6 +522,147 @@ fn bits_mask(width: usize) -> u64 {
         u64::MAX
     } else {
         (1u64 << width) - 1
+    }
+}
+
+/// The registrable spam-filtering function module (wire tag 1).
+pub struct SpamFunction;
+
+impl SpamFunction {
+    /// Handshake byte of the spam module.
+    pub const WIRE_TAG: WireTag = 1;
+}
+
+impl FunctionModule for SpamFunction {
+    fn wire_tag(&self) -> WireTag {
+        Self::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "spam"
+    }
+
+    fn provider_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        suite: &ProviderModelSuite,
+        variant: AheVariant,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ProviderModule>> {
+        Ok(Box::new(SpamProvider::setup(
+            &mut channel,
+            &suite.spam,
+            &suite.config,
+            variant,
+            rng,
+        )?))
+    }
+
+    fn client_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        ctx: &ClientContext,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ClientModule>> {
+        Ok(Box::new(SpamClient::setup(
+            &mut channel,
+            &ctx.config,
+            ctx.variant,
+            rng,
+        )?))
+    }
+}
+
+impl ProviderModule for SpamProvider {
+    fn wire_tag(&self) -> WireTag {
+        SpamFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "spam"
+    }
+
+    fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize {
+        SpamProvider::precompute(self, budget, rng)
+    }
+
+    fn pool_depth(&self) -> usize {
+        SpamProvider::pool_depth(self)
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> Result<Option<usize>> {
+        self.process_email(&mut channel, rng)?;
+        Ok(None)
+    }
+
+    fn process_batch(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Option<usize>>> {
+        self.process_email_batch(&mut channel, count, rng)?;
+        Ok(vec![None; count])
+    }
+}
+
+impl ClientModule for SpamClient {
+    fn wire_tag(&self) -> WireTag {
+        SpamFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "spam"
+    }
+
+    fn model_storage_bytes(&self) -> usize {
+        SpamClient::model_storage_bytes(self)
+    }
+
+    fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize {
+        SpamClient::precompute(self, budget, rng)
+    }
+
+    fn pool_depth(&self) -> usize {
+        SpamClient::pool_depth(self)
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        payload: &EmailPayload,
+        rng: &mut dyn RngCore,
+    ) -> Result<Verdict> {
+        match payload {
+            EmailPayload::Tokens(features) => Ok(Verdict::Spam {
+                is_spam: self.classify(&mut channel, features, rng)?,
+            }),
+            other => Err(crate::session::payload_mismatch("spam", other)),
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        payloads: &[EmailPayload],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Verdict>> {
+        let emails = payloads
+            .iter()
+            .map(|p| match p {
+                EmailPayload::Tokens(features) => Ok(features),
+                other => Err(crate::session::payload_mismatch("spam", other)),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self
+            .classify_batch(&mut channel, &emails, rng)?
+            .into_iter()
+            .map(|is_spam| Verdict::Spam { is_spam })
+            .collect())
     }
 }
 
@@ -551,6 +784,50 @@ mod tests {
         let noprivate = crate::NoPrivProvider::new(model);
         assert!(noprivate.is_spam(&spam_email));
         assert!(!noprivate.is_spam(&ham_email));
+    }
+
+    /// One batched exchange must reproduce the sequential verdicts, with the
+    /// garbling pool only partially covering the batch (bulk draw tops the
+    /// shortfall up inline).
+    fn run_spam_batch(variant: AheVariant) {
+        let model = train_model();
+        let config = PretzelConfig::test();
+        let config_client = config.clone();
+        let emails = [
+            SparseVector::from_pairs(vec![(0, 3), (1, 1), (2, 1)]),
+            SparseVector::from_pairs(vec![(4, 2), (5, 2), (6, 1)]),
+            SparseVector::from_pairs(vec![(1, 2), (3, 2)]),
+        ];
+
+        let (provider_res, client_res) = run_two_party(
+            move |chan| -> Result<()> {
+                let mut rng = rand::thread_rng();
+                let mut provider = SpamProvider::setup(chan, &model, &config, variant, &mut rng)?;
+                provider.precompute(1, &mut rng);
+                provider.process_email_batch(chan, 3, &mut rng)?;
+                assert_eq!(provider.pool_depth(), 0, "the batch drained the pool");
+                Ok(())
+            },
+            move |chan| -> Result<Vec<bool>> {
+                let mut rng = rand::thread_rng();
+                let mut client = SpamClient::setup(chan, &config_client, variant, &mut rng)?;
+                client.precompute(2, &mut rng);
+                let refs: Vec<&SparseVector> = emails.iter().collect();
+                client.classify_batch(chan, &refs, &mut rng)
+            },
+        );
+        provider_res.unwrap();
+        assert_eq!(
+            client_res.unwrap(),
+            vec![true, false, true],
+            "{variant:?}: batched verdicts must match the sequential ones"
+        );
+    }
+
+    #[test]
+    fn batched_classification_matches_sequential_verdicts() {
+        run_spam_batch(AheVariant::Pretzel);
+        run_spam_batch(AheVariant::Baseline);
     }
 
     #[test]

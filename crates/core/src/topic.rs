@@ -15,7 +15,7 @@
 //! decomposition (the "Pretzel (B′=B)" and Baseline configurations of
 //! Figures 10 and 11).
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use pretzel_classifiers::{LinearModel, SparseVector};
 use pretzel_gc::{
@@ -24,9 +24,11 @@ use pretzel_gc::{
 };
 use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
 use pretzel_sdp::rlwe_pack::{self, Packing};
-use pretzel_transport::Channel;
+use pretzel_transport::{pack_frames, unpack_frames, Channel};
 
 use crate::config::PretzelConfig;
+use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
+use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
 use crate::setup::{joint_randomness_initiator, joint_randomness_responder};
 use crate::spam::{quantize_to_matrix, AheVariant};
 use crate::{parse_u64, u64_bytes, PretzelError, Result};
@@ -213,11 +215,61 @@ impl TopicProvider {
     /// chosen topic index (at most log B bits, Guarantee 3).
     pub fn process_email<C: Channel>(&mut self, channel: &mut C) -> Result<usize> {
         let blob = channel.recv()?;
+        let evaluator_bits = self.evaluator_bits_for(&blob)?;
+        let out = self
+            .yao
+            .run(
+                channel,
+                &self.circuit,
+                &evaluator_bits,
+                OutputMode::EvaluatorOnly,
+            )?
+            .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))?;
+        Ok(from_bits(&out) as usize)
+    }
+
+    /// Batched per-email phase: serves `count` extraction rounds whose
+    /// blinded candidate accumulators arrive as one coalesced frame, running
+    /// one batched Yao evaluation. The returned indices equal `count`
+    /// sequential [`TopicProvider::process_email`] rounds. An empty batch
+    /// exchanges no traffic, mirroring [`TopicClient::extract_batch`].
+    pub fn process_email_batch<C: Channel>(
+        &mut self,
+        channel: &mut C,
+        count: usize,
+    ) -> Result<Vec<usize>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let blobs = unpack_frames(&channel.recv()?).map_err(PretzelError::Transport)?;
+        if blobs.len() != count {
+            return Err(PretzelError::Protocol(format!(
+                "batch announced {count} rounds but carried {}",
+                blobs.len()
+            )));
+        }
+        let inputs = blobs
+            .iter()
+            .map(|blob| self.evaluator_bits_for(blob))
+            .collect::<Result<Vec<_>>>()?;
+        let outs =
+            self.yao
+                .run_batch(channel, &self.circuit, &inputs, OutputMode::EvaluatorOnly)?;
+        outs.into_iter()
+            .map(|out| {
+                out.map(|bits| from_bits(&bits) as usize)
+                    .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))
+            })
+            .collect()
+    }
+
+    /// Decrypts one round's blinded candidate values into evaluator bits.
+    fn evaluator_bits_for(&self, blob: &[u8]) -> Result<Vec<bool>> {
         let blinded: Vec<u64> = match &self.crypto {
             ProviderCrypto::Pretzel { sk } => {
                 let params = sk.params();
                 let ct_len = params.ciphertext_bytes();
-                if blob.len() % ct_len != 0 {
+                if !blob.len().is_multiple_of(ct_len) {
                     return Err(PretzelError::Protocol("bad per-email blob".into()));
                 }
                 let cts = blob
@@ -239,7 +291,7 @@ impl TopicProvider {
                 slots_per_ct,
             } => {
                 let ct_len = pretzel_paillier::Ciphertext::serialized_len(sk.public().n_bits());
-                if blob.len() % ct_len != 0 {
+                if !blob.len().is_multiple_of(ct_len) {
                     return Err(PretzelError::Protocol("bad per-email blob".into()));
                 }
                 let cts: Vec<_> = blob
@@ -267,16 +319,7 @@ impl TopicProvider {
         for &v in blinded.iter().take(self.candidates) {
             evaluator_bits.extend(to_bits(v & mask, self.width));
         }
-        let out = self
-            .yao
-            .run(
-                channel,
-                &self.circuit,
-                &evaluator_bits,
-                OutputMode::EvaluatorOnly,
-            )?
-            .ok_or_else(|| PretzelError::Protocol("missing Yao output".into()))?;
-        Ok(from_bits(&out) as usize)
+        Ok(evaluator_bits)
     }
 }
 
@@ -439,12 +482,74 @@ impl TopicClient {
         features: &SparseVector,
         rng: &mut R,
     ) -> Result<Vec<usize>> {
+        let (blob, candidate_cols, garbler_bits) = self.blinded_round(features, rng)?;
+        channel.send(&blob)?;
+        // Online phase: draw an offline-garbled circuit if one is pooled,
+        // fall back to inline garbling otherwise.
+        let pre = self.ready.draw(&self.circuit, rng);
+        self.yao.run_precomputed(
+            channel,
+            &self.circuit,
+            pre,
+            &garbler_bits,
+            OutputMode::EvaluatorOnly,
+        )?;
+        Ok(candidate_cols)
+    }
+
+    /// Batched per-email phase: runs one extraction round per email as a
+    /// single coalesced exchange against a provider executing
+    /// [`TopicProvider::process_email_batch`] with the same count. Every
+    /// blinded accumulator travels in one frame, the client draws its pooled
+    /// pre-garbled argmax circuits in bulk, and the argmax circuits run as
+    /// one batched Yao exchange. Returns each email's submitted candidate
+    /// set, exactly as sequential [`TopicClient::extract`] calls would.
+    pub fn extract_batch<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        emails: &[&SparseVector],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<usize>>> {
+        if emails.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut blobs = Vec::with_capacity(emails.len());
+        let mut candidate_sets = Vec::with_capacity(emails.len());
+        let mut inputs = Vec::with_capacity(emails.len());
+        for features in emails {
+            let (blob, candidate_cols, garbler_bits) = self.blinded_round(features, rng)?;
+            blobs.push(blob);
+            candidate_sets.push(candidate_cols);
+            inputs.push(garbler_bits);
+        }
+        channel.send(&pack_frames(&blobs))?;
+        let pres = self.ready.draw_many(&self.circuit, emails.len(), rng);
+        self.yao.run_batch(
+            channel,
+            &self.circuit,
+            pres,
+            &inputs,
+            OutputMode::EvaluatorOnly,
+        )?;
+        Ok(candidate_sets)
+    }
+
+    /// Computes one email's blinded candidate accumulators (drawing pooled
+    /// Paillier randomizers when available), the candidate set, and the
+    /// matching garbler input bits, without touching the channel.
+    #[allow(clippy::type_complexity)]
+    fn blinded_round<R: Rng + ?Sized>(
+        &mut self,
+        features: &SparseVector,
+        rng: &mut R,
+    ) -> Result<(Vec<u8>, Vec<usize>, Vec<bool>)> {
         let sparse = self.protocol_features(features);
         let candidate_cols = self.candidate_topics(features);
         let mask = bits_mask(self.width);
 
         // Dot products, candidate extraction (Pretzel decomposed) or full
-        // accumulators, blinding, and transmission.
+        // accumulators, and blinding.
+        let mut blob = Vec::new();
         let noises: Vec<u64> = match &self.crypto {
             ClientCrypto::Pretzel { pk, model } => {
                 let accs = rlwe_pack::client_dot_product(pk, model, &sparse)?;
@@ -457,19 +562,16 @@ impl TopicClient {
                             &candidate_cols,
                         )?;
                         let mut noises = Vec::with_capacity(extracted.len());
-                        let mut blob = Vec::new();
                         for ct in &extracted {
                             let (blinded, noise) = rlwe_pack::blind(pk, ct, 1, rng);
                             blob.extend_from_slice(&blinded.to_bytes());
                             noises.push(noise[0]);
                         }
-                        channel.send(&blob)?;
                         noises
                     }
                     CandidateMode::Full => {
                         let slots = pk.params().slots();
                         let mut noises = vec![0u64; self.categories];
-                        let mut blob = Vec::new();
                         for (g, acc) in accs.iter().enumerate() {
                             let (blinded, noise) = rlwe_pack::blind(pk, acc, slots, rng);
                             blob.extend_from_slice(&blinded.to_bytes());
@@ -480,7 +582,6 @@ impl TopicClient {
                                 }
                             }
                         }
-                        channel.send(&blob)?;
                         noises
                     }
                 }
@@ -495,7 +596,6 @@ impl TopicClient {
                 )?;
                 let slots = model.slots_per_ct();
                 let mut noises = vec![0u64; self.categories];
-                let mut blob = Vec::new();
                 for (g, acc) in accs.iter().enumerate() {
                     let (blinded, noise) = paillier_pack::blind(pk, model, acc, slots, rng);
                     blob.extend_from_slice(&blinded.to_bytes(pk));
@@ -506,7 +606,6 @@ impl TopicClient {
                         }
                     }
                 }
-                channel.send(&blob)?;
                 noises
             }
         };
@@ -524,17 +623,7 @@ impl TopicClient {
             };
             garbler_bits.extend(to_bits(noise & mask, self.width));
         }
-        // Online phase: draw an offline-garbled circuit if one is pooled,
-        // fall back to inline garbling otherwise.
-        let pre = self.ready.draw(&self.circuit, rng);
-        self.yao.run_precomputed(
-            channel,
-            &self.circuit,
-            pre,
-            &garbler_bits,
-            OutputMode::EvaluatorOnly,
-        )?;
-        Ok(candidate_cols)
+        Ok((blob, candidate_cols, garbler_bits))
     }
 }
 
@@ -572,6 +661,152 @@ fn bits_mask(width: usize) -> u64 {
         u64::MAX
     } else {
         (1u64 << width) - 1
+    }
+}
+
+/// The registrable topic-extraction function module (wire tag 2).
+pub struct TopicFunction;
+
+impl TopicFunction {
+    /// Handshake byte of the topic module.
+    pub const WIRE_TAG: WireTag = 2;
+}
+
+impl FunctionModule for TopicFunction {
+    fn wire_tag(&self) -> WireTag {
+        Self::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "topic"
+    }
+
+    fn provider_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        suite: &ProviderModelSuite,
+        variant: AheVariant,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ProviderModule>> {
+        Ok(Box::new(TopicProvider::setup(
+            &mut channel,
+            &suite.topic,
+            &suite.config,
+            variant,
+            suite.topic_mode,
+            rng,
+        )?))
+    }
+
+    fn client_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        ctx: &ClientContext,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ClientModule>> {
+        Ok(Box::new(TopicClient::setup(
+            &mut channel,
+            &ctx.config,
+            ctx.variant,
+            ctx.topic_mode,
+            ctx.candidate_model.clone(),
+            rng,
+        )?))
+    }
+}
+
+impl ProviderModule for TopicProvider {
+    fn wire_tag(&self) -> WireTag {
+        TopicFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "topic"
+    }
+
+    fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize {
+        TopicProvider::precompute(self, budget, rng)
+    }
+
+    fn pool_depth(&self) -> usize {
+        TopicProvider::pool_depth(self)
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Option<usize>> {
+        Ok(Some(self.process_email(&mut channel)?))
+    }
+
+    fn process_batch(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        count: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<Option<usize>>> {
+        Ok(self
+            .process_email_batch(&mut channel, count)?
+            .into_iter()
+            .map(Some)
+            .collect())
+    }
+}
+
+impl ClientModule for TopicClient {
+    fn wire_tag(&self) -> WireTag {
+        TopicFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "topic"
+    }
+
+    fn model_storage_bytes(&self) -> usize {
+        TopicClient::model_storage_bytes(self)
+    }
+
+    fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize {
+        TopicClient::precompute(self, budget, rng)
+    }
+
+    fn pool_depth(&self) -> usize {
+        TopicClient::pool_depth(self)
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        payload: &EmailPayload,
+        rng: &mut dyn RngCore,
+    ) -> Result<Verdict> {
+        match payload {
+            EmailPayload::Tokens(features) => Ok(Verdict::Topic {
+                candidates: self.extract(&mut channel, features, rng)?,
+            }),
+            other => Err(crate::session::payload_mismatch("topic", other)),
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        payloads: &[EmailPayload],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Verdict>> {
+        let emails = payloads
+            .iter()
+            .map(|p| match p {
+                EmailPayload::Tokens(features) => Ok(features),
+                other => Err(crate::session::payload_mismatch("topic", other)),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self
+            .extract_batch(&mut channel, &emails, rng)?
+            .into_iter()
+            .map(|candidates| Verdict::Topic { candidates })
+            .collect())
     }
 }
 
@@ -728,6 +963,60 @@ mod tests {
     #[test]
     fn baseline_full_topic_extraction() {
         run_topic_exchange(AheVariant::Baseline, CandidateMode::Full);
+    }
+
+    /// A batched extraction must hand the provider the same topic indices as
+    /// sequential rounds, with the client's circuit pool only partially
+    /// covering the batch.
+    #[test]
+    fn batched_extraction_matches_sequential_topics() {
+        let corpus = topic_corpus();
+        let model = MultinomialNbTrainer::default().train(&corpus, 24, 6);
+        let provider_model = model.clone();
+        let config = PretzelConfig::test();
+        let config_client = config.clone();
+        let emails = [
+            SparseVector::from_pairs(vec![(8, 3), (9, 2), (10, 1)]),
+            SparseVector::from_pairs(vec![(20, 2), (21, 2), (23, 1)]),
+            SparseVector::from_pairs(vec![(0, 2), (1, 1), (2, 1)]),
+        ];
+
+        let (provider_res, client_res) = run_two_party(
+            move |chan| -> Result<Vec<usize>> {
+                let mut rng = rand::thread_rng();
+                let mut provider = TopicProvider::setup(
+                    chan,
+                    &provider_model,
+                    &config,
+                    AheVariant::Pretzel,
+                    CandidateMode::Full,
+                    &mut rng,
+                )?;
+                provider.process_email_batch(chan, 3)
+            },
+            move |chan| -> Result<Vec<Vec<usize>>> {
+                let mut rng = rand::thread_rng();
+                let mut client = TopicClient::setup(
+                    chan,
+                    &config_client,
+                    AheVariant::Pretzel,
+                    CandidateMode::Full,
+                    None,
+                    &mut rng,
+                )?;
+                client.precompute(1, &mut rng);
+                let refs: Vec<&SparseVector> = emails.iter().collect();
+                let out = client.extract_batch(chan, &refs, &mut rng)?;
+                assert_eq!(client.pool_depth(), 0, "bulk draw drained the pool");
+                Ok(out)
+            },
+        );
+        let topics = provider_res.unwrap();
+        let candidate_sets = client_res.unwrap();
+        assert_eq!(topics, vec![2, 5, 0]);
+        for (topic, candidates) in topics.iter().zip(&candidate_sets) {
+            assert!(candidates.contains(topic));
+        }
     }
 
     #[test]

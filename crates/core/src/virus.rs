@@ -18,13 +18,15 @@
 //! provider never sees attachment bytes, and the client learns one bit per
 //! scan.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use pretzel_classifiers::nb::GrNbTrainer;
-use pretzel_classifiers::{LabeledExample, LinearModel, NGramExtractor, Trainer};
+use pretzel_classifiers::{LabeledExample, LinearModel, NGramExtractor, SparseVector, Trainer};
 use pretzel_transport::Channel;
 
 use crate::config::PretzelConfig;
+use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
+use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
 use crate::spam::{AheVariant, SpamClient, SpamProvider};
 use crate::{parse_u64, u64_bytes, PretzelError, Result};
 
@@ -139,6 +141,17 @@ impl VirusScanProvider {
         self.inner.process_email(channel, rng)
     }
 
+    /// Batched per-attachment phase: serves `count` scans as one coalesced
+    /// exchange (delegates to the spam machinery's batch path).
+    pub fn process_attachment_batch<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<()> {
+        self.inner.process_email_batch(channel, count, rng)
+    }
+
     /// Offline phase: pre-garbles comparison circuits for `target` future
     /// scans (delegates to the spam machinery this module reuses).
     pub fn precompute<R: Rng + ?Sized>(&mut self, target: usize, rng: &mut R) -> usize {
@@ -213,6 +226,166 @@ impl VirusScanClient {
     ) -> Result<bool> {
         let features = self.extractor.extract(attachment);
         self.inner.classify(channel, &features, rng)
+    }
+
+    /// Batched scan: classifies every attachment in one coalesced exchange
+    /// against a provider running
+    /// [`VirusScanProvider::process_attachment_batch`] with the same count.
+    /// Verdicts equal sequential [`VirusScanClient::scan`] calls.
+    pub fn scan_batch<C: Channel, R: Rng + ?Sized>(
+        &mut self,
+        channel: &mut C,
+        attachments: &[&[u8]],
+        rng: &mut R,
+    ) -> Result<Vec<bool>> {
+        let features: Vec<SparseVector> = attachments
+            .iter()
+            .map(|bytes| self.extractor.extract(bytes))
+            .collect();
+        let refs: Vec<&SparseVector> = features.iter().collect();
+        self.inner.classify_batch(channel, &refs, rng)
+    }
+}
+
+/// The registrable virus-scanning function module (wire tag 3).
+pub struct VirusFunction;
+
+impl VirusFunction {
+    /// Handshake byte of the virus module.
+    pub const WIRE_TAG: WireTag = 3;
+}
+
+impl FunctionModule for VirusFunction {
+    fn wire_tag(&self) -> WireTag {
+        Self::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "virus"
+    }
+
+    fn provider_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        suite: &ProviderModelSuite,
+        variant: AheVariant,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ProviderModule>> {
+        Ok(Box::new(VirusScanProvider::setup(
+            &mut channel,
+            &suite.virus,
+            suite.virus_extractor,
+            &suite.config,
+            variant,
+            rng,
+        )?))
+    }
+
+    fn client_setup(
+        &self,
+        mut channel: &mut dyn Channel,
+        ctx: &ClientContext,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ClientModule>> {
+        Ok(Box::new(VirusScanClient::setup(
+            &mut channel,
+            &ctx.config,
+            ctx.variant,
+            rng,
+        )?))
+    }
+}
+
+impl ProviderModule for VirusScanProvider {
+    fn wire_tag(&self) -> WireTag {
+        VirusFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "virus"
+    }
+
+    fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize {
+        VirusScanProvider::precompute(self, budget, rng)
+    }
+
+    fn pool_depth(&self) -> usize {
+        VirusScanProvider::pool_depth(self)
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> Result<Option<usize>> {
+        self.process_attachment(&mut channel, rng)?;
+        Ok(None)
+    }
+
+    fn process_batch(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Option<usize>>> {
+        self.process_attachment_batch(&mut channel, count, rng)?;
+        Ok(vec![None; count])
+    }
+}
+
+impl ClientModule for VirusScanClient {
+    fn wire_tag(&self) -> WireTag {
+        VirusFunction::WIRE_TAG
+    }
+
+    fn display_name(&self) -> &'static str {
+        "virus"
+    }
+
+    fn model_storage_bytes(&self) -> usize {
+        VirusScanClient::model_storage_bytes(self)
+    }
+
+    fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize {
+        VirusScanClient::precompute(self, budget, rng)
+    }
+
+    fn pool_depth(&self) -> usize {
+        VirusScanClient::pool_depth(self)
+    }
+
+    fn process_round(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        payload: &EmailPayload,
+        rng: &mut dyn RngCore,
+    ) -> Result<Verdict> {
+        match payload {
+            EmailPayload::Attachment(bytes) => Ok(Verdict::Virus {
+                is_malicious: self.scan(&mut channel, bytes, rng)?,
+            }),
+            other => Err(crate::session::payload_mismatch("virus", other)),
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        mut channel: &mut dyn Channel,
+        payloads: &[EmailPayload],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Verdict>> {
+        let attachments = payloads
+            .iter()
+            .map(|p| match p {
+                EmailPayload::Attachment(bytes) => Ok(bytes.as_slice()),
+                other => Err(crate::session::payload_mismatch("virus", other)),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self
+            .scan_batch(&mut channel, &attachments, rng)?
+            .into_iter()
+            .map(|is_malicious| Verdict::Virus { is_malicious })
+            .collect())
     }
 }
 

@@ -115,6 +115,17 @@ impl GarblingPool {
             .pop_front()
             .unwrap_or_else(|| PrecomputedGarbling::garble(circuit, rng))
     }
+
+    /// Bulk online draw for a batched round: pops up to `count` banked
+    /// garblings and tops the shortfall up inline, preserving FIFO order.
+    pub fn draw_many<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<PrecomputedGarbling> {
+        (0..count).map(|_| self.draw(circuit, rng)).collect()
+    }
 }
 
 /// Garbler endpoint with persistent OT-extension state.
@@ -166,76 +177,188 @@ impl YaoGarbler {
         my_inputs: &[bool],
         mode: OutputMode,
     ) -> Result<Option<Vec<bool>>, GcError> {
-        if my_inputs.len() != circuit.garbler_inputs.len() {
-            return Err(GcError::Protocol(format!(
-                "garbler supplied {} input bits, circuit expects {}",
-                my_inputs.len(),
-                circuit.garbler_inputs.len()
-            )));
-        }
-        if !pre.matches(circuit) {
-            return Err(GcError::Protocol(
-                "precomputed garbling does not match the circuit shape".into(),
-            ));
-        }
-        let garbling = pre.garbling;
-
-        // Message 1: garbled tables, garbler's active input labels, constant
-        // wire labels.
-        let mut msg = Vec::with_capacity(garbling.tables.len() * 64 + my_inputs.len() * 16 + 32);
-        for table in &garbling.tables {
-            for row in table {
-                msg.extend_from_slice(row);
-            }
-        }
-        for (wire, &bit) in circuit.garbler_inputs.iter().zip(my_inputs) {
-            msg.extend_from_slice(&garbling.label_for(*wire, bit));
-        }
-        if let Some(w) = circuit.const_zero {
-            msg.extend_from_slice(&garbling.label_for(w, false));
-        }
-        if let Some(w) = circuit.const_one {
-            msg.extend_from_slice(&garbling.label_for(w, true));
-        }
+        let garbling = check_garbler_round(circuit, &pre, my_inputs)?;
+        let mut msg = Vec::with_capacity(expected_message_len(circuit));
+        append_garbler_message(&mut msg, circuit, garbling, my_inputs);
         channel.send(&msg)?;
 
         // OT extension: evaluator's wire label pairs, in evaluator-input order.
-        let pairs: Vec<(Label, Label)> = circuit
-            .evaluator_inputs
-            .iter()
-            .map(|&w| (garbling.label_for(w, false), garbling.label_for(w, true)))
-            .collect();
-        self.ot.extend(channel, &pairs)?;
+        self.ot
+            .extend(channel, &evaluator_label_pairs(circuit, garbling))?;
 
         // Output decoding.
         if matches!(mode, OutputMode::EvaluatorOnly | OutputMode::Both) {
-            let decode: Vec<u8> = garbling
-                .output_decode_bits(circuit)
-                .iter()
-                .map(|&b| b as u8)
-                .collect();
-            channel.send(&decode)?;
+            channel.send(&decode_bit_bytes(circuit, garbling))?;
         }
         if matches!(mode, OutputMode::GarblerOnly | OutputMode::Both) {
             let raw = channel.recv()?;
             if raw.len() != circuit.outputs.len() * 16 {
                 return Err(GcError::Protocol("bad output label message".into()));
             }
-            let labels: Vec<Label> = raw
-                .chunks_exact(16)
-                .map(|c| {
-                    let mut l = [0u8; 16];
-                    l.copy_from_slice(c);
-                    l
-                })
-                .collect();
-            let bits = garbling
-                .decode_output_labels(circuit, &labels)
-                .ok_or_else(|| GcError::Protocol("evaluator returned invalid labels".into()))?;
-            return Ok(Some(bits));
+            return decode_returned_labels(circuit, garbling, &raw).map(Some);
         }
         Ok(None)
     }
+
+    /// Batched online phase: runs `pres.len()` rounds of the same circuit as
+    /// **one** coalesced exchange — a single frame carrying every round's
+    /// garbled tables and input labels, a single OT extension covering all
+    /// rounds' evaluator inputs, and a single output-decoding frame. The
+    /// evaluator must mirror the batch with [`YaoEvaluator::run_batch`].
+    ///
+    /// Per-round outputs are identical to running [`run_precomputed`]
+    /// sequentially; only the frame count changes (5·N messages collapse to
+    /// at most 5). An empty batch exchanges no messages.
+    ///
+    /// [`run_precomputed`]: YaoGarbler::run_precomputed
+    pub fn run_batch<C: Channel>(
+        &mut self,
+        channel: &mut C,
+        circuit: &Circuit,
+        pres: Vec<PrecomputedGarbling>,
+        inputs: &[Vec<bool>],
+        mode: OutputMode,
+    ) -> Result<Vec<Option<Vec<bool>>>, GcError> {
+        if pres.len() != inputs.len() {
+            return Err(GcError::Protocol(format!(
+                "batch has {} garblings for {} input sets",
+                pres.len(),
+                inputs.len()
+            )));
+        }
+        let rounds = pres.len();
+        if rounds == 0 {
+            return Ok(Vec::new());
+        }
+        for (pre, my_inputs) in pres.iter().zip(inputs) {
+            check_garbler_round(circuit, pre, my_inputs)?;
+        }
+
+        // One frame: every round's tables + garbler labels, back to back
+        // (fixed per-round length, so the evaluator splits by offset).
+        let mut msg = Vec::with_capacity(rounds * expected_message_len(circuit));
+        for (pre, my_inputs) in pres.iter().zip(inputs) {
+            append_garbler_message(&mut msg, circuit, &pre.garbling, my_inputs);
+        }
+        channel.send(&msg)?;
+
+        // One OT extension spanning all rounds' evaluator inputs.
+        let mut pairs = Vec::with_capacity(rounds * circuit.evaluator_inputs.len());
+        for pre in &pres {
+            pairs.extend(evaluator_label_pairs(circuit, &pre.garbling));
+        }
+        self.ot.extend(channel, &pairs)?;
+
+        if matches!(mode, OutputMode::EvaluatorOnly | OutputMode::Both) {
+            let mut decode = Vec::with_capacity(rounds * circuit.outputs.len());
+            for pre in &pres {
+                decode.extend_from_slice(&decode_bit_bytes(circuit, &pre.garbling));
+            }
+            channel.send(&decode)?;
+        }
+        if matches!(mode, OutputMode::GarblerOnly | OutputMode::Both) {
+            let raw = channel.recv()?;
+            let per_round = circuit.outputs.len() * 16;
+            if raw.len() != rounds * per_round {
+                return Err(GcError::Protocol("bad batched output label message".into()));
+            }
+            return pres
+                .iter()
+                .zip(raw.chunks_exact(per_round))
+                .map(|(pre, chunk)| decode_returned_labels(circuit, &pre.garbling, chunk).map(Some))
+                .collect();
+        }
+        Ok(vec![None; rounds])
+    }
+}
+
+/// Validates one garbler round's inputs and artifact, returning the garbling.
+fn check_garbler_round<'a>(
+    circuit: &Circuit,
+    pre: &'a PrecomputedGarbling,
+    my_inputs: &[bool],
+) -> Result<&'a Garbling, GcError> {
+    if my_inputs.len() != circuit.garbler_inputs.len() {
+        return Err(GcError::Protocol(format!(
+            "garbler supplied {} input bits, circuit expects {}",
+            my_inputs.len(),
+            circuit.garbler_inputs.len()
+        )));
+    }
+    if !pre.matches(circuit) {
+        return Err(GcError::Protocol(
+            "precomputed garbling does not match the circuit shape".into(),
+        ));
+    }
+    Ok(&pre.garbling)
+}
+
+/// Appends one round's first message — garbled tables, the garbler's active
+/// input labels, and constant wire labels — onto `msg` (a batch frame
+/// concatenates several rounds' worth without intermediate allocations).
+fn append_garbler_message(
+    msg: &mut Vec<u8>,
+    circuit: &Circuit,
+    garbling: &Garbling,
+    my_inputs: &[bool],
+) {
+    for table in &garbling.tables {
+        for row in table {
+            msg.extend_from_slice(row);
+        }
+    }
+    for (wire, &bit) in circuit.garbler_inputs.iter().zip(my_inputs) {
+        msg.extend_from_slice(&garbling.label_for(*wire, bit));
+    }
+    if let Some(w) = circuit.const_zero {
+        msg.extend_from_slice(&garbling.label_for(w, false));
+    }
+    if let Some(w) = circuit.const_one {
+        msg.extend_from_slice(&garbling.label_for(w, true));
+    }
+}
+
+/// Byte length of one round's first message for `circuit`.
+fn expected_message_len(circuit: &Circuit) -> usize {
+    let n_consts = circuit.const_zero.is_some() as usize + circuit.const_one.is_some() as usize;
+    circuit.and_count() * 64 + (circuit.garbler_inputs.len() + n_consts) * 16
+}
+
+/// The evaluator's wire-label pairs served over OT, in evaluator-input order.
+fn evaluator_label_pairs(circuit: &Circuit, garbling: &Garbling) -> Vec<(Label, Label)> {
+    circuit
+        .evaluator_inputs
+        .iter()
+        .map(|&w| (garbling.label_for(w, false), garbling.label_for(w, true)))
+        .collect()
+}
+
+/// One round's output-decode bits as wire bytes.
+fn decode_bit_bytes(circuit: &Circuit, garbling: &Garbling) -> Vec<u8> {
+    garbling
+        .output_decode_bits(circuit)
+        .iter()
+        .map(|&b| b as u8)
+        .collect()
+}
+
+/// Decodes the output labels an evaluator returned for one round.
+fn decode_returned_labels(
+    circuit: &Circuit,
+    garbling: &Garbling,
+    raw: &[u8],
+) -> Result<Vec<bool>, GcError> {
+    let labels: Vec<Label> = raw
+        .chunks_exact(16)
+        .map(|c| {
+            let mut l = [0u8; 16];
+            l.copy_from_slice(c);
+            l
+        })
+        .collect();
+    garbling
+        .decode_output_labels(circuit, &labels)
+        .ok_or_else(|| GcError::Protocol("evaluator returned invalid labels".into()))
 }
 
 impl YaoEvaluator {
@@ -259,54 +382,17 @@ impl YaoEvaluator {
         my_inputs: &[bool],
         mode: OutputMode,
     ) -> Result<Option<Vec<bool>>, GcError> {
-        if my_inputs.len() != circuit.evaluator_inputs.len() {
-            return Err(GcError::Protocol(format!(
-                "evaluator supplied {} input bits, circuit expects {}",
-                my_inputs.len(),
-                circuit.evaluator_inputs.len()
-            )));
-        }
+        check_evaluator_inputs(circuit, my_inputs)?;
         // Message 1: tables, garbler input labels, constant labels.
         let msg = channel.recv()?;
-        let n_tables = circuit.and_count();
-        let n_garbler = circuit.garbler_inputs.len();
-        let n_consts = circuit.const_zero.is_some() as usize + circuit.const_one.is_some() as usize;
-        let expected_len = n_tables * 64 + (n_garbler + n_consts) * 16;
-        if msg.len() != expected_len {
+        if msg.len() != expected_message_len(circuit) {
             return Err(GcError::Protocol(format!(
                 "garbled circuit message has {} bytes, expected {}",
                 msg.len(),
-                expected_len
+                expected_message_len(circuit)
             )));
         }
-        let mut tables = Vec::with_capacity(n_tables);
-        for t in 0..n_tables {
-            let mut table = [[0u8; 16]; 4];
-            for (r, row) in table.iter_mut().enumerate() {
-                let off = t * 64 + r * 16;
-                row.copy_from_slice(&msg[off..off + 16]);
-            }
-            tables.push(table);
-        }
-        let mut input_labels: Vec<(usize, Label)> = Vec::new();
-        let mut off = n_tables * 64;
-        for &wire in &circuit.garbler_inputs {
-            let mut l = [0u8; 16];
-            l.copy_from_slice(&msg[off..off + 16]);
-            input_labels.push((wire, l));
-            off += 16;
-        }
-        if let Some(w) = circuit.const_zero {
-            let mut l = [0u8; 16];
-            l.copy_from_slice(&msg[off..off + 16]);
-            input_labels.push((w, l));
-            off += 16;
-        }
-        if let Some(w) = circuit.const_one {
-            let mut l = [0u8; 16];
-            l.copy_from_slice(&msg[off..off + 16]);
-            input_labels.push((w, l));
-        }
+        let (tables, mut input_labels) = parse_garbler_message(circuit, &msg);
 
         // OT extension for our own labels.
         let my_labels = self.ot.extend(channel, my_inputs)?;
@@ -335,6 +421,136 @@ impl YaoEvaluator {
         }
         Ok(result)
     }
+
+    /// Batched counterpart of [`YaoEvaluator::run`], mirroring
+    /// [`YaoGarbler::run_batch`]: one coalesced garbled-circuit frame, one
+    /// OT extension spanning every round's choice bits, one output-decoding
+    /// exchange. Per-round outputs are identical to sequential evaluation.
+    /// An empty batch exchanges no messages.
+    pub fn run_batch<C: Channel>(
+        &mut self,
+        channel: &mut C,
+        circuit: &Circuit,
+        inputs: &[Vec<bool>],
+        mode: OutputMode,
+    ) -> Result<Vec<Option<Vec<bool>>>, GcError> {
+        let rounds = inputs.len();
+        if rounds == 0 {
+            return Ok(Vec::new());
+        }
+        for my_inputs in inputs {
+            check_evaluator_inputs(circuit, my_inputs)?;
+        }
+
+        // One frame holding every round's tables and labels, split by the
+        // fixed per-round length.
+        let per_round = expected_message_len(circuit);
+        let msg = channel.recv()?;
+        if msg.len() != rounds * per_round {
+            return Err(GcError::Protocol(format!(
+                "batched garbled circuit message has {} bytes, expected {}",
+                msg.len(),
+                rounds * per_round
+            )));
+        }
+        let parsed: Vec<_> = msg
+            .chunks_exact(per_round)
+            .map(|chunk| parse_garbler_message(circuit, chunk))
+            .collect();
+
+        // One OT extension for all rounds' choice bits.
+        let choices: Vec<bool> = inputs.iter().flatten().copied().collect();
+        let my_labels = self.ot.extend(channel, &choices)?;
+
+        let n_eval = circuit.evaluator_inputs.len();
+        let all_outputs: Vec<Vec<Label>> = parsed
+            .into_iter()
+            .enumerate()
+            .map(|(round, (tables, mut input_labels))| {
+                for (&wire, label) in circuit
+                    .evaluator_inputs
+                    .iter()
+                    .zip(&my_labels[round * n_eval..(round + 1) * n_eval])
+                {
+                    input_labels.push((wire, *label));
+                }
+                evaluate(circuit, &tables, &input_labels)
+            })
+            .collect();
+
+        let mut results = vec![None; rounds];
+        if matches!(mode, OutputMode::EvaluatorOnly | OutputMode::Both) {
+            let decode_raw = channel.recv()?;
+            if decode_raw.len() != rounds * circuit.outputs.len() {
+                return Err(GcError::Protocol("bad batched decode-bit message".into()));
+            }
+            for (round, chunk) in decode_raw.chunks_exact(circuit.outputs.len()).enumerate() {
+                let decode_bits: Vec<bool> = chunk.iter().map(|&b| b == 1).collect();
+                results[round] = Some(decode_outputs(&all_outputs[round], &decode_bits));
+            }
+        }
+        if matches!(mode, OutputMode::GarblerOnly | OutputMode::Both) {
+            let mut raw = Vec::with_capacity(rounds * circuit.outputs.len() * 16);
+            for output_labels in &all_outputs {
+                for l in output_labels {
+                    raw.extend_from_slice(l);
+                }
+            }
+            channel.send(&raw)?;
+        }
+        Ok(results)
+    }
+}
+
+/// Validates one evaluator round's choice-bit count.
+fn check_evaluator_inputs(circuit: &Circuit, my_inputs: &[bool]) -> Result<(), GcError> {
+    if my_inputs.len() != circuit.evaluator_inputs.len() {
+        return Err(GcError::Protocol(format!(
+            "evaluator supplied {} input bits, circuit expects {}",
+            my_inputs.len(),
+            circuit.evaluator_inputs.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Parses one round's first message (already length-checked) into garbled
+/// tables and the garbler-provided input labels.
+#[allow(clippy::type_complexity)]
+fn parse_garbler_message(
+    circuit: &Circuit,
+    msg: &[u8],
+) -> (Vec<[[u8; 16]; 4]>, Vec<(usize, Label)>) {
+    let n_tables = circuit.and_count();
+    let mut tables = Vec::with_capacity(n_tables);
+    for t in 0..n_tables {
+        let mut table = [[0u8; 16]; 4];
+        for (r, row) in table.iter_mut().enumerate() {
+            let off = t * 64 + r * 16;
+            row.copy_from_slice(&msg[off..off + 16]);
+        }
+        tables.push(table);
+    }
+    let mut input_labels: Vec<(usize, Label)> = Vec::new();
+    let mut off = n_tables * 64;
+    for &wire in &circuit.garbler_inputs {
+        let mut l = [0u8; 16];
+        l.copy_from_slice(&msg[off..off + 16]);
+        input_labels.push((wire, l));
+        off += 16;
+    }
+    if let Some(w) = circuit.const_zero {
+        let mut l = [0u8; 16];
+        l.copy_from_slice(&msg[off..off + 16]);
+        input_labels.push((w, l));
+        off += 16;
+    }
+    if let Some(w) = circuit.const_one {
+        let mut l = [0u8; 16];
+        l.copy_from_slice(&msg[off..off + 16]);
+        input_labels.push((w, l));
+    }
+    (tables, input_labels)
 }
 
 #[cfg(test)]
@@ -549,6 +765,129 @@ mod tests {
             },
         );
         assert_eq!(e_outs, vec![true, false, false]);
+    }
+
+    #[test]
+    fn batched_rounds_match_sequential_verdicts() {
+        // Three comparisons in one coalesced batch: the decoded outputs must
+        // equal what three sequential rounds produce for the same inputs.
+        let width = 16;
+        let circuit = spam_compare_circuit(width);
+        let circuit_b = circuit.clone();
+        let group = test_group();
+        let group_b = group.clone();
+        let mask = (1u64 << width) - 1;
+        let cases = [(500u64, 100u64), (100, 500), (300, 300)];
+
+        let (g_out, e_outs) = run_two_party(
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut garbler = YaoGarbler::setup(chan, &group, &mut rng).unwrap();
+                let mut pool = GarblingPool::new();
+                // Pool holds only one artifact: draw_many tops up inline.
+                pool.refill(&circuit, 1, &mut rng);
+                let pres = pool.draw_many(&circuit, cases.len(), &mut rng);
+                let inputs: Vec<Vec<bool>> = cases
+                    .iter()
+                    .map(|(d_spam, d_ham)| {
+                        let mut bits = to_bits((d_spam + 999) & mask, width);
+                        bits.extend(to_bits((d_ham + 444) & mask, width));
+                        bits
+                    })
+                    .collect();
+                garbler
+                    .run_batch(chan, &circuit, pres, &inputs, OutputMode::EvaluatorOnly)
+                    .unwrap()
+            },
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut evaluator = YaoEvaluator::setup(chan, &group_b, &mut rng).unwrap();
+                let inputs: Vec<Vec<bool>> = cases
+                    .iter()
+                    .map(|_| {
+                        let mut bits = to_bits(999 & mask, width);
+                        bits.extend(to_bits(444 & mask, width));
+                        bits
+                    })
+                    .collect();
+                evaluator
+                    .run_batch(chan, &circuit_b, &inputs, OutputMode::EvaluatorOnly)
+                    .unwrap()
+            },
+        );
+        assert_eq!(g_out, vec![None, None, None], "garbler learns nothing");
+        let bits: Vec<bool> = e_outs.into_iter().map(|o| o.unwrap()[0]).collect();
+        assert_eq!(bits, vec![true, false, false]);
+    }
+
+    #[test]
+    fn batched_garbler_only_mode_returns_outputs_to_the_garbler() {
+        let width = 16;
+        let circuit = spam_compare_circuit(width);
+        let circuit_b = circuit.clone();
+        let group = test_group();
+        let group_b = group.clone();
+        let mask = (1u64 << width) - 1;
+        let cases = [(9u64, 5u64), (5, 9)];
+
+        let (g_out, _) = run_two_party(
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut garbler = YaoGarbler::setup(chan, &group, &mut rng).unwrap();
+                let pres = (0..cases.len())
+                    .map(|_| PrecomputedGarbling::garble(&circuit, &mut rng))
+                    .collect();
+                let inputs: Vec<Vec<bool>> = cases
+                    .iter()
+                    .map(|(a, b)| {
+                        let mut bits = to_bits(a & mask, width);
+                        bits.extend(to_bits(b & mask, width));
+                        bits
+                    })
+                    .collect();
+                garbler
+                    .run_batch(chan, &circuit, pres, &inputs, OutputMode::GarblerOnly)
+                    .unwrap()
+            },
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut evaluator = YaoEvaluator::setup(chan, &group_b, &mut rng).unwrap();
+                let inputs: Vec<Vec<bool>> = cases.iter().map(|_| vec![false; 2 * width]).collect();
+                evaluator
+                    .run_batch(chan, &circuit_b, &inputs, OutputMode::GarblerOnly)
+                    .unwrap()
+            },
+        );
+        let bits: Vec<bool> = g_out.into_iter().map(|o| o.unwrap()[0]).collect();
+        assert_eq!(bits, vec![true, false]);
+    }
+
+    #[test]
+    fn batch_size_mismatch_is_rejected() {
+        let circuit = spam_compare_circuit(8);
+        let mut rng = rand::thread_rng();
+        let pres = vec![PrecomputedGarbling::garble(&circuit, &mut rng)];
+        let group = test_group();
+        let group_b = group.clone();
+        let (g_res, _) = run_two_party(
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let mut garbler = YaoGarbler::setup(chan, &group, &mut rng).unwrap();
+                // Two input sets for one garbling: must fail before traffic.
+                garbler.run_batch(
+                    chan,
+                    &circuit,
+                    pres,
+                    &[vec![false; 16], vec![false; 16]],
+                    OutputMode::EvaluatorOnly,
+                )
+            },
+            move |chan| {
+                let mut rng = rand::thread_rng();
+                let _ = YaoEvaluator::setup(chan, &group_b, &mut rng).unwrap();
+            },
+        );
+        assert!(g_res.is_err());
     }
 
     #[test]

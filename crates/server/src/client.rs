@@ -2,50 +2,67 @@
 //!
 //! A [`MailroomClient`] is one simulated (or real) sender: it performs the
 //! session handshake, runs the client half of the one-time setup, then
-//! submits emails one round at a time, reusing the session state exactly as
+//! submits emails one round at a time — or in coalesced batches via
+//! [`MailroomClient::process_batch`] — reusing the session state exactly as
 //! the provider does. Examples, the concurrency tests and the
 //! `throughput_mailroom` benchmark spin up N of these on N channels to put
 //! concurrent load on a [`crate::Mailroom`].
 
+use std::sync::Arc;
+
 use rand::Rng;
 
 use pretzel_classifiers::{LinearModel, SparseVector};
-use pretzel_core::session::{variant_byte, ClientSession, EmailPayload, ProtocolKind, Verdict};
-use pretzel_core::spam::AheVariant;
-use pretzel_core::topic::CandidateMode;
+use pretzel_core::registry::{ClientContext, FunctionModule, WireTag};
+use pretzel_core::search::SearchFunction;
+use pretzel_core::session::{variant_byte, ClientSession, EmailPayload, Verdict};
+use pretzel_core::spam::{AheVariant, SpamFunction};
+use pretzel_core::topic::{CandidateMode, TopicFunction};
+use pretzel_core::virus::VirusFunction;
 use pretzel_core::{PretzelConfig, PretzelError};
 use pretzel_transport::Channel;
 
-use crate::{ServerError, ACK_ACCEPTED, ACK_BUSY, ROUND_BYE, ROUND_EMAIL};
+use crate::{
+    ServerError, ACK_ACCEPTED, ACK_BUSY, MAX_BATCH_ROUNDS, ROUND_BATCH, ROUND_BYE, ROUND_EMAIL,
+};
 
-/// Everything a client needs to open one session: which protocol to run and
-/// with which parameters. Must agree with the provider's configuration (the
-/// parameter preset and, for topic sessions, the candidate mode — both fix
-/// the shapes of ciphertexts and circuits).
-#[derive(Clone, Debug)]
+/// Everything a client needs to open one session: which function module to
+/// run (built-in or custom-registered — the provider's registry must know
+/// its wire tag) and the client-side setup parameters, which must agree
+/// with the provider's configuration (the parameter preset and, for topic
+/// sessions, the candidate mode — both fix the shapes of ciphertexts and
+/// circuits).
+#[derive(Clone)]
 pub struct ClientSpec {
-    /// Which function module to run.
-    pub kind: ProtocolKind,
-    /// Which AHE cryptosystem/packing to use.
-    pub variant: AheVariant,
-    /// Parameter preset (must match the provider's).
-    pub config: PretzelConfig,
-    /// Candidate pruning mode for topic sessions (ignored otherwise).
-    pub topic_mode: CandidateMode,
-    /// Public candidate model, required for decomposed topic sessions.
-    pub candidate_model: Option<LinearModel>,
+    /// The function module this session runs.
+    pub module: Arc<dyn FunctionModule>,
+    /// Client-side setup parameters (preset, AHE variant, topic knobs).
+    pub ctx: ClientContext,
+}
+
+impl std::fmt::Debug for ClientSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientSpec")
+            .field("module", &self.module.display_name())
+            .field("wire_tag", &self.module.wire_tag())
+            .field("ctx", &self.ctx)
+            .finish()
+    }
 }
 
 impl ClientSpec {
+    /// Spec for any function module with default context knobs — the entry
+    /// point for custom-registered modules.
+    pub fn for_module(module: Arc<dyn FunctionModule>, config: PretzelConfig) -> Self {
+        ClientSpec {
+            module,
+            ctx: ClientContext::new(config),
+        }
+    }
+
     /// Spec for a spam-filtering session with the Pretzel AHE variant.
     pub fn spam(config: PretzelConfig) -> Self {
-        ClientSpec {
-            kind: ProtocolKind::Spam,
-            variant: AheVariant::Pretzel,
-            config,
-            topic_mode: CandidateMode::Full,
-            candidate_model: None,
-        }
+        Self::for_module(Arc::new(SpamFunction), config)
     }
 
     /// Spec for a topic-extraction session.
@@ -54,41 +71,26 @@ impl ClientSpec {
         mode: CandidateMode,
         candidate_model: Option<LinearModel>,
     ) -> Self {
-        ClientSpec {
-            kind: ProtocolKind::Topic,
-            variant: AheVariant::Pretzel,
-            config,
-            topic_mode: mode,
-            candidate_model,
-        }
+        let mut spec = Self::for_module(Arc::new(TopicFunction), config);
+        spec.ctx.topic_mode = mode;
+        spec.ctx.candidate_model = candidate_model;
+        spec
     }
 
     /// Spec for a virus-scanning session.
     pub fn virus(config: PretzelConfig) -> Self {
-        ClientSpec {
-            kind: ProtocolKind::Virus,
-            variant: AheVariant::Pretzel,
-            config,
-            topic_mode: CandidateMode::Full,
-            candidate_model: None,
-        }
+        Self::for_module(Arc::new(VirusFunction), config)
     }
 
     /// Spec for an encrypted-keyword-search session (always served over
     /// RLWE; the variant byte is carried but ignored by search sessions).
     pub fn search(config: PretzelConfig) -> Self {
-        ClientSpec {
-            kind: ProtocolKind::Search,
-            variant: AheVariant::Pretzel,
-            config,
-            topic_mode: CandidateMode::Full,
-            candidate_model: None,
-        }
+        Self::for_module(Arc::new(SearchFunction), config)
     }
 
     /// Same spec with a different AHE variant.
     pub fn with_variant(mut self, variant: AheVariant) -> Self {
-        self.variant = variant;
+        self.ctx.variant = variant;
         self
     }
 }
@@ -107,7 +109,7 @@ impl<C: Channel> MailroomClient<C> {
     /// Returns [`ServerError::Busy`] when the mailroom refused the session
     /// (bounded-queue backpressure) — the call returns promptly rather than
     /// waiting for capacity.
-    pub fn connect<R: Rng + ?Sized>(
+    pub fn connect<R: Rng>(
         mut channel: C,
         spec: &ClientSpec,
         rng: &mut R,
@@ -116,7 +118,7 @@ impl<C: Channel> MailroomClient<C> {
         // provider (the busy ack is buffered, the channel closed), in which
         // case the handshake send fails — drain the ack before deciding
         // which error to surface.
-        let send_result = channel.send(&[spec.kind.as_byte(), variant_byte(spec.variant)]);
+        let send_result = channel.send(&[spec.module.wire_tag(), variant_byte(spec.ctx.variant)]);
         let ack = match channel.recv() {
             Ok(ack) => ack,
             Err(recv_err) => {
@@ -135,25 +137,22 @@ impl<C: Channel> MailroomClient<C> {
                 )))
             }
         }
-        let session = ClientSession::setup(
-            spec.kind,
-            &mut channel,
-            &spec.config,
-            spec.variant,
-            spec.topic_mode,
-            spec.candidate_model.clone(),
-            rng,
-        )?;
+        let module = spec.module.client_setup(&mut channel, &spec.ctx, rng)?;
         Ok(MailroomClient {
             channel,
-            session,
+            session: ClientSession::from_module(module),
             emails: 0,
         })
     }
 
-    /// Which function module this session runs.
-    pub fn kind(&self) -> ProtocolKind {
-        self.session.kind()
+    /// Wire tag of the function module this session runs.
+    pub fn wire_tag(&self) -> WireTag {
+        self.session.wire_tag()
+    }
+
+    /// Human-readable name of the function module this session runs.
+    pub fn display_name(&self) -> &'static str {
+        self.session.display_name()
     }
 
     /// Client-side storage consumed by the encrypted model, in bytes.
@@ -170,7 +169,7 @@ impl<C: Channel> MailroomClient<C> {
     /// argmax circuits for topic sessions, Paillier randomizers for Baseline
     /// sessions) covering up to `budget` future emails. Purely local — no
     /// traffic — so it can run while the connection is idle.
-    pub fn precompute<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) -> usize {
+    pub fn precompute<R: Rng>(&mut self, budget: usize, rng: &mut R) -> usize {
         self.session.precompute(budget, rng)
     }
 
@@ -180,7 +179,7 @@ impl<C: Channel> MailroomClient<C> {
     }
 
     /// Submits one email for a secure per-email round.
-    pub fn process<R: Rng + ?Sized>(
+    pub fn process<R: Rng>(
         &mut self,
         payload: &EmailPayload,
         rng: &mut R,
@@ -193,8 +192,38 @@ impl<C: Channel> MailroomClient<C> {
         Ok(verdict)
     }
 
+    /// Submits one batch of emails as a single coalesced exchange: one
+    /// control frame announces the round count, then the session's module
+    /// runs its batched protocol (see
+    /// [`pretzel_core::ClientModule::process_batch`]). Verdicts equal
+    /// calling [`MailroomClient::process`] per payload; an empty batch is a
+    /// no-op.
+    pub fn process_batch<R: Rng>(
+        &mut self,
+        payloads: &[EmailPayload],
+        rng: &mut R,
+    ) -> Result<Vec<Verdict>, ServerError> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        if payloads.len() > MAX_BATCH_ROUNDS {
+            return Err(ServerError::Handshake(format!(
+                "batch of {} rounds exceeds the {MAX_BATCH_ROUNDS}-round cap",
+                payloads.len()
+            )));
+        }
+        let mut frame = [ROUND_BATCH, 0, 0, 0, 0];
+        frame[1..].copy_from_slice(&(payloads.len() as u32).to_le_bytes());
+        self.channel.send(&frame)?;
+        let verdicts = self
+            .session
+            .process_batch(&mut self.channel, payloads, rng)?;
+        self.emails += verdicts.len() as u64;
+        Ok(verdicts)
+    }
+
     /// Convenience for spam sessions: classify one email's token counts.
-    pub fn classify_spam<R: Rng + ?Sized>(
+    pub fn classify_spam<R: Rng>(
         &mut self,
         features: &SparseVector,
         rng: &mut R,
@@ -210,7 +239,7 @@ impl<C: Channel> MailroomClient<C> {
     /// Convenience for topic sessions: run one extraction round, returning
     /// the candidate set that was submitted (the chosen index goes to the
     /// provider, per Guarantee 3).
-    pub fn extract_topic<R: Rng + ?Sized>(
+    pub fn extract_topic<R: Rng>(
         &mut self,
         features: &SparseVector,
         rng: &mut R,
@@ -224,7 +253,7 @@ impl<C: Channel> MailroomClient<C> {
     }
 
     /// Convenience for virus sessions: scan one attachment.
-    pub fn scan_attachment<R: Rng + ?Sized>(
+    pub fn scan_attachment<R: Rng>(
         &mut self,
         attachment: &[u8],
         rng: &mut R,
@@ -239,7 +268,7 @@ impl<C: Channel> MailroomClient<C> {
 
     /// Convenience for search sessions: index one email body under `doc_id`
     /// at the provider, returning the number of encrypted postings stored.
-    pub fn index_email<R: Rng + ?Sized>(
+    pub fn index_email<R: Rng>(
         &mut self,
         doc_id: u64,
         body: &str,
@@ -259,7 +288,7 @@ impl<C: Channel> MailroomClient<C> {
 
     /// Convenience for search sessions: run one single-keyword query round,
     /// returning the ids of the matching indexed emails.
-    pub fn search_keyword<R: Rng + ?Sized>(
+    pub fn search_keyword<R: Rng>(
         &mut self,
         keyword: &str,
         rng: &mut R,

@@ -35,13 +35,18 @@
 //! (`u32` length-prefixed frames on TCP):
 //!
 //! ```text
-//! client → provider   [kind, variant]        2-byte session request
+//! client → provider   [wire_tag, variant]    2-byte session request
 //! provider → client   [ACK_ACCEPTED] | [ACK_BUSY]
 //! …protocol setup (provider initiates; §3.3 joint randomness, model, OTs)…
 //! repeat:
 //!   client → provider [ROUND_EMAIL]          then one per-email round
+//!   client → provider [ROUND_BATCH, n:u32le] then one n-round batch
 //! client → provider   [ROUND_BYE]            teardown
 //! ```
+//!
+//! The `wire_tag` byte is resolved through the mailroom's
+//! [`pretzel_core::ProtocolRegistry`] — the four built-in modules by
+//! default, plus anything registered via [`Mailroom::start_with_registry`].
 //!
 //! [`Channel`]: pretzel_transport::Channel
 
@@ -67,8 +72,14 @@ pub const ACK_ACCEPTED: u8 = 0x41;
 pub const ACK_BUSY: u8 = 0x42;
 /// Control byte opening one per-email round.
 pub const ROUND_EMAIL: u8 = 1;
+/// Control byte opening one batched round: followed by a little-endian
+/// `u32` round count in the same frame.
+pub const ROUND_BATCH: u8 = 2;
 /// Control byte ending a session.
 pub const ROUND_BYE: u8 = 0;
+/// Upper bound on the rounds one [`ROUND_BATCH`] frame may announce — a
+/// sanity cap so a malicious count cannot size provider allocations.
+pub const MAX_BATCH_ROUNDS: usize = 4096;
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]

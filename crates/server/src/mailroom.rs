@@ -13,13 +13,16 @@
 //!    [`crate::ACK_ACCEPTED`] inside the same queue-slot reservation, so the
 //!    ack can never race the capacity check.
 //! 2. **Handshake** — a worker pops the session and reads the two-byte
-//!    request: a [`ProtocolKind`] and an [`AheVariant`].
+//!    request: a function-module wire tag (resolved through the mailroom's
+//!    [`pretzel_core::ProtocolRegistry`]) and an [`AheVariant`].
 //! 3. **Setup reuse** — the worker runs the protocol's setup phase once
 //!    (joint randomness, encrypted model transfer, base OTs) and keeps the
 //!    resulting [`ProviderSession`] for the whole session.
-//! 4. **Per-email rounds** — the client drives rounds with one-byte control
-//!    frames: [`crate::ROUND_EMAIL`] starts one secure classification over
-//!    the established session state; [`crate::ROUND_BYE`] ends the session.
+//! 4. **Per-email rounds** — the client drives rounds with control frames:
+//!    [`crate::ROUND_EMAIL`] starts one secure classification over the
+//!    established session state; [`crate::ROUND_BATCH`] (carrying a `u32`
+//!    count) starts one coalesced batch of rounds;
+//!    [`crate::ROUND_BYE`] ends the session.
 //!    After setup and again after every round, the worker runs the session's
 //!    **offline phase** ([`pretzel_core::ProviderSession::precompute`]) up to
 //!    [`MailroomConfig::precompute_budget`] pooled rounds — the top-up
@@ -46,12 +49,15 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pretzel_core::session::{variant_from_byte, ProtocolKind, ProviderModelSuite, ProviderSession};
+use pretzel_core::registry::{ProtocolRegistry, WireTag};
+use pretzel_core::session::{variant_from_byte, ProviderModelSuite, ProviderSession};
 use pretzel_core::spam::AheVariant;
 use pretzel_transport::{Channel, Meter, MeteredChannel, TcpAcceptor};
 
 use crate::queue::{BoundedQueue, PushError};
-use crate::{ServerError, ACK_ACCEPTED, ACK_BUSY, ROUND_BYE, ROUND_EMAIL};
+use crate::{
+    ServerError, ACK_ACCEPTED, ACK_BUSY, MAX_BATCH_ROUNDS, ROUND_BATCH, ROUND_BYE, ROUND_EMAIL,
+};
 
 /// Identifier of one client session, unique within a mailroom's lifetime.
 pub type SessionId = u64;
@@ -112,9 +118,12 @@ pub enum SessionState {
 pub struct SessionStats {
     /// The session's identifier.
     pub id: SessionId,
-    /// Which function module the session ran (`None` until the handshake has
-    /// been read, or if it never parsed).
-    pub kind: Option<ProtocolKind>,
+    /// Wire tag of the function module the session ran (`None` until the
+    /// handshake has been read, or if it never resolved).
+    pub kind: Option<WireTag>,
+    /// Display name of the module behind [`SessionStats::kind`], resolved
+    /// from the mailroom's registry at handshake time.
+    pub kind_name: Option<&'static str>,
     /// Lifecycle state at snapshot time.
     pub state: SessionState,
     /// Per-email rounds completed so far.
@@ -134,7 +143,8 @@ pub struct SessionStats {
 }
 
 struct SessionRecord {
-    kind: Option<ProtocolKind>,
+    kind: Option<WireTag>,
+    kind_name: Option<&'static str>,
     state: SessionState,
     emails: u64,
     topics: Vec<usize>,
@@ -146,6 +156,7 @@ impl SessionRecord {
         SessionStats {
             id,
             kind: self.kind,
+            kind_name: self.kind_name,
             state: self.state.clone(),
             emails: self.emails,
             topics: self.topics.clone(),
@@ -168,8 +179,9 @@ struct QueuedSession {
 
 struct Shared {
     suite: ProviderModelSuite,
+    registry: ProtocolRegistry,
     queue: BoundedQueue<QueuedSession>,
-    registry: Mutex<HashMap<SessionId, SessionRecord>>,
+    records: Mutex<HashMap<SessionId, SessionRecord>>,
     fleet: Meter,
     next_id: AtomicU64,
     emails_total: AtomicU64,
@@ -180,14 +192,15 @@ struct Shared {
 
 impl Shared {
     fn with_record<R>(&self, id: SessionId, f: impl FnOnce(&mut SessionRecord) -> R) -> Option<R> {
-        self.registry.lock().get_mut(&id).map(f)
+        self.records.lock().get_mut(&id).map(f)
     }
 }
 
-/// Aggregate accounting for all sessions of one [`ProtocolKind`] — the rows
-/// of [`MailroomReport::by_kind`]. Summing the totals across kinds (plus any
-/// sessions that never parsed a handshake) reproduces the fleet-wide
-/// counters, which `tests/mailroom_concurrency.rs` pins for a mixed fleet.
+/// Aggregate accounting for all sessions of one function module (keyed by
+/// its wire tag) — the rows of [`MailroomReport::by_kind`]. Summing the
+/// totals across kinds (plus any sessions that never parsed a handshake)
+/// reproduces the fleet-wide counters, which
+/// `tests/mailroom_concurrency.rs` pins for a mixed fleet.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KindTotals {
     /// Sessions that handshook as this kind.
@@ -242,22 +255,21 @@ impl MailroomReport {
             .count()
     }
 
-    /// Per-kind aggregation of the fleet, in wire-byte order. Kinds no
-    /// session ran are omitted; sessions whose handshake never parsed (kind
-    /// `None`) are excluded, so a garbage-handshake session can make the
-    /// per-kind sums fall short of the fleet meters.
-    pub fn by_kind(&self) -> Vec<(ProtocolKind, KindTotals)> {
-        let mut out: Vec<(ProtocolKind, KindTotals)> = Vec::new();
-        for kind in ProtocolKind::ALL {
-            let mut totals = KindTotals::default();
-            for s in self.sessions.iter().filter(|s| s.kind == Some(kind)) {
-                totals.absorb(s);
-            }
-            if totals.sessions > 0 {
-                out.push((kind, totals));
+    /// Per-kind aggregation of the fleet, keyed by wire tag in wire-tag
+    /// order (open-ended: any registered module appears here, not just the
+    /// built-ins). Kinds no session ran are omitted; sessions whose
+    /// handshake never resolved (kind `None`) are excluded, so a
+    /// garbage-handshake session can make the per-kind sums fall short of
+    /// the fleet meters.
+    pub fn by_kind(&self) -> Vec<(WireTag, KindTotals)> {
+        let mut by_tag: std::collections::BTreeMap<WireTag, KindTotals> =
+            std::collections::BTreeMap::new();
+        for s in &self.sessions {
+            if let Some(tag) = s.kind {
+                by_tag.entry(tag).or_default().absorb(s);
             }
         }
-        out
+        by_tag.into_iter().collect()
     }
 
     /// Average payload bytes per served email across the fleet (0 when no
@@ -270,22 +282,38 @@ impl MailroomReport {
     }
 }
 
-/// A multi-session provider serving spam, topic, virus and encrypted-search
-/// sessions over any [`Channel`] through a worker pool with bounded intake.
+/// A multi-session provider serving every function module in its registry
+/// (spam, topic, virus and encrypted search by default — see
+/// [`Mailroom::start_with_registry`] for custom modules) over any
+/// [`Channel`] through a worker pool with bounded intake.
 pub struct Mailroom {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Mailroom {
-    /// Starts the worker pool. `suite` holds the trained models every
-    /// session is served from; it is shared read-only across workers.
+    /// Starts the worker pool serving the four built-in function modules.
+    /// `suite` holds the trained models every session is served from; it is
+    /// shared read-only across workers.
     pub fn start(suite: ProviderModelSuite, config: MailroomConfig) -> Self {
+        Self::start_with_registry(suite, ProtocolRegistry::builtin(), config)
+    }
+
+    /// Starts the worker pool with an explicit function-module registry —
+    /// the extension point for serving custom protocols: register a module
+    /// (see [`pretzel_core::FunctionModule`]) and every worker dispatches
+    /// its wire tag without any mailroom changes.
+    pub fn start_with_registry(
+        suite: ProviderModelSuite,
+        registry: ProtocolRegistry,
+        config: MailroomConfig,
+    ) -> Self {
         assert!(config.workers >= 1, "a mailroom needs at least one worker");
         let shared = Arc::new(Shared {
             suite,
+            registry,
             queue: BoundedQueue::new(config.queue_capacity),
-            registry: Mutex::new(HashMap::new()),
+            records: Mutex::new(HashMap::new()),
             fleet: Meter::new(),
             next_id: AtomicU64::new(0),
             emails_total: AtomicU64::new(0),
@@ -325,10 +353,11 @@ impl Mailroom {
             let _ = channel.send(&[ACK_BUSY]);
             return Err(ServerError::ShuttingDown);
         }
-        self.shared.registry.lock().insert(
+        self.shared.records.lock().insert(
             id,
             SessionRecord {
                 kind: None,
+                kind_name: None,
                 state: SessionState::Queued,
                 emails: 0,
                 topics: Vec::new(),
@@ -367,8 +396,8 @@ impl Mailroom {
 
     /// Snapshot of every session, in submission order.
     pub fn stats(&self) -> Vec<SessionStats> {
-        let registry = self.shared.registry.lock();
-        let mut stats: Vec<SessionStats> = registry.iter().map(|(&id, r)| r.stats(id)).collect();
+        let records = self.shared.records.lock();
+        let mut stats: Vec<SessionStats> = records.iter().map(|(&id, r)| r.stats(id)).collect();
         stats.sort_by_key(|s| s.id);
         stats
     }
@@ -444,19 +473,31 @@ fn run_session(
     channel: &mut SessionChannel,
 ) -> Result<(), ServerError> {
     let handshake = channel.recv()?;
-    let &[kind_byte, variant_b] = handshake.as_slice() else {
+    let &[tag, variant_b] = handshake.as_slice() else {
         return Err(ServerError::Handshake(format!(
             "expected a 2-byte handshake, got {} bytes",
             handshake.len()
         )));
     };
-    let kind = ProtocolKind::from_byte(kind_byte)?;
+    // The registry is the single source of truth for tag resolution: an
+    // unregistered tag fails here with its Protocol error.
+    let kind_name = shared.registry.from_wire_tag(tag)?.display_name();
     let variant: AheVariant = variant_from_byte(variant_b)?;
-    shared.with_record(id, |r| r.kind = Some(kind));
+    shared.with_record(id, |r| {
+        r.kind = Some(tag);
+        r.kind_name = Some(kind_name);
+    });
 
     // One independent, reproducible randomness stream per session.
     let mut rng = StdRng::seed_from_u64(shared.rng_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut session = ProviderSession::setup(kind, channel, &shared.suite, variant, &mut rng)?;
+    let mut session = ProviderSession::setup(
+        &shared.registry,
+        tag,
+        channel,
+        &shared.suite,
+        variant,
+        &mut rng,
+    )?;
 
     // Offline phase: bank precomputed rounds before the first email arrives
     // (the client is busy with its own setup/feature work meanwhile), then
@@ -467,19 +508,35 @@ fn run_session(
     };
     top_up(&mut session, channel, &mut rng);
 
+    // Records one or more served rounds in the session and fleet counters.
+    let account = |outputs: &[Option<usize>]| {
+        shared
+            .emails_total
+            .fetch_add(outputs.len() as u64, Ordering::Relaxed);
+        shared.with_record(id, |r| {
+            r.emails += outputs.len() as u64;
+            r.topics.extend(outputs.iter().flatten());
+        });
+    };
+
     loop {
         let control = channel.recv()?;
         match control.as_slice() {
             [ROUND_BYE] => return Ok(()),
             [ROUND_EMAIL] => {
                 let topic = session.process_round(channel, &mut rng)?;
-                shared.emails_total.fetch_add(1, Ordering::Relaxed);
-                shared.with_record(id, |r| {
-                    r.emails += 1;
-                    if let Some(t) = topic {
-                        r.topics.push(t);
-                    }
-                });
+                account(&[topic]);
+                top_up(&mut session, channel, &mut rng);
+            }
+            [ROUND_BATCH, count @ ..] if count.len() == 4 => {
+                let count = u32::from_le_bytes(count.try_into().expect("4-byte count")) as usize;
+                if count == 0 || count > MAX_BATCH_ROUNDS {
+                    return Err(ServerError::Handshake(format!(
+                        "batch round count {count} outside 1..={MAX_BATCH_ROUNDS}"
+                    )));
+                }
+                let outputs = session.process_batch(channel, count, &mut rng)?;
+                account(&outputs);
                 top_up(&mut session, channel, &mut rng);
             }
             other => {
@@ -532,7 +589,10 @@ mod tests {
     use crate::{ClientSpec, MailroomClient};
     use pretzel_classifiers::nb::{GrNbTrainer, MultinomialNbTrainer};
     use pretzel_classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
-    use pretzel_core::topic::CandidateMode;
+    use pretzel_core::search::SearchFunction;
+    use pretzel_core::spam::SpamFunction;
+    use pretzel_core::topic::{CandidateMode, TopicFunction};
+    use pretzel_core::virus::VirusFunction;
     use pretzel_core::PretzelConfig;
     use pretzel_transport::{memory_pair, TcpChannel};
 
@@ -612,7 +672,8 @@ mod tests {
         assert_eq!(report.completed(), 1);
         let stats = &report.sessions[0];
         assert_eq!(stats.id, id);
-        assert_eq!(stats.kind, Some(ProtocolKind::Spam));
+        assert_eq!(stats.kind, Some(SpamFunction::WIRE_TAG));
+        assert_eq!(stats.kind_name, Some("spam"));
         assert_eq!(stats.state, SessionState::Completed);
         assert_eq!(stats.emails, 2);
         assert!(stats.bytes_sent > 0, "provider ships the encrypted model");
@@ -641,7 +702,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let spec = ClientSpec::search(PretzelConfig::test());
         let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
-        assert_eq!(client.kind(), ProtocolKind::Search);
+        assert_eq!(client.wire_tag(), SearchFunction::WIRE_TAG);
+        assert_eq!(client.display_name(), "search");
         assert!(client.model_storage_bytes() > 0);
         assert_eq!(
             client
@@ -663,7 +725,7 @@ mod tests {
 
         let report = mailroom.shutdown();
         let stats = report.sessions.iter().find(|s| s.id == id).unwrap();
-        assert_eq!(stats.kind, Some(ProtocolKind::Search));
+        assert_eq!(stats.kind, Some(SearchFunction::WIRE_TAG));
         assert_eq!(stats.state, SessionState::Completed);
         assert_eq!(stats.emails, 4, "2 index rounds + 2 query rounds");
         assert_eq!(
@@ -674,7 +736,7 @@ mod tests {
         let by_kind = report.by_kind();
         assert_eq!(by_kind.len(), 1);
         let (kind, totals) = by_kind[0];
-        assert_eq!(kind, ProtocolKind::Search);
+        assert_eq!(kind, SearchFunction::WIRE_TAG);
         assert_eq!(totals.sessions, 1);
         assert_eq!(totals.emails, 4);
         assert_eq!(totals.bytes_sent, report.fleet_bytes_sent);
@@ -703,7 +765,7 @@ mod tests {
 
         let report = mailroom.shutdown();
         let stats = report.sessions.iter().find(|s| s.id == id).unwrap();
-        assert_eq!(stats.kind, Some(ProtocolKind::Topic));
+        assert_eq!(stats.kind, Some(TopicFunction::WIRE_TAG));
         assert_eq!(stats.topics, vec![2], "the provider learned the topic");
     }
 
@@ -736,7 +798,7 @@ mod tests {
 
         let report = mailroom.shutdown();
         assert_eq!(report.completed(), 1);
-        assert_eq!(report.sessions[0].kind, Some(ProtocolKind::Virus));
+        assert_eq!(report.sessions[0].kind, Some(VirusFunction::WIRE_TAG));
     }
 
     #[test]

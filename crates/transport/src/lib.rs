@@ -21,10 +21,12 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod memory;
 pub mod meter;
 mod tcp;
 
+pub use batch::{pack_frames, unpack_frames};
 pub use memory::{memory_pair, MemoryChannel};
 pub use meter::{Meter, MeteredChannel};
 pub use tcp::{TcpAcceptor, TcpChannel};
@@ -45,6 +47,9 @@ pub enum TransportError {
         /// The configured maximum frame size.
         max: usize,
     },
+    /// A coalesced batch frame failed structural validation (see
+    /// [`batch::unpack_frames`]).
+    MalformedBatch(String),
 }
 
 impl fmt::Display for TransportError {
@@ -55,6 +60,7 @@ impl fmt::Display for TransportError {
             TransportError::FrameTooLarge { size, max } => {
                 write!(f, "frame of {size} bytes exceeds maximum {max}")
             }
+            TransportError::MalformedBatch(why) => write!(f, "malformed batch frame: {why}"),
         }
     }
 }

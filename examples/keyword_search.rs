@@ -73,7 +73,7 @@ fn main() {
 
 /// The provider-served variant: the same mailbox indexed *at the provider*
 /// under searchable symmetric encryption, queried through a mailroom session
-/// (`ProtocolKind::Search`) with RLWE-packed responses.
+/// (the registered `search` function module) with RLWE-packed responses.
 fn served_search(texts: &[String]) {
     use pretzel_classifiers::NGramExtractor;
     use pretzel_core::topic::CandidateMode;

@@ -1,0 +1,444 @@
+//! Batched rounds are an optimization, not a semantic change: a mixed
+//! four-kind fleet served in coalesced batches must produce byte-identical
+//! verdicts to the same fleet served one round at a time, at every offline
+//! pool budget (0 = pure inline, 1 = drain-and-refill, ∞ = never dry), under
+//! fixed seeds. Also pins the registry contract end to end: unknown wire
+//! tags are clean errors through the whole mailroom stack, and a
+//! custom-registered module serves alongside the built-ins.
+
+use std::sync::Arc;
+
+use pretzel::classifiers::nb::GrNbTrainer;
+use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+use pretzel::core::registry::{
+    ClientContext, ClientModule, FunctionModule, ProtocolRegistry, ProviderModule, WireTag,
+};
+use pretzel::core::session::EmailPayload;
+use pretzel::core::spam::AheVariant;
+use pretzel::core::topic::CandidateMode;
+use pretzel::core::{PretzelConfig, PretzelError, ProviderModelSuite};
+use pretzel::datasets::ling_spam_like;
+use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig, ServerError};
+use pretzel::transport::{memory_pair, Channel};
+use rand::RngCore;
+
+mod common;
+use common::test_rng;
+
+const ROUNDS_PER_SESSION: usize = 3;
+/// Larger than any session's round count: no round ever computes inline.
+const UNBOUNDED: usize = ROUNDS_PER_SESSION + 4;
+
+fn suite() -> ProviderModelSuite {
+    let mut spec = ling_spam_like(0.08);
+    spec.shared_vocab = 120;
+    spec.class_vocab = 60;
+    spec.doc_len = (20, 60);
+    let corpus = spec.generate();
+    let model = GrNbTrainer::default().train(&corpus.examples, corpus.num_features, 2);
+
+    let extractor = NGramExtractor::new(3, 64);
+    let virus_examples: Vec<LabeledExample> = (0..20u8)
+        .flat_map(|i| {
+            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
+            bad.push(i);
+            let good = format!("meeting notes attachment {i}");
+            [
+                LabeledExample {
+                    features: extractor.extract(&bad),
+                    label: 1,
+                },
+                LabeledExample {
+                    features: extractor.extract(good.as_bytes()),
+                    label: 0,
+                },
+            ]
+        })
+        .collect();
+    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
+
+    ProviderModelSuite {
+        spam: model.clone(),
+        topic: model,
+        topic_mode: CandidateMode::Full,
+        virus: virus_model,
+        virus_extractor: extractor,
+        config: PretzelConfig::test(),
+    }
+}
+
+/// The four per-kind payload scripts of the mixed fleet, in the order the
+/// sessions are submitted.
+fn scripts() -> Vec<(ClientSpec, Vec<EmailPayload>)> {
+    let config = PretzelConfig::test();
+    let spam_email = |a: usize| {
+        EmailPayload::Tokens(SparseVector::from_pairs(vec![
+            (a % 7, 3),
+            (a % 11 + 2, 1),
+            (7, 2),
+        ]))
+    };
+    let attachment =
+        |i: u8| EmailPayload::Attachment([0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, i].to_vec());
+    vec![
+        (
+            // Baseline variant so the Paillier randomizer pool is on the
+            // batched path too.
+            ClientSpec::spam(config.clone()).with_variant(AheVariant::Baseline),
+            (0..ROUNDS_PER_SESSION).map(spam_email).collect(),
+        ),
+        (
+            ClientSpec::topic(config.clone(), CandidateMode::Full, None),
+            (0..ROUNDS_PER_SESSION).map(spam_email).collect(),
+        ),
+        (
+            ClientSpec::virus(config.clone()),
+            (0..ROUNDS_PER_SESSION as u8).map(attachment).collect(),
+        ),
+        (
+            ClientSpec::search(config),
+            vec![
+                EmailPayload::SearchIndex {
+                    doc_id: 42,
+                    body: "quarterly budget spreadsheet attached".into(),
+                },
+                EmailPayload::SearchQuery("budget".into()),
+                EmailPayload::SearchQuery("absent".into()),
+            ],
+        ),
+    ]
+}
+
+/// Everything a batch must not change: the verdict transcript and the
+/// per-session round/byte accounting.
+#[derive(Debug, PartialEq, Eq)]
+struct FleetRecord {
+    verdicts: Vec<String>,
+    emails_total: u64,
+    /// `(kind, emails, bytes_sent, bytes_received, messages)` per session.
+    meters: Vec<(Option<WireTag>, u64, u64, u64, u64)>,
+}
+
+/// Serves the mixed fleet sequentially on one worker (deterministic RNG
+/// streams), each client submitting its rounds either one at a time or as a
+/// single coalesced batch.
+fn run_fleet(budget: usize, batched: bool) -> FleetRecord {
+    let mailroom = Mailroom::start(
+        suite(),
+        MailroomConfig {
+            workers: 1,
+            queue_capacity: 4,
+            rng_seed: 0xBA7C4,
+            precompute_budget: budget,
+        },
+    );
+
+    let mut verdicts = Vec::new();
+    for (s, (spec, payloads)) in scripts().into_iter().enumerate() {
+        let (provider_end, client_end) = memory_pair();
+        mailroom.submit(provider_end).unwrap();
+        let mut rng = test_rng(500 + s as u64);
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        client.precompute(budget, &mut rng);
+        if batched {
+            for verdict in client.process_batch(&payloads, &mut rng).unwrap() {
+                verdicts.push(format!("{verdict:?}"));
+            }
+        } else {
+            for payload in &payloads {
+                verdicts.push(format!("{:?}", client.process(payload, &mut rng).unwrap()));
+            }
+        }
+        assert_eq!(client.emails_sent(), payloads.len() as u64);
+        client.finish().unwrap();
+    }
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), 4, "all four sessions must complete");
+    FleetRecord {
+        verdicts,
+        emails_total: report.emails_total,
+        meters: report
+            .sessions
+            .iter()
+            .map(|s| (s.kind, s.emails, s.bytes_sent, s.bytes_received, s.messages))
+            .collect(),
+    }
+}
+
+/// The batching acceptance test: batched and sequential serving produce
+/// byte-identical verdicts at pool budgets 0, 1 and ∞, and within each mode
+/// the meter counts are budget-independent.
+#[test]
+fn batched_rounds_match_sequential_at_every_budget() {
+    let seq_cold = run_fleet(0, false);
+    let batch_cold = run_fleet(0, true);
+    let batch_trickle = run_fleet(1, true);
+    let batch_unbounded = run_fleet(UNBOUNDED, true);
+
+    assert_eq!(
+        seq_cold.verdicts, batch_cold.verdicts,
+        "batched verdicts must equal sequential verdicts"
+    );
+    assert_eq!(
+        batch_cold.verdicts, batch_trickle.verdicts,
+        "pool budget must not change batched verdicts"
+    );
+    assert_eq!(batch_cold.verdicts, batch_unbounded.verdicts);
+    assert_eq!(seq_cold.emails_total, batch_cold.emails_total);
+
+    // Within the batched mode, wire traffic is budget-independent (pools
+    // only move work off the latency path).
+    assert_eq!(batch_cold.meters, batch_trickle.meters);
+    assert_eq!(batch_cold.meters, batch_unbounded.meters);
+
+    // Batching coalesces frames: strictly fewer messages than sequential
+    // serving of the same rounds, for every session.
+    for (seq, batch) in seq_cold.meters.iter().zip(&batch_cold.meters) {
+        assert_eq!(seq.0, batch.0, "same kind order");
+        assert_eq!(seq.1, batch.1, "same round counts");
+        assert!(
+            batch.4 < seq.4,
+            "kind {:?}: batch must exchange fewer messages ({} vs {})",
+            seq.0,
+            batch.4,
+            seq.4
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry contract, end to end.
+// ---------------------------------------------------------------------------
+
+/// A minimal custom module: the provider echoes each opaque payload's length.
+struct EchoLenFunction;
+
+impl EchoLenFunction {
+    const WIRE_TAG: WireTag = 9;
+}
+
+impl FunctionModule for EchoLenFunction {
+    fn wire_tag(&self) -> WireTag {
+        Self::WIRE_TAG
+    }
+    fn display_name(&self) -> &'static str {
+        "echo-len"
+    }
+    fn provider_setup(
+        &self,
+        _channel: &mut dyn Channel,
+        _suite: &ProviderModelSuite,
+        _variant: AheVariant,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ProviderModule>, PretzelError> {
+        Ok(Box::new(EchoLenProvider))
+    }
+    fn client_setup(
+        &self,
+        _channel: &mut dyn Channel,
+        _ctx: &ClientContext,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ClientModule>, PretzelError> {
+        Ok(Box::new(EchoLenClient))
+    }
+}
+
+struct EchoLenProvider;
+
+impl ProviderModule for EchoLenProvider {
+    fn wire_tag(&self) -> WireTag {
+        EchoLenFunction::WIRE_TAG
+    }
+    fn display_name(&self) -> &'static str {
+        "echo-len"
+    }
+    fn precompute(&mut self, _budget: usize, _rng: &mut dyn RngCore) -> usize {
+        0
+    }
+    fn pool_depth(&self) -> usize {
+        0
+    }
+    fn process_round(
+        &mut self,
+        channel: &mut dyn Channel,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Option<usize>, PretzelError> {
+        let msg = channel.recv()?;
+        channel.send(&(msg.len() as u64).to_le_bytes())?;
+        Ok(None)
+    }
+}
+
+struct EchoLenClient;
+
+impl ClientModule for EchoLenClient {
+    fn wire_tag(&self) -> WireTag {
+        EchoLenFunction::WIRE_TAG
+    }
+    fn display_name(&self) -> &'static str {
+        "echo-len"
+    }
+    fn model_storage_bytes(&self) -> usize {
+        0
+    }
+    fn precompute(&mut self, _budget: usize, _rng: &mut dyn RngCore) -> usize {
+        0
+    }
+    fn pool_depth(&self) -> usize {
+        0
+    }
+    fn process_round(
+        &mut self,
+        channel: &mut dyn Channel,
+        payload: &EmailPayload,
+        _rng: &mut dyn RngCore,
+    ) -> Result<pretzel::core::Verdict, PretzelError> {
+        let EmailPayload::Opaque(bytes) = payload else {
+            return Err(PretzelError::Protocol("echo-len takes opaque bytes".into()));
+        };
+        channel.send(bytes)?;
+        let reply = channel.recv()?;
+        let value = u64::from_le_bytes(
+            reply
+                .get(..8)
+                .and_then(|b| b.try_into().ok())
+                .ok_or_else(|| PretzelError::Protocol("bad echo reply".into()))?,
+        );
+        Ok(pretzel::core::Verdict::Custom {
+            tag: EchoLenFunction::WIRE_TAG,
+            value,
+        })
+    }
+}
+
+/// Every module registered in a registry — built-ins and customs alike —
+/// resolves back to itself through its wire tag.
+#[test]
+fn wire_tag_round_trip_is_exhaustive_over_the_registry() {
+    let registry = ProtocolRegistry::builtin()
+        .with_module(Arc::new(EchoLenFunction))
+        .unwrap();
+    assert_eq!(registry.wire_tags(), vec![1, 2, 3, 4, 9]);
+    for module in registry.modules() {
+        let tag = module.wire_tag();
+        let resolved = registry.from_wire_tag(tag).unwrap();
+        assert_eq!(resolved.wire_tag(), tag, "from_wire_tag(wire_tag(k)) == k");
+        assert_eq!(resolved.display_name(), module.display_name());
+    }
+    // Unknown tags and duplicate registrations are clean protocol errors.
+    assert!(matches!(
+        registry.from_wire_tag(0xEE),
+        Err(PretzelError::Protocol(_))
+    ));
+    let mut registry = registry;
+    assert!(matches!(
+        registry.register(Arc::new(EchoLenFunction)),
+        Err(PretzelError::Protocol(_))
+    ));
+}
+
+/// A handshake carrying a tag the mailroom's registry does not serve fails
+/// that session cleanly (and only that session); a registered custom module
+/// serves end to end, batch path included.
+#[test]
+fn mailroom_serves_registered_modules_and_rejects_unknown_tags() {
+    let registry = ProtocolRegistry::builtin()
+        .with_module(Arc::new(EchoLenFunction))
+        .unwrap();
+    let mailroom = Mailroom::start_with_registry(
+        suite(),
+        registry,
+        MailroomConfig {
+            workers: 1,
+            queue_capacity: 4,
+            rng_seed: 0x7A6,
+            ..MailroomConfig::default()
+        },
+    );
+
+    // Session 1: a wire tag nobody registered. The worker refuses it at
+    // handshake; the client's setup then observes a dead channel.
+    let (provider_end, mut bad_client) = memory_pair();
+    let bad_id = mailroom.submit(provider_end).unwrap();
+    bad_client.send(&[0xEE, 1]).unwrap();
+
+    // Session 2: the custom module, driven through the normal client stack
+    // with both the sequential and the (default one-at-a-time) batch path.
+    let (provider_end, client_end) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+    let mut rng = test_rng(77);
+    let spec = ClientSpec::for_module(Arc::new(EchoLenFunction), PretzelConfig::test());
+    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    assert_eq!(client.wire_tag(), EchoLenFunction::WIRE_TAG);
+    assert_eq!(client.display_name(), "echo-len");
+    let payloads = vec![
+        EmailPayload::Opaque(vec![1, 2, 3]),
+        EmailPayload::Opaque(vec![0; 10]),
+    ];
+    let verdicts = client.process_batch(&payloads, &mut rng).unwrap();
+    assert_eq!(
+        verdicts,
+        vec![
+            pretzel::core::Verdict::Custom { tag: 9, value: 3 },
+            pretzel::core::Verdict::Custom { tag: 9, value: 10 },
+        ]
+    );
+    client.finish().unwrap();
+
+    let report = mailroom.shutdown();
+    let bad = report.sessions.iter().find(|s| s.id == bad_id).unwrap();
+    assert!(
+        matches!(bad.state, pretzel::server::SessionState::Failed(_)),
+        "unknown tag must fail the session, got {:?}",
+        bad.state
+    );
+    assert_eq!(bad.kind, None, "an unresolved tag is never recorded");
+    let good = report
+        .sessions
+        .iter()
+        .find(|s| s.kind == Some(EchoLenFunction::WIRE_TAG))
+        .unwrap();
+    assert_eq!(good.kind_name, Some("echo-len"));
+    assert_eq!(good.emails, 2);
+}
+
+/// Oversized and zero batch announcements are rejected before any module
+/// code runs.
+#[test]
+fn degenerate_batch_counts_are_rejected() {
+    let mailroom = Mailroom::start(
+        suite(),
+        MailroomConfig {
+            workers: 1,
+            queue_capacity: 2,
+            rng_seed: 0xB47,
+            ..MailroomConfig::default()
+        },
+    );
+    let (provider_end, client_end) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+    let mut rng = test_rng(88);
+    let spec = ClientSpec::spam(PretzelConfig::test());
+    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+
+    // Empty batches are a client-side no-op: no traffic, no verdicts.
+    assert!(client.process_batch(&[], &mut rng).unwrap().is_empty());
+
+    // A batch above the cap is refused client-side before any frame.
+    let huge: Vec<EmailPayload> = (0..pretzel::server::MAX_BATCH_ROUNDS + 1)
+        .map(|_| EmailPayload::Tokens(SparseVector::from_pairs(vec![(0, 1)])))
+        .collect();
+    assert!(matches!(
+        client.process_batch(&huge, &mut rng),
+        Err(ServerError::Handshake(_))
+    ));
+
+    // The session is still healthy afterwards.
+    client
+        .classify_spam(&SparseVector::from_pairs(vec![(0, 2)]), &mut rng)
+        .unwrap();
+    client.finish().unwrap();
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), 1);
+}

@@ -6,9 +6,10 @@ use std::time::{Duration, Instant};
 
 use pretzel::classifiers::nb::GrNbTrainer;
 use pretzel::classifiers::{NGramExtractor, SparseVector, Trainer};
+use pretzel::core::spam::SpamFunction;
 use pretzel::core::spam::{AheVariant, SpamClient, SpamProvider};
 use pretzel::core::topic::CandidateMode;
-use pretzel::core::{PretzelConfig, ProtocolKind, ProviderModelSuite};
+use pretzel::core::{PretzelConfig, ProviderModelSuite, WireTag};
 use pretzel::datasets::ling_spam_like;
 use pretzel::server::{
     ClientSpec, Mailroom, MailroomClient, MailroomConfig, ServerError, SessionState,
@@ -157,9 +158,7 @@ fn full_queue_rejects_immediately_instead_of_blocking() {
     // inside setup (the worker blocks waiting for the client's seed).
     let (provider_end, mut stalled_client) = memory_pair();
     let a_id = mailroom.submit(provider_end).unwrap();
-    stalled_client
-        .send(&[ProtocolKind::Spam.as_byte(), 1])
-        .unwrap();
+    stalled_client.send(&[SpamFunction::WIRE_TAG, 1]).unwrap();
     let wait_start = Instant::now();
     while mailroom.session_stats(a_id).unwrap().state != SessionState::Active {
         assert!(
@@ -397,21 +396,23 @@ fn mixed_fleet_of_all_four_kinds_reconciles_per_kind_accounting() {
     assert_eq!(report.completed(), 4 * PER_KIND);
 
     let by_kind = report.by_kind();
-    let kinds: Vec<ProtocolKind> = by_kind.iter().map(|(k, _)| *k).collect();
+    let kinds: Vec<WireTag> = by_kind.iter().map(|(k, _)| *k).collect();
     assert_eq!(
         kinds,
-        vec![
-            ProtocolKind::Spam,
-            ProtocolKind::Topic,
-            ProtocolKind::Virus,
-            ProtocolKind::Search
-        ],
-        "by_kind reports in wire-byte order"
+        vec![1, 2, 3, 4],
+        "by_kind reports spam/topic/virus/search in wire-tag order"
     );
     for (kind, totals) in &by_kind {
-        assert_eq!(totals.sessions, PER_KIND, "{kind}: session count");
-        assert_eq!(totals.emails, 2 * PER_KIND as u64, "{kind}: round count");
-        assert!(totals.bytes_sent > 0 && totals.bytes_received > 0, "{kind}");
+        assert_eq!(totals.sessions, PER_KIND, "tag {kind}: session count");
+        assert_eq!(
+            totals.emails,
+            2 * PER_KIND as u64,
+            "tag {kind}: round count"
+        );
+        assert!(
+            totals.bytes_sent > 0 && totals.bytes_received > 0,
+            "tag {kind}"
+        );
     }
 
     // The per-kind split is a partition: each axis sums to the fleet totals.

@@ -14,7 +14,7 @@ use pretzel::classifiers::nb::GrNbTrainer;
 use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
 use pretzel::core::spam::AheVariant;
 use pretzel::core::topic::CandidateMode;
-use pretzel::core::{PretzelConfig, ProtocolKind, ProviderModelSuite};
+use pretzel::core::{PretzelConfig, ProviderModelSuite, WireTag};
 use pretzel::datasets::ling_spam_like;
 use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
 use pretzel::transport::memory_pair;
@@ -72,9 +72,9 @@ fn suite() -> ProviderModelSuite {
 #[derive(Debug, PartialEq, Eq)]
 struct FleetRecord {
     verdicts: Vec<String>,
-    /// `(kind, emails, bytes_sent, bytes_received, messages)` per session,
-    /// in submission order.
-    meters: Vec<(Option<ProtocolKind>, u64, u64, u64, u64)>,
+    /// `(kind wire tag, emails, bytes_sent, bytes_received, messages)` per
+    /// session, in submission order.
+    meters: Vec<(Option<WireTag>, u64, u64, u64, u64)>,
     emails_total: u64,
 }
 

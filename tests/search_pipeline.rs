@@ -8,10 +8,12 @@
 //! transcripts: the offline pool is a latency knob, never a semantics knob,
 //! and the mailroom adds no observable behaviour over the bare protocol.
 
+use pretzel::core::search::SearchFunction;
 use pretzel::core::session::{ClientSession, EmailPayload, ProviderSession, Verdict};
 use pretzel::core::spam::AheVariant;
+use pretzel::core::spam::SpamFunction;
 use pretzel::core::topic::CandidateMode;
-use pretzel::core::{PretzelConfig, ProtocolKind, ProviderModelSuite};
+use pretzel::core::{ClientContext, PretzelConfig, ProtocolRegistry, ProviderModelSuite, WireTag};
 use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
 use pretzel::transport::{memory_pair, run_two_party};
 
@@ -85,8 +87,10 @@ fn run_direct(budget: usize) -> Vec<String> {
     let (provider_res, client_res) = run_two_party(
         move |chan| -> pretzel::core::Result<()> {
             let mut rng = test_rng(91);
+            let registry = ProtocolRegistry::builtin();
             let mut session = ProviderSession::setup(
-                ProtocolKind::Search,
+                &registry,
+                SearchFunction::WIRE_TAG,
                 chan,
                 &suite_p,
                 AheVariant::Pretzel,
@@ -101,15 +105,10 @@ fn run_direct(budget: usize) -> Vec<String> {
         },
         move |chan| -> pretzel::core::Result<Vec<Verdict>> {
             let mut rng = test_rng(CLIENT_SEED);
-            let mut session = ClientSession::setup(
-                ProtocolKind::Search,
-                chan,
-                &config,
-                AheVariant::Pretzel,
-                CandidateMode::Full,
-                None,
-                &mut rng,
-            )?;
+            let registry = ProtocolRegistry::builtin();
+            let ctx = ClientContext::new(config);
+            let mut session =
+                ClientSession::setup(&registry, SearchFunction::WIRE_TAG, chan, &ctx, &mut rng)?;
             script()
                 .iter()
                 .map(|op| session.process_round(chan, op, &mut rng))
@@ -147,7 +146,7 @@ fn run_mailroom(budget: usize) -> Vec<String> {
     assert_eq!(report.completed(), 1);
     assert_eq!(report.emails_total, script().len() as u64);
     let stats = &report.sessions[0];
-    assert_eq!(stats.kind, Some(ProtocolKind::Search));
+    assert_eq!(stats.kind, Some(SearchFunction::WIRE_TAG));
     if budget == 0 {
         assert_eq!(stats.pool_depth, 0, "budget 0 disables the offline phase");
     } else {
@@ -272,8 +271,11 @@ fn search_and_spam_sessions_share_one_mailroom() {
     let report = mailroom.shutdown();
     assert_eq!(report.completed(), 2);
     let by_kind = report.by_kind();
-    let kinds: Vec<ProtocolKind> = by_kind.iter().map(|(k, _)| *k).collect();
-    assert_eq!(kinds, vec![ProtocolKind::Spam, ProtocolKind::Search]);
+    let kinds: Vec<WireTag> = by_kind.iter().map(|(k, _)| *k).collect();
+    assert_eq!(
+        kinds,
+        vec![SpamFunction::WIRE_TAG, SearchFunction::WIRE_TAG]
+    );
     let emails: u64 = by_kind.iter().map(|(_, t)| t.emails).sum();
     assert_eq!(emails, report.emails_total);
 }
