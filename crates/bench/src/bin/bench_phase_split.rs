@@ -157,12 +157,12 @@ fn run_batch_fleet(
 
     let mailroom = Mailroom::start(
         suite.clone(),
-        MailroomConfig {
-            workers: n_sessions,
-            queue_capacity: n_sessions,
-            rng_seed: 44,
-            precompute_budget: 2,
-        },
+        MailroomConfig::builder()
+            .workers(n_sessions)
+            .queue_capacity(n_sessions)
+            .rng_seed(44)
+            .precompute_budget(2)
+            .build(),
     );
     let start_line = Arc::new(Barrier::new(n_sessions));
 
@@ -404,12 +404,12 @@ fn run_search_fleet(
 ) -> Duration {
     let mailroom = Mailroom::start(
         suite.clone(),
-        MailroomConfig {
-            workers: n_sessions,
-            queue_capacity: n_sessions,
-            rng_seed: 43,
-            precompute_budget: budget,
-        },
+        MailroomConfig::builder()
+            .workers(n_sessions)
+            .queue_capacity(n_sessions)
+            .rng_seed(43)
+            .precompute_budget(budget)
+            .build(),
     );
     let start_line = Arc::new(Barrier::new(n_sessions));
 
@@ -466,12 +466,12 @@ fn run_fleet(
 ) -> Duration {
     let mailroom = Mailroom::start(
         suite.clone(),
-        MailroomConfig {
-            workers: n_sessions,
-            queue_capacity: n_sessions,
-            rng_seed: 42,
-            precompute_budget: budget,
-        },
+        MailroomConfig::builder()
+            .workers(n_sessions)
+            .queue_capacity(n_sessions)
+            .rng_seed(42)
+            .precompute_budget(budget)
+            .build(),
     );
     // All clients finish setup (and warm-mode precompute) before any round
     // starts, so round latencies never overlap another session's setup.

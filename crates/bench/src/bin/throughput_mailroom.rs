@@ -51,7 +51,9 @@ use pretzel_classifiers::{NGramExtractor, SparseVector};
 use pretzel_core::session::EmailPayload;
 use pretzel_core::topic::CandidateMode;
 use pretzel_core::{PretzelConfig, ProviderModelSuite, Scale};
-use pretzel_server::{serve_tcp_sessions, ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel_server::{
+    serve_tcp_sessions, ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig,
+};
 use pretzel_transport::{memory_pair, TcpAcceptor, TcpChannel};
 
 /// Which session mix the fleet runs.
@@ -425,7 +427,9 @@ fn session_payloads(
                 .collect(),
         ),
         1 => (
-            ClientSpec::topic(config, CandidateMode::Full, None),
+            ClientSpecBuilder::topic(config)
+                .topic_mode(CandidateMode::Full)
+                .build(),
             (0..emails)
                 .map(|_| EmailPayload::Tokens(random_email(rng, 64)))
                 .collect(),

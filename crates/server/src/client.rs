@@ -20,6 +20,10 @@ use pretzel_core::spam::{AheVariant, SpamFunction};
 use pretzel_core::topic::{CandidateMode, TopicFunction};
 use pretzel_core::virus::VirusFunction;
 use pretzel_core::{PretzelConfig, PretzelError};
+use pretzel_transport::wire::{
+    Capabilities, CodecChannel, HandshakeAck, HandshakeError, HandshakeOffer, NegotiatedProfile,
+    ProtocolVersion,
+};
 use pretzel_transport::Channel;
 
 use crate::{
@@ -38,6 +42,15 @@ pub struct ClientSpec {
     pub module: Arc<dyn FunctionModule>,
     /// Client-side setup parameters (preset, AHE variant, topic knobs).
     pub ctx: ClientContext,
+    /// Oldest protocol version this client accepts.
+    pub min_version: ProtocolVersion,
+    /// Newest protocol version this client accepts. When this is
+    /// [`ProtocolVersion::V1`] the client sends the frozen legacy 2-byte
+    /// handshake and never negotiates.
+    pub max_version: ProtocolVersion,
+    /// Optional wire features the client offers (negotiation grants the
+    /// intersection with what the provider serves for the module).
+    pub capabilities: Capabilities,
 }
 
 impl std::fmt::Debug for ClientSpec {
@@ -46,17 +59,28 @@ impl std::fmt::Debug for ClientSpec {
             .field("module", &self.module.display_name())
             .field("wire_tag", &self.module.wire_tag())
             .field("ctx", &self.ctx)
+            .field("versions", &(self.min_version, self.max_version))
+            .field("capabilities", &self.capabilities)
             .finish()
     }
 }
 
 impl ClientSpec {
+    /// Starts a [`ClientSpecBuilder`] for any function module — the
+    /// full-control entry point (versions, capabilities, topic knobs).
+    pub fn builder(module: Arc<dyn FunctionModule>, config: PretzelConfig) -> ClientSpecBuilder {
+        ClientSpecBuilder::for_module(module, config)
+    }
+
     /// Spec for any function module with default context knobs — the entry
     /// point for custom-registered modules.
     pub fn for_module(module: Arc<dyn FunctionModule>, config: PretzelConfig) -> Self {
         ClientSpec {
             module,
             ctx: ClientContext::new(config),
+            min_version: ProtocolVersion::MIN,
+            max_version: ProtocolVersion::MAX,
+            capabilities: Capabilities::KNOWN,
         }
     }
 
@@ -66,6 +90,9 @@ impl ClientSpec {
     }
 
     /// Spec for a topic-extraction session.
+    #[deprecated(
+        note = "use `ClientSpecBuilder::topic(config).topic_mode(mode).candidate_model(model).build()`"
+    )]
     pub fn topic(
         config: PretzelConfig,
         mode: CandidateMode,
@@ -95,30 +122,154 @@ impl ClientSpec {
     }
 }
 
+/// Builder for a [`ClientSpec`]: pick a function module, then adjust the
+/// context knobs and the wire-protocol envelope (version range, offered
+/// capabilities) before [`ClientSpecBuilder::build`].
+///
+/// ```
+/// # use pretzel_server::ClientSpecBuilder;
+/// # use pretzel_core::topic::CandidateMode;
+/// # let config = pretzel_core::PretzelConfig::test();
+/// let spec = ClientSpecBuilder::topic(config)
+///     .topic_mode(CandidateMode::Full)
+///     .batched(false) // negotiate v2 but without the batching capability
+///     .build();
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClientSpecBuilder {
+    spec: ClientSpec,
+}
+
+impl ClientSpecBuilder {
+    /// Builder for any function module (built-in or custom-registered).
+    pub fn for_module(module: Arc<dyn FunctionModule>, config: PretzelConfig) -> Self {
+        ClientSpecBuilder {
+            spec: ClientSpec::for_module(module, config),
+        }
+    }
+
+    /// Builder for a spam-filtering session.
+    pub fn spam(config: PretzelConfig) -> Self {
+        Self::for_module(Arc::new(SpamFunction), config)
+    }
+
+    /// Builder for a topic-extraction session (the replacement for the
+    /// deprecated positional `ClientSpec::topic`).
+    pub fn topic(config: PretzelConfig) -> Self {
+        Self::for_module(Arc::new(TopicFunction), config)
+    }
+
+    /// Builder for a virus-scanning session.
+    pub fn virus(config: PretzelConfig) -> Self {
+        Self::for_module(Arc::new(VirusFunction), config)
+    }
+
+    /// Builder for an encrypted-keyword-search session.
+    pub fn search(config: PretzelConfig) -> Self {
+        Self::for_module(Arc::new(SearchFunction), config)
+    }
+
+    /// Selects the AHE variant.
+    pub fn variant(mut self, variant: AheVariant) -> Self {
+        self.spec.ctx.variant = variant;
+        self
+    }
+
+    /// Selects the candidate mode for topic sessions.
+    pub fn topic_mode(mut self, mode: CandidateMode) -> Self {
+        self.spec.ctx.topic_mode = mode;
+        self
+    }
+
+    /// Supplies the local candidate-selection model for topic sessions.
+    pub fn candidate_model(mut self, model: Option<LinearModel>) -> Self {
+        self.spec.ctx.candidate_model = model;
+        self
+    }
+
+    /// Offers the protocol version range `min..=max`.
+    pub fn versions(mut self, min: ProtocolVersion, max: ProtocolVersion) -> Self {
+        self.spec.min_version = min;
+        self.spec.max_version = max;
+        self
+    }
+
+    /// Pins the client to the frozen legacy protocol: a v1-only version
+    /// range, the 2-byte handshake, no negotiation, no capabilities —
+    /// exactly what a not-yet-upgraded peer sends during a rolling upgrade.
+    pub fn legacy_v1(self) -> Self {
+        self.versions(ProtocolVersion::V1, ProtocolVersion::V1)
+            .capabilities(Capabilities::NONE)
+    }
+
+    /// Replaces the offered capability set.
+    pub fn capabilities(mut self, capabilities: Capabilities) -> Self {
+        self.spec.capabilities = capabilities;
+        self
+    }
+
+    /// Adds or removes [`Capabilities::ROUND_BATCH`] from the offer. With
+    /// batching off (or unnegotiated), [`MailroomClient::process_batch`]
+    /// transparently degrades to sequential per-email rounds.
+    pub fn batched(mut self, batched: bool) -> Self {
+        self.spec.capabilities = if batched {
+            self.spec.capabilities | Capabilities::ROUND_BATCH
+        } else {
+            Capabilities::from_bits(
+                self.spec.capabilities.bits() & !Capabilities::ROUND_BATCH.bits(),
+            )
+        };
+        self
+    }
+
+    /// Finalizes the spec.
+    pub fn build(self) -> ClientSpec {
+        self.spec
+    }
+}
+
 /// One live client session against a mailroom.
 pub struct MailroomClient<C: Channel> {
-    channel: C,
+    channel: CodecChannel<C>,
     session: ClientSession,
     emails: u64,
 }
 
 impl<C: Channel> MailroomClient<C> {
-    /// Opens a session: sends the handshake, waits for the accept/busy ack,
-    /// and on accept runs the client half of the protocol setup.
+    /// Opens a session: sends the handshake (a legacy 2-byte request when
+    /// the spec is pinned to v1, a versioned [`HandshakeOffer`] otherwise),
+    /// waits for the accept/busy ack — and, for offers, the provider's
+    /// [`HandshakeAck`] picking the version and capabilities — then runs the
+    /// client half of the protocol setup through the negotiated codec.
     ///
     /// Returns [`ServerError::Busy`] when the mailroom refused the session
     /// (bounded-queue backpressure) — the call returns promptly rather than
-    /// waiting for capacity.
+    /// waiting for capacity. A structured refusal (unknown tag, no version
+    /// overlap, required capability denied) surfaces as
+    /// [`ServerError::Handshake`].
     pub fn connect<R: Rng>(
         mut channel: C,
         spec: &ClientSpec,
         rng: &mut R,
     ) -> Result<Self, ServerError> {
+        let legacy = spec.max_version == ProtocolVersion::V1;
+        let request = if legacy {
+            vec![spec.module.wire_tag(), variant_byte(spec.ctx.variant)]
+        } else {
+            HandshakeOffer {
+                min_version: spec.min_version.as_byte(),
+                max_version: spec.max_version.as_byte(),
+                wire_tag: spec.module.wire_tag(),
+                variant: variant_byte(spec.ctx.variant),
+                capabilities: spec.capabilities,
+            }
+            .encode()
+        };
         // A refused session may already have been hung up on by the
         // provider (the busy ack is buffered, the channel closed), in which
         // case the handshake send fails — drain the ack before deciding
         // which error to surface.
-        let send_result = channel.send(&[spec.module.wire_tag(), variant_byte(spec.ctx.variant)]);
+        let send_result = channel.send(&request);
         let ack = match channel.recv() {
             Ok(ack) => ack,
             Err(recv_err) => {
@@ -132,17 +283,40 @@ impl<C: Channel> MailroomClient<C> {
             [ACK_ACCEPTED] => {}
             [ACK_BUSY] => return Err(ServerError::Busy),
             other => {
-                return Err(ServerError::Handshake(format!(
+                return Err(ServerError::Handshake(HandshakeError::Malformed(format!(
                     "unexpected ack frame {other:?}"
-                )))
+                ))))
             }
         }
+        // Legacy sessions never negotiate: no second ack exists on the wire
+        // (byte-identical to the pre-versioning protocol).
+        let profile = if legacy {
+            NegotiatedProfile::legacy_v1()
+        } else {
+            match HandshakeAck::decode(&channel.recv()?)? {
+                HandshakeAck::Accept {
+                    version,
+                    capabilities,
+                } => NegotiatedProfile {
+                    version,
+                    capabilities,
+                },
+                HandshakeAck::Refuse(err) => return Err(ServerError::Handshake(err)),
+            }
+        };
+        let mut channel = CodecChannel::new(channel, profile.version);
         let module = spec.module.client_setup(&mut channel, &spec.ctx, rng)?;
         Ok(MailroomClient {
             channel,
-            session: ClientSession::from_module(module),
+            session: ClientSession::from_module(module).with_profile(profile),
             emails: 0,
         })
+    }
+
+    /// The profile this session negotiated: protocol version and granted
+    /// capabilities (the legacy profile for v1-pinned specs).
+    pub fn negotiated(&self) -> NegotiatedProfile {
+        self.session.negotiated()
     }
 
     /// Wire tag of the function module this session runs.
@@ -198,6 +372,12 @@ impl<C: Channel> MailroomClient<C> {
     /// [`pretzel_core::ClientModule::process_batch`]). Verdicts equal
     /// calling [`MailroomClient::process`] per payload; an empty batch is a
     /// no-op.
+    ///
+    /// Batching is gated by the negotiated [`Capabilities::ROUND_BATCH`]
+    /// bit: on a session without it (any v1 session, or a v2 session that
+    /// did not offer/get the bit) this method transparently degrades to a
+    /// sequential per-email loop — same verdicts, more round trips — so
+    /// callers never need to branch on the peer's protocol generation.
     pub fn process_batch<R: Rng>(
         &mut self,
         payloads: &[EmailPayload],
@@ -206,8 +386,15 @@ impl<C: Channel> MailroomClient<C> {
         if payloads.is_empty() {
             return Ok(Vec::new());
         }
+        if !self.negotiated().supports(Capabilities::ROUND_BATCH) {
+            let mut verdicts = Vec::with_capacity(payloads.len());
+            for payload in payloads {
+                verdicts.push(self.process(payload, rng)?);
+            }
+            return Ok(verdicts);
+        }
         if payloads.len() > MAX_BATCH_ROUNDS {
-            return Err(ServerError::Handshake(format!(
+            return Err(ServerError::Control(format!(
                 "batch of {} rounds exceeds the {MAX_BATCH_ROUNDS}-round cap",
                 payloads.len()
             )));
@@ -302,10 +489,10 @@ impl<C: Channel> MailroomClient<C> {
     }
 
     /// Ends the session cleanly (provider marks it completed) and returns
-    /// the channel.
+    /// the underlying channel, unwrapped from the session's codec.
     pub fn finish(mut self) -> Result<C, ServerError> {
         self.channel.send(&[ROUND_BYE])?;
         self.channel.flush()?;
-        Ok(self.channel)
+        Ok(self.channel.into_inner())
     }
 }

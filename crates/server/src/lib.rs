@@ -32,21 +32,45 @@
 //! # Wire protocol
 //!
 //! All framing below rides on the message-oriented [`Channel`] contract
-//! (`u32` length-prefixed frames on TCP):
+//! (`u32` length-prefixed frames on TCP). The session handshake is
+//! **versioned** (see `pretzel_transport::wire` and `docs/WIRE.md`): one
+//! mailroom serves legacy v1 peers and capability-negotiating v2 peers on
+//! the same intake, which is what makes a zero-downtime rolling upgrade of
+//! the fleet possible.
 //!
 //! ```text
-//! client → provider   [wire_tag, variant]    2-byte session request
+//! v1 (frozen, byte-identical to the pre-versioning format):
+//! client → provider   [wire_tag, variant]        2-byte session request
 //! provider → client   [ACK_ACCEPTED] | [ACK_BUSY]
 //! …protocol setup (provider initiates; §3.3 joint randomness, model, OTs)…
 //! repeat:
-//!   client → provider [ROUND_EMAIL]          then one per-email round
-//!   client → provider [ROUND_BATCH, n:u32le] then one n-round batch
-//! client → provider   [ROUND_BYE]            teardown
+//!   client → provider [ROUND_EMAIL]              then one per-email round
+//! client → provider   [ROUND_BYE]                teardown
+//!
+//! v2 (negotiated):
+//! client → provider   HandshakeOffer             [0x00 'P' 'Z', min, max,
+//!                                                 wire_tag, variant,
+//!                                                 capabilities:u64le]
+//! provider → client   [ACK_ACCEPTED] | [ACK_BUSY]
+//! provider → client   HandshakeAck               picked version + granted
+//!                                                capabilities (or refusal)
+//! …all further frames through the negotiated codec (v2: header+CRC32)…
+//! repeat:
+//!   client → provider [ROUND_EMAIL]              one per-email round
+//!   client → provider [ROUND_BATCH, n:u32le]     one n-round batch — only
+//!                                                with the negotiated
+//!                                                ROUND_BATCH capability
+//! client → provider   [ROUND_BYE]                teardown
 //! ```
 //!
 //! The `wire_tag` byte is resolved through the mailroom's
 //! [`pretzel_core::ProtocolRegistry`] — the four built-in modules by
 //! default, plus anything registered via [`Mailroom::start_with_registry`].
+//! Batching is a *negotiated capability*: v2 clients that negotiated
+//! [`Capabilities::ROUND_BATCH`] coalesce rounds, v1 clients (and v2
+//! clients without the bit) are transparently served one round at a time —
+//! [`MailroomClient::process_batch`] degrades to a sequential loop instead
+//! of failing.
 //!
 //! [`Channel`]: pretzel_transport::Channel
 
@@ -56,15 +80,23 @@ mod client;
 mod mailroom;
 mod queue;
 
-pub use client::{ClientSpec, MailroomClient};
+pub use client::{ClientSpec, ClientSpecBuilder, MailroomClient};
 pub use mailroom::{
-    serve_tcp_sessions, KindTotals, Mailroom, MailroomConfig, MailroomReport, SessionId,
-    SessionState, SessionStats,
+    serve_tcp_sessions, KindTotals, Mailroom, MailroomConfig, MailroomConfigBuilder,
+    MailroomReport, SessionId, SessionState, SessionStats,
 };
 pub use queue::{BoundedQueue, PushError};
 
 use pretzel_core::PretzelError;
+use pretzel_transport::wire::HandshakeError;
 use pretzel_transport::TransportError;
+
+// Negotiation vocabulary, re-exported so mailroom users can build specs and
+// inspect reports without importing `pretzel_transport` themselves.
+pub use pretzel_transport::wire::{
+    Capabilities, HandshakeAck, HandshakeOffer, NegotiatedProfile, NegotiationPolicy,
+    ProtocolVersion,
+};
 
 /// Ack byte: the session was accepted and queued for a worker.
 pub const ACK_ACCEPTED: u8 = 0x41;
@@ -91,8 +123,15 @@ pub enum ServerError {
     /// Intake rejected this submission because the queue was full; the
     /// client was told [`ACK_BUSY`]. Carries the rejected session's id.
     Backpressure(SessionId),
-    /// A malformed handshake or control frame.
-    Handshake(String),
+    /// The handshake failed: malformed offer, no version overlap, unknown
+    /// wire tag, or a required capability the peer refused. Structured so
+    /// callers can distinguish "speak an older version" from "this function
+    /// does not exist here".
+    Handshake(HandshakeError),
+    /// A round-control frame violated the negotiated session rules — a
+    /// degenerate or oversized batch count, or a [`ROUND_BATCH`] frame on a
+    /// session that never negotiated [`Capabilities::ROUND_BATCH`].
+    Control(String),
     /// A protocol-layer failure inside a session.
     Pretzel(PretzelError),
     /// A transport failure outside any protocol (handshake I/O).
@@ -107,7 +146,8 @@ impl std::fmt::Display for ServerError {
             ServerError::Backpressure(id) => {
                 write!(f, "intake queue full: session {id} rejected")
             }
-            ServerError::Handshake(msg) => write!(f, "handshake: {msg}"),
+            ServerError::Handshake(e) => write!(f, "handshake: {e}"),
+            ServerError::Control(msg) => write!(f, "round control: {msg}"),
             ServerError::Pretzel(e) => write!(f, "protocol: {e}"),
             ServerError::Transport(e) => write!(f, "transport: {e}"),
         }
@@ -125,5 +165,11 @@ impl From<PretzelError> for ServerError {
 impl From<TransportError> for ServerError {
     fn from(e: TransportError) -> Self {
         ServerError::Transport(e)
+    }
+}
+
+impl From<HandshakeError> for ServerError {
+    fn from(e: HandshakeError) -> Self {
+        ServerError::Handshake(e)
     }
 }

@@ -12,9 +12,18 @@
 //!    returns [`ServerError::Backpressure`]. Otherwise the client receives
 //!    [`crate::ACK_ACCEPTED`] inside the same queue-slot reservation, so the
 //!    ack can never race the capacity check.
-//! 2. **Handshake** — a worker pops the session and reads the two-byte
-//!    request: a function-module wire tag (resolved through the mailroom's
-//!    [`pretzel_core::ProtocolRegistry`]) and an [`AheVariant`].
+//! 2. **Handshake** — a worker pops the session and reads the first frame.
+//!    A legacy two-byte request (function-module wire tag + [`AheVariant`])
+//!    starts a frozen **v1** session, byte-identical to the pre-versioning
+//!    protocol. A magic-prefixed
+//!    [`pretzel_transport::wire::HandshakeOffer`] starts **negotiation**:
+//!    the worker resolves the tag through the registry, intersects the
+//!    offered capabilities with [`MailroomConfig::capabilities`] and the
+//!    module's declared needs, picks the newest common version, and acks —
+//!    or refuses with a structured
+//!    [`pretzel_transport::wire::HandshakeError`] that fails only this
+//!    session. All later frames travel through the negotiated codec
+//!    (identity for v1, checksummed framing for v2).
 //! 3. **Setup reuse** — the worker runs the protocol's setup phase once
 //!    (joint randomness, encrypted model transfer, base OTs) and keeps the
 //!    resulting [`ProviderSession`] for the whole session.
@@ -52,6 +61,10 @@ use rand::SeedableRng;
 use pretzel_core::registry::{ProtocolRegistry, WireTag};
 use pretzel_core::session::{variant_from_byte, ProviderModelSuite, ProviderSession};
 use pretzel_core::spam::AheVariant;
+use pretzel_transport::wire::{
+    negotiate, Capabilities, CodecChannel, HandshakeAck, HandshakeError, HandshakeOffer,
+    NegotiatedProfile, NegotiationPolicy, ProtocolVersion,
+};
 use pretzel_transport::{Channel, Meter, MeteredChannel, TcpAcceptor};
 
 use crate::queue::{BoundedQueue, PushError};
@@ -82,6 +95,26 @@ pub struct MailroomConfig {
     /// offline phase; every round then computes inline. Verdicts and wire
     /// bytes are identical at any budget — only latency moves.
     pub precompute_budget: usize,
+    /// Newest protocol version this mailroom serves. v1 is always served
+    /// (the legacy handshake has no version field to refuse), so lowering
+    /// this to [`ProtocolVersion::V1`] simulates a not-yet-upgraded
+    /// provider during a rolling upgrade.
+    pub max_version: ProtocolVersion,
+    /// Capabilities the mailroom is willing to grant. Sessions get the
+    /// intersection of this, the client's offer, and the module's declared
+    /// required/optional bits.
+    pub capabilities: Capabilities,
+}
+
+impl MailroomConfig {
+    /// Starts a [`MailroomConfigBuilder`] seeded with the defaults —
+    /// preferred over filling the struct literally, since new tuning knobs
+    /// are added over time.
+    pub fn builder() -> MailroomConfigBuilder {
+        MailroomConfigBuilder {
+            config: MailroomConfig::default(),
+        }
+    }
 }
 
 impl Default for MailroomConfig {
@@ -93,7 +126,58 @@ impl Default for MailroomConfig {
             queue_capacity: 64,
             rng_seed: 0x4d41_494c_524f_4f4d, // "MAILROOM"
             precompute_budget: 2,
+            max_version: ProtocolVersion::MAX,
+            capabilities: Capabilities::KNOWN,
         }
+    }
+}
+
+/// Builder for a [`MailroomConfig`]; see [`MailroomConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct MailroomConfigBuilder {
+    config: MailroomConfig,
+}
+
+impl MailroomConfigBuilder {
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the intake queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the base seed for per-session provider RNG streams.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.config.rng_seed = seed;
+        self
+    }
+
+    /// Sets the offline-phase precompute budget.
+    pub fn precompute_budget(mut self, budget: usize) -> Self {
+        self.config.precompute_budget = budget;
+        self
+    }
+
+    /// Caps the newest protocol version served.
+    pub fn max_version(mut self, version: ProtocolVersion) -> Self {
+        self.config.max_version = version;
+        self
+    }
+
+    /// Sets the grantable capability mask.
+    pub fn capabilities(mut self, capabilities: Capabilities) -> Self {
+        self.config.capabilities = capabilities;
+        self
+    }
+
+    /// Finalizes the config.
+    pub fn build(self) -> MailroomConfig {
+        self.config
     }
 }
 
@@ -124,6 +208,12 @@ pub struct SessionStats {
     /// Display name of the module behind [`SessionStats::kind`], resolved
     /// from the mailroom's registry at handshake time.
     pub kind_name: Option<&'static str>,
+    /// Protocol version the session negotiated (`None` until the handshake
+    /// resolved; legacy 2-byte handshakes record
+    /// [`ProtocolVersion::V1`]).
+    pub version: Option<ProtocolVersion>,
+    /// Capability bits granted to the session (always empty for v1).
+    pub capabilities: Capabilities,
     /// Lifecycle state at snapshot time.
     pub state: SessionState,
     /// Per-email rounds completed so far.
@@ -145,6 +235,8 @@ pub struct SessionStats {
 struct SessionRecord {
     kind: Option<WireTag>,
     kind_name: Option<&'static str>,
+    version: Option<ProtocolVersion>,
+    capabilities: Capabilities,
     state: SessionState,
     emails: u64,
     topics: Vec<usize>,
@@ -157,6 +249,8 @@ impl SessionRecord {
             id,
             kind: self.kind,
             kind_name: self.kind_name,
+            version: self.version,
+            capabilities: self.capabilities,
             state: self.state.clone(),
             emails: self.emails,
             topics: self.topics.clone(),
@@ -188,6 +282,8 @@ struct Shared {
     accepting: AtomicBool,
     rng_seed: u64,
     precompute_budget: usize,
+    max_version: ProtocolVersion,
+    capabilities: Capabilities,
 }
 
 impl Shared {
@@ -272,6 +368,21 @@ impl MailroomReport {
         by_tag.into_iter().collect()
     }
 
+    /// Per-protocol-version aggregation of the fleet — the rolling-upgrade
+    /// dashboard: how much traffic is still on v1 and how much has moved to
+    /// v2. Sessions whose handshake never resolved a version are excluded,
+    /// same as [`MailroomReport::by_kind`].
+    pub fn by_version(&self) -> Vec<(ProtocolVersion, KindTotals)> {
+        let mut by_version: std::collections::BTreeMap<ProtocolVersion, KindTotals> =
+            std::collections::BTreeMap::new();
+        for s in &self.sessions {
+            if let Some(version) = s.version {
+                by_version.entry(version).or_default().absorb(s);
+            }
+        }
+        by_version.into_iter().collect()
+    }
+
     /// Average payload bytes per served email across the fleet (0 when no
     /// email was served).
     pub fn bytes_per_email(&self) -> f64 {
@@ -320,6 +431,8 @@ impl Mailroom {
             accepting: AtomicBool::new(true),
             rng_seed: config.rng_seed,
             precompute_budget: config.precompute_budget,
+            max_version: config.max_version,
+            capabilities: config.capabilities,
         });
         let workers = (0..config.workers)
             .map(|idx| {
@@ -358,6 +471,8 @@ impl Mailroom {
             SessionRecord {
                 kind: None,
                 kind_name: None,
+                version: None,
+                capabilities: Capabilities::NONE,
                 state: SessionState::Queued,
                 emails: 0,
                 topics: Vec::new(),
@@ -467,46 +582,114 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Reads the session's first frame and resolves its protocol generation:
+/// a magic-prefixed [`HandshakeOffer`] negotiates (and is acked or refused
+/// on the wire), a legacy 2-byte request is served as frozen v1 with no
+/// ack, anything else is a structured [`HandshakeError::Malformed`].
+fn handshake(
+    shared: &Shared,
+    channel: &mut SessionChannel,
+) -> Result<(WireTag, u8, NegotiatedProfile), ServerError> {
+    let first = channel.recv()?;
+    if !HandshakeOffer::looks_like_offer(&first) {
+        let &[tag, variant_b] = first.as_slice() else {
+            return Err(ServerError::Handshake(HandshakeError::Malformed(format!(
+                "first frame is neither a legacy 2-byte handshake nor a v2 offer \
+                 ({} bytes)",
+                first.len()
+            ))));
+        };
+        return Ok((tag, variant_b, NegotiatedProfile::legacy_v1()));
+    }
+
+    // Offering clients wait for an ack, so every refusal is mirrored onto
+    // the wire (best effort — the peer may already be gone) before failing
+    // this session.
+    let refuse = |channel: &mut SessionChannel, err: HandshakeError| -> ServerError {
+        let _ = channel.send(&HandshakeAck::Refuse(err.clone()).encode());
+        let _ = channel.flush();
+        ServerError::Handshake(err)
+    };
+    let offer = match HandshakeOffer::decode(&first) {
+        Ok(offer) => offer,
+        Err(e) => return Err(refuse(channel, e)),
+    };
+    let module = match shared.registry.from_wire_tag(offer.wire_tag) {
+        Ok(module) => module,
+        Err(_) => {
+            return Err(refuse(
+                channel,
+                HandshakeError::UnknownTag {
+                    tag: offer.wire_tag,
+                },
+            ))
+        }
+    };
+    let policy = NegotiationPolicy {
+        min_version: ProtocolVersion::MIN,
+        max_version: shared.max_version,
+        capabilities: shared.capabilities
+            & (module.required_capabilities() | module.optional_capabilities()),
+        required: module.required_capabilities(),
+    };
+    let profile = match negotiate(&offer, &policy) {
+        Ok(profile) => profile,
+        Err(e) => return Err(refuse(channel, e)),
+    };
+    channel.send(
+        &HandshakeAck::Accept {
+            version: profile.version,
+            capabilities: profile.capabilities,
+        }
+        .encode(),
+    )?;
+    channel.flush()?;
+    Ok((offer.wire_tag, offer.variant, profile))
+}
+
 fn run_session(
     shared: &Shared,
     id: SessionId,
     channel: &mut SessionChannel,
 ) -> Result<(), ServerError> {
-    let handshake = channel.recv()?;
-    let &[tag, variant_b] = handshake.as_slice() else {
-        return Err(ServerError::Handshake(format!(
-            "expected a 2-byte handshake, got {} bytes",
-            handshake.len()
-        )));
-    };
+    let (tag, variant_b, profile) = handshake(shared, channel)?;
     // The registry is the single source of truth for tag resolution: an
-    // unregistered tag fails here with its Protocol error.
+    // unregistered tag on the legacy path fails here with its Protocol
+    // error (offers were already refused with a structured ack).
     let kind_name = shared.registry.from_wire_tag(tag)?.display_name();
     let variant: AheVariant = variant_from_byte(variant_b)?;
     shared.with_record(id, |r| {
         r.kind = Some(tag);
         r.kind_name = Some(kind_name);
+        r.version = Some(profile.version);
+        r.capabilities = profile.capabilities;
     });
+
+    // Every post-handshake frame travels through the negotiated codec; the
+    // meter handle is captured first since it lives below the codec layer.
+    let meter = channel.meter().clone();
+    let mut channel = CodecChannel::new(channel, profile.version);
 
     // One independent, reproducible randomness stream per session.
     let mut rng = StdRng::seed_from_u64(shared.rng_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut session = ProviderSession::setup(
         &shared.registry,
         tag,
-        channel,
+        &mut channel,
         &shared.suite,
         variant,
         &mut rng,
-    )?;
+    )?
+    .with_profile(profile);
 
     // Offline phase: bank precomputed rounds before the first email arrives
     // (the client is busy with its own setup/feature work meanwhile), then
     // top the pool back up after every round while the channel is idle.
-    let top_up = |session: &mut ProviderSession, channel: &SessionChannel, rng: &mut StdRng| {
+    let top_up = |session: &mut ProviderSession, rng: &mut StdRng| {
         session.precompute(shared.precompute_budget, rng);
-        channel.meter().set_pool_depth(session.pool_depth() as u64);
+        meter.set_pool_depth(session.pool_depth() as u64);
     };
-    top_up(&mut session, channel, &mut rng);
+    top_up(&mut session, &mut rng);
 
     // Records one or more served rounds in the session and fleet counters.
     let account = |outputs: &[Option<usize>]| {
@@ -524,23 +707,30 @@ fn run_session(
         match control.as_slice() {
             [ROUND_BYE] => return Ok(()),
             [ROUND_EMAIL] => {
-                let topic = session.process_round(channel, &mut rng)?;
+                let topic = session.process_round(&mut channel, &mut rng)?;
                 account(&[topic]);
-                top_up(&mut session, channel, &mut rng);
+                top_up(&mut session, &mut rng);
             }
             [ROUND_BATCH, count @ ..] if count.len() == 4 => {
+                if !profile.supports(Capabilities::ROUND_BATCH) {
+                    return Err(ServerError::Control(
+                        "ROUND_BATCH on a session that never negotiated the \
+                         round-batch capability"
+                            .into(),
+                    ));
+                }
                 let count = u32::from_le_bytes(count.try_into().expect("4-byte count")) as usize;
                 if count == 0 || count > MAX_BATCH_ROUNDS {
-                    return Err(ServerError::Handshake(format!(
+                    return Err(ServerError::Control(format!(
                         "batch round count {count} outside 1..={MAX_BATCH_ROUNDS}"
                     )));
                 }
-                let outputs = session.process_batch(channel, count, &mut rng)?;
+                let outputs = session.process_batch(&mut channel, count, &mut rng)?;
                 account(&outputs);
-                top_up(&mut session, channel, &mut rng);
+                top_up(&mut session, &mut rng);
             }
             other => {
-                return Err(ServerError::Handshake(format!(
+                return Err(ServerError::Control(format!(
                     "unknown round control frame {other:?}"
                 )));
             }
@@ -755,7 +945,9 @@ mod tests {
         let id = mailroom.submit(provider_end).unwrap();
 
         let mut rng = StdRng::seed_from_u64(2);
-        let spec = ClientSpec::topic(PretzelConfig::test(), CandidateMode::Full, None);
+        let spec = crate::ClientSpecBuilder::topic(PretzelConfig::test())
+            .topic_mode(CandidateMode::Full)
+            .build();
         let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
         // Topic 2 owns features 8..12 in the test suite's corpus.
         let email = SparseVector::from_pairs(vec![(8, 3), (9, 1)]);
@@ -829,6 +1021,119 @@ mod tests {
         assert!(matches!(bad.state, SessionState::Failed(_)));
         let ok = report.sessions.iter().find(|s| s.id == ok_id).unwrap();
         assert_eq!(ok.state, SessionState::Completed);
+    }
+
+    #[test]
+    fn default_spec_negotiates_v2_with_batching() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+        let (provider_end, client_end) = memory_pair();
+        let id = mailroom.submit(provider_end).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = ClientSpec::spam(PretzelConfig::test());
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let profile = client.negotiated();
+        assert_eq!(profile.version, ProtocolVersion::V2);
+        assert!(profile.supports(Capabilities::ROUND_BATCH));
+        let spammy = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
+        assert!(client.classify_spam(&spammy, &mut rng).unwrap());
+        client.finish().unwrap();
+
+        let report = mailroom.shutdown();
+        let stats = report.sessions.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(stats.version, Some(ProtocolVersion::V2));
+        assert!(stats.capabilities.contains(Capabilities::ROUND_BATCH));
+        let by_version = report.by_version();
+        assert_eq!(by_version.len(), 1);
+        assert_eq!(by_version[0].0, ProtocolVersion::V2);
+        assert_eq!(by_version[0].1.emails, 1);
+    }
+
+    #[test]
+    fn legacy_v1_spec_is_served_without_negotiation() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+        let (provider_end, client_end) = memory_pair();
+        let id = mailroom.submit(provider_end).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(12);
+        let spec = crate::ClientSpecBuilder::spam(PretzelConfig::test())
+            .legacy_v1()
+            .build();
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let profile = client.negotiated();
+        assert_eq!(profile.version, ProtocolVersion::V1);
+        assert!(profile.capabilities.is_empty());
+        let spammy = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
+        assert!(client.classify_spam(&spammy, &mut rng).unwrap());
+        client.finish().unwrap();
+
+        let report = mailroom.shutdown();
+        let stats = report.sessions.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(stats.version, Some(ProtocolVersion::V1));
+        assert!(stats.capabilities.is_empty());
+    }
+
+    #[test]
+    fn unknown_tag_offer_is_refused_with_a_structured_ack() {
+        use pretzel_transport::wire::{HandshakeAck, HandshakeError, HandshakeOffer};
+
+        let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
+        let (provider_end, mut client_end) = memory_pair();
+        let id = mailroom.submit(provider_end).unwrap();
+
+        let offer = HandshakeOffer {
+            min_version: 1,
+            max_version: 2,
+            wire_tag: 0xEE,
+            variant: 1,
+            capabilities: Capabilities::KNOWN,
+        };
+        client_end.send(&offer.encode()).unwrap();
+        assert_eq!(client_end.recv().unwrap(), vec![ACK_ACCEPTED]);
+        let ack = HandshakeAck::decode(&client_end.recv().unwrap()).unwrap();
+        assert_eq!(
+            ack,
+            HandshakeAck::Refuse(HandshakeError::UnknownTag { tag: 0xEE })
+        );
+
+        let report = mailroom.shutdown();
+        let stats = report.sessions.iter().find(|s| s.id == id).unwrap();
+        assert!(matches!(stats.state, SessionState::Failed(_)));
+    }
+
+    #[test]
+    fn v1_capped_mailroom_downgrades_v2_offers() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let config = MailroomConfig::builder()
+            .workers(1)
+            .queue_capacity(4)
+            .rng_seed(7)
+            .max_version(ProtocolVersion::V1)
+            .build();
+        let mailroom = Mailroom::start(test_suite(), config);
+        let (provider_end, client_end) = memory_pair();
+        mailroom.submit(provider_end).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(13);
+        // Default spec offers v1..=v2; the capped provider picks v1 and the
+        // capability set collapses to empty.
+        let spec = ClientSpec::spam(PretzelConfig::test());
+        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let profile = client.negotiated();
+        assert_eq!(profile.version, ProtocolVersion::V1);
+        assert!(profile.capabilities.is_empty());
+        let spammy = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
+        assert!(client.classify_spam(&spammy, &mut rng).unwrap());
+        client.finish().unwrap();
+        mailroom.shutdown();
     }
 
     #[test]

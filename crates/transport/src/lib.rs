@@ -18,6 +18,13 @@
 //! For serving many connections, [`TcpAcceptor`] wraps a listening socket
 //! and yields one framed [`TcpChannel`] per inbound connection; the
 //! `pretzel_server` mailroom builds its multi-session dispatch loop on it.
+//!
+//! The [`wire`] module makes the frame format itself versioned: explicit
+//! [`ProtocolVersion`]s, capability-negotiating handshake frames
+//! ([`HandshakeOffer`]/[`HandshakeAck`]), and per-version [`WireCodec`]s —
+//! a frozen, byte-identical [`V1Codec`] next to the checksummed [`V2Codec`]
+//! — applied via [`CodecChannel`], so one provider serves a mixed-version
+//! fleet with zero downtime (`docs/WIRE.md` has the full frame layouts).
 
 #![warn(missing_docs)]
 
@@ -25,11 +32,16 @@ pub mod batch;
 mod memory;
 pub mod meter;
 mod tcp;
+pub mod wire;
 
 pub use batch::{pack_frames, unpack_frames};
 pub use memory::{memory_pair, MemoryChannel};
 pub use meter::{Meter, MeteredChannel};
 pub use tcp::{TcpAcceptor, TcpChannel};
+pub use wire::{
+    negotiate, Capabilities, CodecChannel, HandshakeAck, HandshakeError, HandshakeOffer,
+    NegotiatedProfile, NegotiationPolicy, ProtocolVersion, V1Codec, V2Codec, WireCodec,
+};
 
 use std::fmt;
 
@@ -50,6 +62,9 @@ pub enum TransportError {
     /// A coalesced batch frame failed structural validation (see
     /// [`batch::unpack_frames`]).
     MalformedBatch(String),
+    /// A frame failed its negotiated codec's structural validation —
+    /// version byte, declared length, or checksum (see [`wire::V2Codec`]).
+    Codec(String),
 }
 
 impl fmt::Display for TransportError {
@@ -61,6 +76,7 @@ impl fmt::Display for TransportError {
                 write!(f, "frame of {size} bytes exceeds maximum {max}")
             }
             TransportError::MalformedBatch(why) => write!(f, "malformed batch frame: {why}"),
+            TransportError::Codec(why) => write!(f, "codec frame validation failed: {why}"),
         }
     }
 }

@@ -12,6 +12,13 @@
 //! also submit their emails as one **batched** round
 //! ([`MailroomClient::process_batch`]) instead of four sequential ones.
 //!
+//! The fleet is deliberately **mixed-version**: topic and search clients
+//! are pinned to the frozen legacy v1 wire protocol (2-byte handshake, raw
+//! frames, no capabilities) while the rest negotiate v2 with checksummed
+//! framing and the round-batch capability — one mailroom serves both
+//! generations on the same intake, as it would mid rolling upgrade. The
+//! final report splits the accounting per protocol version.
+//!
 //! Run with: `cargo run --release --example mailroom`
 
 use std::sync::Arc;
@@ -31,7 +38,7 @@ use pretzel::core::{PretzelConfig, PretzelError, ProviderModelSuite};
 use pretzel::datasets::{ling_spam_like, newsgroups_like};
 use pretzel::sdp::rlwe_pack::{self, Packing};
 use pretzel::sdp::ModelMatrix;
-use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig};
 use pretzel::transport::{memory_pair, Channel};
 
 // ---------------------------------------------------------------------------
@@ -285,10 +292,7 @@ fn main() {
     );
 
     // Start the mailroom: a worker pool with a bounded intake queue.
-    let mailroom_cfg = MailroomConfig {
-        queue_capacity: 10,
-        ..MailroomConfig::default()
-    };
+    let mailroom_cfg = MailroomConfig::builder().queue_capacity(10).build();
     println!(
         "Mailroom up: {} worker(s), intake queue of {}.\n",
         mailroom_cfg.workers, mailroom_cfg.queue_capacity
@@ -320,6 +324,7 @@ fn main() {
                     let spec = ClientSpec::spam(config);
                     let mut client =
                         MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
+                    let profile = client.negotiated();
                     // All four emails travel as ONE batched round: one
                     // coalesced ciphertext frame, one batched Yao exchange.
                     let payloads: Vec<EmailPayload> = spam_emails
@@ -332,17 +337,30 @@ fn main() {
                         .filter(|v| matches!(v, Verdict::Spam { is_spam: true }))
                         .count();
                     client.finish().expect("teardown");
-                    format!("client {i}: spam session, batched 4 rounds, {spam_count}/4 flagged")
+                    format!(
+                        "client {i}: spam session over {} ({:?}), batched 4 rounds, \
+                         {spam_count}/4 flagged",
+                        profile.version, profile.capabilities
+                    )
                 }
                 1 => {
-                    let spec = ClientSpec::topic(config, CandidateMode::Full, None);
+                    // A not-yet-upgraded sender: pinned to the frozen v1
+                    // protocol, served byte-identically to the old format.
+                    let spec = ClientSpecBuilder::topic(config)
+                        .topic_mode(CandidateMode::Full)
+                        .legacy_v1()
+                        .build();
                     let mut client =
                         MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
+                    let version = client.negotiated().version;
                     for email in &topic_emails {
                         client.extract_topic(email, &mut rng).expect("extract");
                     }
                     client.finish().expect("teardown");
-                    format!("client {i}: topic session, 4 emails (indices go to the provider)")
+                    format!(
+                        "client {i}: topic session over {version}, 4 emails \
+                         (indices go to the provider)"
+                    )
                 }
                 2 => {
                     let spec = ClientSpec::virus(config);
@@ -360,7 +378,9 @@ fn main() {
                     )
                 }
                 3 => {
-                    let spec = ClientSpec::search(config);
+                    // Also still on v1 — process_batch on such a session
+                    // would transparently fall back to sequential rounds.
+                    let spec = ClientSpecBuilder::search(config).legacy_v1().build();
                     let mut client =
                         MailroomClient::connect(client_end, &spec, &mut rng).expect("connect");
                     client
@@ -410,12 +430,15 @@ fn main() {
     // Graceful shutdown returns the final per-session + fleet accounting.
     let report = mailroom.shutdown();
     println!("\nper-session accounting:");
-    println!("  id  protocol      state       emails  sent       received   topics");
+    println!("  id  protocol      wire  state       emails  sent       received   topics");
     for s in &report.sessions {
         println!(
-            "  {:<3} {:<13} {:<11} {:<7} {:<10} {:<10} {:?}",
+            "  {:<3} {:<13} {:<5} {:<11} {:<7} {:<10} {:<10} {:?}",
             s.id,
             s.kind_name.unwrap_or("?"),
+            s.version
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "?".into()),
             format!("{:?}", s.state),
             s.emails,
             format!("{:.1} KB", s.bytes_sent as f64 / 1024.0),
@@ -429,6 +452,16 @@ fn main() {
             "  tag {tag}: {} sessions, {} emails, {:.1} KB sent",
             totals.sessions,
             totals.emails,
+            totals.bytes_sent as f64 / 1024.0,
+        );
+    }
+    println!("\nper-version fleet totals (rolling-upgrade view):");
+    for (version, totals) in report.by_version() {
+        println!(
+            "  {version}: {} sessions, {} emails, {} messages, {:.1} KB sent",
+            totals.sessions,
+            totals.emails,
+            totals.messages,
             totals.bytes_sent as f64 / 1024.0,
         );
     }

@@ -18,7 +18,9 @@ use pretzel::core::spam::AheVariant;
 use pretzel::core::topic::CandidateMode;
 use pretzel::core::{PretzelConfig, PretzelError, ProviderModelSuite};
 use pretzel::datasets::ling_spam_like;
-use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig, ServerError};
+use pretzel::server::{
+    ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig, ServerError,
+};
 use pretzel::transport::{memory_pair, Channel};
 use rand::RngCore;
 
@@ -88,7 +90,9 @@ fn scripts() -> Vec<(ClientSpec, Vec<EmailPayload>)> {
             (0..ROUNDS_PER_SESSION).map(spam_email).collect(),
         ),
         (
-            ClientSpec::topic(config.clone(), CandidateMode::Full, None),
+            ClientSpecBuilder::topic(config.clone())
+                .topic_mode(CandidateMode::Full)
+                .build(),
             (0..ROUNDS_PER_SESSION).map(spam_email).collect(),
         ),
         (
@@ -125,12 +129,12 @@ struct FleetRecord {
 fn run_fleet(budget: usize, batched: bool) -> FleetRecord {
     let mailroom = Mailroom::start(
         suite(),
-        MailroomConfig {
-            workers: 1,
-            queue_capacity: 4,
-            rng_seed: 0xBA7C4,
-            precompute_budget: budget,
-        },
+        MailroomConfig::builder()
+            .workers(1)
+            .queue_capacity(4)
+            .rng_seed(0xBA7C4)
+            .precompute_budget(budget)
+            .build(),
     );
 
     let mut verdicts = Vec::new();
@@ -431,7 +435,7 @@ fn degenerate_batch_counts_are_rejected() {
         .collect();
     assert!(matches!(
         client.process_batch(&huge, &mut rng),
-        Err(ServerError::Handshake(_))
+        Err(ServerError::Control(_))
     ));
 
     // The session is still healthy afterwards.

@@ -12,7 +12,8 @@ use pretzel::core::topic::CandidateMode;
 use pretzel::core::{PretzelConfig, ProviderModelSuite, WireTag};
 use pretzel::datasets::ling_spam_like;
 use pretzel::server::{
-    ClientSpec, Mailroom, MailroomClient, MailroomConfig, ServerError, SessionState,
+    ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig, ServerError,
+    SessionState,
 };
 use pretzel::transport::{memory_pair, run_two_party, Channel};
 
@@ -356,7 +357,9 @@ fn mixed_fleet_of_all_four_kinds_reconciles_per_kind_accounting() {
                         client.finish().unwrap();
                     }
                     1 => {
-                        let spec = ClientSpec::topic(config, CandidateMode::Full, None);
+                        let spec = ClientSpecBuilder::topic(config)
+                            .topic_mode(CandidateMode::Full)
+                            .build();
                         let mut client =
                             MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
                         client.extract_topic(&email, &mut rng).unwrap();

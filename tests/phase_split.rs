@@ -16,7 +16,7 @@ use pretzel::core::spam::AheVariant;
 use pretzel::core::topic::CandidateMode;
 use pretzel::core::{PretzelConfig, ProviderModelSuite, WireTag};
 use pretzel::datasets::ling_spam_like;
-use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
+use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig};
 use pretzel::transport::memory_pair;
 
 mod common;
@@ -87,12 +87,12 @@ fn run_fleet(budget: usize) -> FleetRecord {
     let config = PretzelConfig::test();
     let mailroom = Mailroom::start(
         suite(),
-        MailroomConfig {
-            workers: 1,
-            queue_capacity: 3,
-            rng_seed: 0x5001_5EED,
-            precompute_budget: budget,
-        },
+        MailroomConfig::builder()
+            .workers(1)
+            .queue_capacity(3)
+            .rng_seed(0x5001_5EED)
+            .precompute_budget(budget)
+            .build(),
     );
 
     let spam_email = SparseVector::from_pairs(vec![(0, 3), (1, 1), (2, 2), (7, 1)]);
@@ -130,7 +130,9 @@ fn run_fleet(budget: usize) -> FleetRecord {
         let (provider_end, client_end) = memory_pair();
         mailroom.submit(provider_end).unwrap();
         let mut rng = test_rng(71);
-        let spec = ClientSpec::topic(config.clone(), CandidateMode::Full, None);
+        let spec = ClientSpecBuilder::topic(config.clone())
+            .topic_mode(CandidateMode::Full)
+            .build();
         let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
         client.precompute(budget, &mut rng);
         for _ in 0..EMAILS_PER_SESSION {

@@ -1,0 +1,223 @@
+//! Rolling-upgrade acceptance test for the versioned wire protocol: one
+//! mailroom serves an interleaved fleet of legacy v1 clients and
+//! capability-negotiating v2 clients across all four built-in function
+//! kinds, and the upgrade is **invisible in the verdicts** — the mixed
+//! fleet's transcript is byte-identical to an all-v1 baseline under the
+//! same seeds and submission order. v2 peers batch their rounds; v1 peers
+//! transparently fall back to sequential serving (strictly more control
+//! frames on the wire); [`MailroomReport::by_version`] splits the fleet
+//! accounting by protocol generation.
+
+use pretzel::classifiers::nb::GrNbTrainer;
+use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+use pretzel::core::session::EmailPayload;
+use pretzel::core::topic::CandidateMode;
+use pretzel::core::{PretzelConfig, ProviderModelSuite};
+use pretzel::datasets::ling_spam_like;
+use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig};
+use pretzel::transport::memory_pair;
+use pretzel::transport::wire::{Capabilities, ProtocolVersion};
+
+mod common;
+use common::test_rng;
+
+const ROUNDS_PER_SESSION: usize = 3;
+
+fn suite() -> ProviderModelSuite {
+    let mut spec = ling_spam_like(0.08);
+    spec.shared_vocab = 120;
+    spec.class_vocab = 60;
+    spec.doc_len = (20, 60);
+    let corpus = spec.generate();
+    let model = GrNbTrainer::default().train(&corpus.examples, corpus.num_features, 2);
+
+    let extractor = NGramExtractor::new(3, 64);
+    let virus_examples: Vec<LabeledExample> = (0..20u8)
+        .flat_map(|i| {
+            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
+            bad.push(i);
+            let good = format!("meeting notes attachment {i}");
+            [
+                LabeledExample {
+                    features: extractor.extract(&bad),
+                    label: 1,
+                },
+                LabeledExample {
+                    features: extractor.extract(good.as_bytes()),
+                    label: 0,
+                },
+            ]
+        })
+        .collect();
+    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
+
+    ProviderModelSuite {
+        spam: model.clone(),
+        topic: model,
+        topic_mode: CandidateMode::Full,
+        virus: virus_model,
+        virus_extractor: extractor,
+        config: PretzelConfig::test(),
+    }
+}
+
+/// The per-kind payload scripts, one per built-in function module, in
+/// submission order. Each kind appears twice in a fleet run — once as a
+/// legacy v1 client, once as a v2 client — so `spec_for_kind` is called
+/// with both generations.
+fn scripts() -> Vec<(&'static str, Vec<EmailPayload>)> {
+    let spam_email = |a: usize| {
+        EmailPayload::Tokens(SparseVector::from_pairs(vec![
+            (a % 7, 3),
+            (a % 11 + 2, 1),
+            (7, 2),
+        ]))
+    };
+    let attachment =
+        |i: u8| EmailPayload::Attachment([0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, i].to_vec());
+    vec![
+        ("spam", (0..ROUNDS_PER_SESSION).map(spam_email).collect()),
+        ("topic", (0..ROUNDS_PER_SESSION).map(spam_email).collect()),
+        (
+            "virus",
+            (0..ROUNDS_PER_SESSION as u8).map(attachment).collect(),
+        ),
+        (
+            "search",
+            vec![
+                EmailPayload::SearchIndex {
+                    doc_id: 42,
+                    body: "quarterly budget spreadsheet attached".into(),
+                },
+                EmailPayload::SearchQuery("budget".into()),
+                EmailPayload::SearchQuery("absent".into()),
+            ],
+        ),
+    ]
+}
+
+fn spec_for_kind(kind: &str, legacy: bool) -> ClientSpec {
+    let config = PretzelConfig::test();
+    let builder = match kind {
+        "spam" => ClientSpecBuilder::spam(config),
+        "topic" => ClientSpecBuilder::topic(config).topic_mode(CandidateMode::Full),
+        "virus" => ClientSpecBuilder::virus(config),
+        "search" => ClientSpecBuilder::search(config),
+        other => panic!("unknown kind {other}"),
+    };
+    if legacy {
+        builder.legacy_v1().build()
+    } else {
+        builder.build()
+    }
+}
+
+/// One fleet run: 8 sessions (each kind once per protocol generation given
+/// by `legacy_pattern[i % 2]`), served sequentially on one worker so the
+/// provider RNG stream of session `i` is identical across runs. Every
+/// client submits its rounds through `process_batch`, which batches on v2
+/// sessions and transparently degrades to sequential rounds on v1.
+fn run_fleet(legacy_pattern: [bool; 2]) -> (Vec<String>, pretzel::server::MailroomReport) {
+    let mailroom = Mailroom::start(
+        suite(),
+        MailroomConfig::builder()
+            .workers(1)
+            .queue_capacity(8)
+            .rng_seed(0x0116_2ADE)
+            .build(),
+    );
+
+    let mut verdicts = Vec::new();
+    let mut session_idx = 0usize;
+    for (kind, payloads) in scripts() {
+        for &legacy in &legacy_pattern {
+            let (provider_end, client_end) = memory_pair();
+            mailroom.submit(provider_end).unwrap();
+            let mut rng = test_rng(900 + session_idx as u64);
+            let spec = spec_for_kind(kind, legacy);
+            let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+
+            let profile = client.negotiated();
+            if legacy {
+                assert_eq!(profile.version, ProtocolVersion::V1);
+                assert!(profile.capabilities.is_empty());
+            } else {
+                assert_eq!(profile.version, ProtocolVersion::V2);
+                assert!(profile.supports(Capabilities::ROUND_BATCH));
+            }
+
+            for verdict in client.process_batch(&payloads, &mut rng).unwrap() {
+                verdicts.push(format!("{kind}/{verdict:?}"));
+            }
+            assert_eq!(client.emails_sent(), payloads.len() as u64);
+            client.finish().unwrap();
+            session_idx += 1;
+        }
+    }
+
+    let report = mailroom.shutdown();
+    assert_eq!(report.completed(), 8, "all eight sessions must complete");
+    (verdicts, report)
+}
+
+#[test]
+fn mixed_version_fleet_matches_the_all_v1_baseline() {
+    // Baseline: every session is a legacy v1 client.
+    let (baseline_verdicts, baseline_report) = run_fleet([true, true]);
+    // Rolling upgrade in flight: each kind served once per generation,
+    // interleaved on the same mailroom.
+    let (mixed_verdicts, mixed_report) = run_fleet([true, false]);
+
+    // The protocol generation must be invisible in the outputs: same
+    // session order, same seeds, same payloads → byte-identical verdicts.
+    assert_eq!(
+        baseline_verdicts, mixed_verdicts,
+        "upgrading the wire protocol must not change a single verdict"
+    );
+    assert_eq!(baseline_report.emails_total, mixed_report.emails_total);
+
+    // The baseline is all v1.
+    let by_version = baseline_report.by_version();
+    assert_eq!(by_version.len(), 1);
+    assert_eq!(by_version[0].0, ProtocolVersion::V1);
+    assert_eq!(by_version[0].1.sessions, 8);
+
+    // The mixed fleet splits cleanly by generation.
+    let by_version = mixed_report.by_version();
+    assert_eq!(by_version.len(), 2);
+    let (v1_totals, v2_totals) = (by_version[0].1, by_version[1].1);
+    assert_eq!(by_version[0].0, ProtocolVersion::V1);
+    assert_eq!(by_version[1].0, ProtocolVersion::V2);
+    assert_eq!(v1_totals.sessions, 4);
+    assert_eq!(v2_totals.sessions, 4);
+    assert_eq!(
+        v1_totals.emails + v2_totals.emails,
+        mixed_report.emails_total
+    );
+    assert_eq!(
+        v1_totals.messages + v2_totals.messages,
+        mixed_report.fleet_messages,
+        "per-version sums must reproduce the fleet meters"
+    );
+
+    // v1 sessions fall back to sequential rounds: one control frame per
+    // email instead of one per batch, so strictly more messages for the
+    // same work.
+    assert!(
+        v1_totals.messages > v2_totals.messages,
+        "sequential v1 fallback must cost more round trips than v2 batching \
+         (v1: {}, v2: {})",
+        v1_totals.messages,
+        v2_totals.messages
+    );
+
+    // Per-session versions landed in the stats, interleaved as submitted.
+    for (i, stats) in mixed_report.sessions.iter().enumerate() {
+        let expected = if i % 2 == 0 {
+            ProtocolVersion::V1
+        } else {
+            ProtocolVersion::V2
+        };
+        assert_eq!(stats.version, Some(expected), "session {i}");
+    }
+}

@@ -124,12 +124,12 @@ fn run_direct(budget: usize) -> Vec<String> {
 fn run_mailroom(budget: usize) -> Vec<String> {
     let mailroom = Mailroom::start(
         suite(),
-        MailroomConfig {
-            workers: 1,
-            queue_capacity: 2,
-            rng_seed: 0x5EA2C4,
-            precompute_budget: budget,
-        },
+        MailroomConfig::builder()
+            .workers(1)
+            .queue_capacity(2)
+            .rng_seed(0x5EA2C4)
+            .precompute_budget(budget)
+            .build(),
     );
     let (provider_end, client_end) = memory_pair();
     mailroom.submit(provider_end).unwrap();

@@ -1,0 +1,431 @@
+//! Wire-compatibility pins for the versioned protocol (tentpole of the
+//! handshake/codec redesign, enforced by the `wire-compat` CI job).
+//!
+//! Three layers of protection:
+//!
+//! 1. **Golden bytes** — committed hex fixtures under `tests/golden/` pin
+//!    the exact encoding of v1 frames (the identity, frozen forever), v2
+//!    frames (header + CRC-32), and every handshake offer/ack shape. Any
+//!    drift in encoded bytes fails here before it can strand deployed
+//!    peers.
+//! 2. **Properties** — the v1 codec is byte-identical on arbitrary
+//!    payloads, and the v2 codec round-trips them.
+//! 3. **Adversarial handshakes** against a live mailroom — truncated
+//!    offers, out-of-range version spans, inverted spans, and unknown
+//!    capability bits (which must be IGNORED, not rejected: forward
+//!    compatibility is what lets an old provider serve a newer client).
+
+use pretzel::classifiers::nb::GrNbTrainer;
+use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+use pretzel::core::topic::CandidateMode;
+use pretzel::core::{PretzelConfig, ProviderModelSuite};
+use pretzel::datasets::ling_spam_like;
+use pretzel::server::{
+    ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig, SessionState,
+    ACK_ACCEPTED,
+};
+use pretzel::transport::wire::{
+    codec_for, crc32, Capabilities, HandshakeAck, HandshakeError, HandshakeOffer, ProtocolVersion,
+    HANDSHAKE_MAGIC, OFFER_LEN,
+};
+use pretzel::transport::{memory_pair, Channel};
+use proptest::prelude::*;
+
+mod common;
+use common::test_rng;
+
+// ---------------------------------------------------------------------------
+// Golden fixtures
+// ---------------------------------------------------------------------------
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+/// Parses a fixture file of `|`-separated hex columns, skipping comments.
+fn fixture_rows(name: &str) -> Vec<Vec<String>> {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden fixture {path} must be committed: {e}"));
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| l.split('|').map(str::to_string).collect())
+        .collect()
+}
+
+#[test]
+fn golden_v1_frames_are_the_identity_forever() {
+    let rows = fixture_rows("wire_v1.txt");
+    assert!(!rows.is_empty());
+    let codec = codec_for(ProtocolVersion::V1);
+    for row in rows {
+        let [name, payload, frame] = row.as_slice() else {
+            panic!("bad fixture row {row:?}");
+        };
+        let (payload, frame) = (unhex(payload), unhex(frame));
+        assert_eq!(payload, frame, "{name}: v1 frames ARE their payloads");
+        assert_eq!(codec.encode(&payload), frame, "{name}: encode drifted");
+        assert_eq!(
+            codec.decode(&frame).unwrap(),
+            payload,
+            "{name}: decode drifted"
+        );
+    }
+}
+
+#[test]
+fn golden_v2_frames_match_the_pinned_encoding() {
+    let rows = fixture_rows("wire_v2.txt");
+    assert!(!rows.is_empty());
+    let codec = codec_for(ProtocolVersion::V2);
+    for row in rows {
+        let [name, payload, frame] = row.as_slice() else {
+            panic!("bad fixture row {row:?}");
+        };
+        let (payload, frame) = (unhex(payload), unhex(frame));
+        assert_eq!(codec.encode(&payload), frame, "{name}: encode drifted");
+        assert_eq!(
+            codec.decode(&frame).unwrap(),
+            payload,
+            "{name}: decode drifted"
+        );
+    }
+}
+
+#[test]
+fn golden_handshake_frames_match_the_pinned_encoding() {
+    let mut frames = std::collections::HashMap::new();
+    for row in fixture_rows("handshake.txt") {
+        let [name, frame] = row.as_slice() else {
+            panic!("bad fixture row {row:?}");
+        };
+        frames.insert(name.clone(), unhex(frame));
+    }
+
+    // The frozen v1 vocabulary.
+    assert_eq!(frames["legacy_v1_handshake_spam_pretzel"], vec![1, 1]);
+    assert_eq!(frames["legacy_v1_ack_accepted"], vec![ACK_ACCEPTED]);
+    assert_eq!(
+        frames["legacy_v1_ack_busy"],
+        vec![pretzel::server::ACK_BUSY]
+    );
+
+    // Offers encode (and decode) to the pinned bytes.
+    let offer = HandshakeOffer {
+        min_version: 1,
+        max_version: 2,
+        wire_tag: 1,
+        variant: 1,
+        capabilities: Capabilities::ROUND_BATCH,
+    };
+    assert_eq!(offer.encode(), frames["offer_spam_v1_to_v2_batch"]);
+    assert_eq!(
+        HandshakeOffer::decode(&frames["offer_spam_v1_to_v2_batch"]).unwrap(),
+        offer
+    );
+    assert_eq!(
+        HandshakeOffer {
+            min_version: 2,
+            max_version: 2,
+            wire_tag: 4,
+            variant: 1,
+            capabilities: Capabilities::NONE,
+        }
+        .encode(),
+        frames["offer_search_v2_only_nocaps"]
+    );
+
+    // Every ack shape.
+    let cases: [(&str, HandshakeAck); 6] = [
+        (
+            "ack_accept_v2_batch",
+            HandshakeAck::Accept {
+                version: ProtocolVersion::V2,
+                capabilities: Capabilities::ROUND_BATCH,
+            },
+        ),
+        (
+            "ack_accept_v1",
+            HandshakeAck::Accept {
+                version: ProtocolVersion::V1,
+                capabilities: Capabilities::NONE,
+            },
+        ),
+        (
+            "ack_refuse_version_mismatch_1_2",
+            HandshakeAck::Refuse(HandshakeError::VersionMismatch {
+                offered_min: 0,
+                offered_max: 0,
+                supported_min: 1,
+                supported_max: 2,
+            }),
+        ),
+        (
+            "ack_refuse_capability_batch",
+            HandshakeAck::Refuse(HandshakeError::CapabilityRefused {
+                missing: Capabilities::ROUND_BATCH,
+            }),
+        ),
+        (
+            "ack_refuse_unknown_tag_0xee",
+            HandshakeAck::Refuse(HandshakeError::UnknownTag { tag: 0xEE }),
+        ),
+        (
+            "ack_refuse_malformed",
+            HandshakeAck::Refuse(HandshakeError::Malformed(
+                "provider judged the offer malformed".into(),
+            )),
+        ),
+    ];
+    for (name, ack) in cases {
+        assert_eq!(ack.encode(), frames[name], "{name}: encode drifted");
+        assert_eq!(
+            HandshakeAck::decode(&frames[name]).unwrap(),
+            ack,
+            "{name}: decode drifted"
+        );
+    }
+}
+
+#[test]
+fn v1_serving_constants_are_frozen() {
+    // These byte values are on the wire of every deployed v1 peer.
+    assert_eq!(pretzel::server::ACK_ACCEPTED, 0x41);
+    assert_eq!(pretzel::server::ACK_BUSY, 0x42);
+    assert_eq!(pretzel::server::ROUND_BYE, 0);
+    assert_eq!(pretzel::server::ROUND_EMAIL, 1);
+    assert_eq!(pretzel::server::ROUND_BATCH, 2);
+    assert_eq!(HANDSHAKE_MAGIC, [0x00, b'P', b'Z']);
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The frozen v1 codec is byte-for-byte the identity on arbitrary
+    /// payloads — encode adds nothing, decode strips nothing.
+    #[test]
+    fn v1_codec_is_byte_identical_on_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let codec = codec_for(ProtocolVersion::V1);
+        prop_assert_eq!(codec.encode(&payload), payload.clone());
+        prop_assert_eq!(codec.decode(&payload).unwrap(), payload);
+    }
+
+    /// The v2 codec round-trips arbitrary payloads through its framed,
+    /// checksummed encoding.
+    #[test]
+    fn v2_codec_round_trips_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let codec = codec_for(ProtocolVersion::V2);
+        let frame = codec.encode(&payload);
+        prop_assert_eq!(frame.len(), payload.len() + 10);
+        prop_assert_eq!(codec.decode(&frame).unwrap(), payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial handshakes against a live mailroom
+// ---------------------------------------------------------------------------
+
+fn small_suite() -> ProviderModelSuite {
+    let mut spec = ling_spam_like(0.08);
+    spec.shared_vocab = 60;
+    spec.class_vocab = 30;
+    spec.doc_len = (10, 30);
+    let corpus = spec.generate();
+    let model = GrNbTrainer::default().train(&corpus.examples, corpus.num_features, 2);
+
+    let extractor = NGramExtractor::new(3, 64);
+    let virus_examples: Vec<LabeledExample> = (0..8u8)
+        .flat_map(|i| {
+            let bad = [0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad, i];
+            let good = format!("plain attachment {i}");
+            [
+                LabeledExample {
+                    features: extractor.extract(&bad),
+                    label: 1,
+                },
+                LabeledExample {
+                    features: extractor.extract(good.as_bytes()),
+                    label: 0,
+                },
+            ]
+        })
+        .collect();
+    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
+
+    ProviderModelSuite {
+        spam: model.clone(),
+        topic: model,
+        topic_mode: CandidateMode::Full,
+        virus: virus_model,
+        virus_extractor: extractor,
+        config: PretzelConfig::test(),
+    }
+}
+
+fn one_worker_mailroom() -> Mailroom {
+    Mailroom::start(
+        small_suite(),
+        MailroomConfig::builder()
+            .workers(1)
+            .queue_capacity(4)
+            .rng_seed(0x317E)
+            .build(),
+    )
+}
+
+/// Sends a raw first frame and returns the provider's negotiation ack (the
+/// intake ack is drained and asserted first).
+fn raw_handshake(mailroom: &Mailroom, first_frame: &[u8]) -> (u64, HandshakeAck) {
+    let (provider_end, mut client_end) = memory_pair();
+    let id = mailroom.submit(provider_end).unwrap();
+    client_end.send(first_frame).unwrap();
+    assert_eq!(client_end.recv().unwrap(), vec![ACK_ACCEPTED]);
+    let ack = HandshakeAck::decode(&client_end.recv().unwrap()).unwrap();
+    (id, ack)
+}
+
+#[test]
+fn truncated_offers_fail_only_their_session() {
+    let mailroom = one_worker_mailroom();
+
+    // Magic plus a partial body: recognizably an offer, structurally short.
+    let mut truncated = HANDSHAKE_MAGIC.to_vec();
+    truncated.extend_from_slice(&[1, 2]);
+    assert!(truncated.len() < OFFER_LEN);
+    let (bad_id, ack) = raw_handshake(&mailroom, &truncated);
+    assert!(
+        matches!(ack, HandshakeAck::Refuse(HandshakeError::Malformed(_))),
+        "got {ack:?}"
+    );
+
+    // The mailroom still serves a healthy session afterwards.
+    let (provider_end, client_end) = memory_pair();
+    let ok_id = mailroom.submit(provider_end).unwrap();
+    let mut rng = test_rng(41);
+    let spec = ClientSpec::spam(PretzelConfig::test());
+    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    client
+        .classify_spam(&SparseVector::from_pairs(vec![(0, 2)]), &mut rng)
+        .unwrap();
+    client.finish().unwrap();
+
+    let report = mailroom.shutdown();
+    let bad = report.sessions.iter().find(|s| s.id == bad_id).unwrap();
+    assert!(matches!(bad.state, SessionState::Failed(_)));
+    let ok = report.sessions.iter().find(|s| s.id == ok_id).unwrap();
+    assert_eq!(ok.state, SessionState::Completed);
+}
+
+#[test]
+fn out_of_range_version_spans_get_a_structured_mismatch() {
+    let mailroom = one_worker_mailroom();
+    // A client from the future that dropped v1/v2 support entirely.
+    let offer = HandshakeOffer {
+        min_version: 7,
+        max_version: 9,
+        wire_tag: 1,
+        variant: 1,
+        capabilities: Capabilities::NONE,
+    };
+    let (_, ack) = raw_handshake(&mailroom, &offer.encode());
+    match ack {
+        HandshakeAck::Refuse(HandshakeError::VersionMismatch {
+            supported_min,
+            supported_max,
+            ..
+        }) => {
+            assert_eq!(supported_min, ProtocolVersion::MIN.as_byte());
+            assert_eq!(supported_max, ProtocolVersion::MAX.as_byte());
+        }
+        other => panic!("expected a version mismatch refusal, got {other:?}"),
+    }
+    mailroom.shutdown();
+}
+
+#[test]
+fn inverted_and_zero_version_spans_are_malformed() {
+    let mailroom = one_worker_mailroom();
+    for (min, max) in [(2, 1), (0, 2)] {
+        let offer = HandshakeOffer {
+            min_version: min,
+            max_version: max,
+            wire_tag: 1,
+            variant: 1,
+            capabilities: Capabilities::NONE,
+        };
+        let (_, ack) = raw_handshake(&mailroom, &offer.encode());
+        assert!(
+            matches!(ack, HandshakeAck::Refuse(HandshakeError::Malformed(_))),
+            "span {min}..={max} must be malformed, got {ack:?}"
+        );
+    }
+    mailroom.shutdown();
+}
+
+#[test]
+fn unknown_capability_bits_are_ignored_not_rejected() {
+    let mailroom = one_worker_mailroom();
+    let (provider_end, client_end) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+
+    // A newer client advertising capability bits this build has never heard
+    // of: negotiation must succeed and grant only the known intersection.
+    let mut rng = test_rng(42);
+    let spec = ClientSpecBuilder::spam(PretzelConfig::test())
+        .capabilities(Capabilities::from_bits((1 << 40) | (1 << 17) | 1))
+        .build();
+    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    let profile = client.negotiated();
+    assert_eq!(profile.version, ProtocolVersion::V2);
+    assert_eq!(profile.capabilities, Capabilities::ROUND_BATCH);
+    client
+        .classify_spam(&SparseVector::from_pairs(vec![(0, 2)]), &mut rng)
+        .unwrap();
+    client.finish().unwrap();
+    mailroom.shutdown();
+}
+
+#[test]
+fn offers_with_trailing_bytes_from_the_future_still_negotiate() {
+    let mailroom = one_worker_mailroom();
+    let (provider_end, mut client_end) = memory_pair();
+    mailroom.submit(provider_end).unwrap();
+
+    // A longer offer from a future build: extra fields after the known 15
+    // bytes are ignored by the decoder.
+    let mut frame = HandshakeOffer {
+        min_version: 1,
+        max_version: 2,
+        wire_tag: 1,
+        variant: 1,
+        capabilities: Capabilities::ROUND_BATCH,
+    }
+    .encode();
+    frame.extend_from_slice(&[0xAB; 9]);
+    client_end.send(&frame).unwrap();
+    assert_eq!(client_end.recv().unwrap(), vec![ACK_ACCEPTED]);
+    let ack = HandshakeAck::decode(&client_end.recv().unwrap()).unwrap();
+    assert_eq!(
+        ack,
+        HandshakeAck::Accept {
+            version: ProtocolVersion::V2,
+            capabilities: Capabilities::ROUND_BATCH,
+        }
+    );
+    // Hang up instead of running setup: the worker must notice and fail
+    // only this session (shutdown would otherwise wait on it forever).
+    drop(client_end);
+    mailroom.shutdown();
+}
