@@ -1,0 +1,137 @@
+//! The perf-regression gate CLI over `BENCH_scenarios.json` records.
+//!
+//! ```text
+//! bench_gate --baseline FILE --candidate FILE
+//!            [--max-regression-pct PCT] [--advisory]
+//! bench_gate --validate FILE
+//! ```
+//!
+//! Exit codes: `0` pass, `1` gate failure (suppressed to a warning by
+//! `--advisory`), `2` usage or schema error. Decision rules (medians gate,
+//! spread-derived noise floor, param-matched comparisons) live in
+//! [`pretzel_bench::gate`]; policy documentation in `docs/BENCHMARKS.md`.
+
+use std::process::ExitCode;
+
+use pretzel_bench::gate::{compare, validate_schema, GatePolicy, GateStatus};
+use pretzel_bench::{arg_value, print_header, print_row, JsonValue};
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let record = JsonValue::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    validate_schema(&record).map_err(|errors| {
+        let mut msg = format!("{path}: schema validation failed:");
+        for error in errors {
+            msg.push_str("\n  - ");
+            msg.push_str(&error);
+        }
+        msg
+    })?;
+    Ok(record)
+}
+
+fn main() -> ExitCode {
+    if let Some(path) = arg_value("--validate") {
+        return match load(&path) {
+            Ok(_) => {
+                println!("{path}: schema OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let (Some(baseline_path), Some(candidate_path)) =
+        (arg_value("--baseline"), arg_value("--candidate"))
+    else {
+        eprintln!(
+            "usage: bench_gate --baseline FILE --candidate FILE \
+             [--max-regression-pct PCT] [--advisory]\n       \
+             bench_gate --validate FILE"
+        );
+        return ExitCode::from(2);
+    };
+    let mut policy = GatePolicy::default();
+    if let Some(pct) = arg_value("--max-regression-pct") {
+        match pct.parse::<f64>() {
+            Ok(p) if p > 0.0 => policy.max_regression_pct = p,
+            _ => {
+                eprintln!("--max-regression-pct takes a positive number, got {pct:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let advisory = std::env::args().any(|a| a == "--advisory");
+
+    let (baseline, candidate) = match (load(&baseline_path), load(&candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare(&baseline, &candidate, &policy);
+    println!(
+        "gate: {} vs {} (max median drop {:.0}% before noise floor)",
+        baseline_path, candidate_path, policy.max_regression_pct
+    );
+    println!();
+    let widths = [24, 14, 14, 10, 10, 22];
+    print_header(
+        &[
+            "scenario",
+            "base em/s",
+            "cand em/s",
+            "delta",
+            "allowed",
+            "status",
+        ],
+        &widths,
+    );
+    for row in &report.rows {
+        print_row(
+            &[
+                row.name.clone(),
+                format!("{:.0}", row.baseline_median),
+                format!("{:.0}", row.candidate_median),
+                format!("{:+.1}%", row.delta_pct),
+                format!("-{:.1}%", row.allowed_drop_pct),
+                format!("{:?}", row.status),
+            ],
+            &widths,
+        );
+    }
+    println!();
+
+    for row in &report.rows {
+        if row.status == GateStatus::SkippedParamsMismatch {
+            println!(
+                "note: {} skipped — params differ between records (not comparable)",
+                row.name
+            );
+        }
+    }
+    if report.passed() {
+        println!(
+            "gate PASSED ({} scenario(s) compared, {} skipped)",
+            report.rows.len() - report.skipped(),
+            report.skipped()
+        );
+        ExitCode::SUCCESS
+    } else if advisory {
+        println!(
+            "gate FAILED with {} regression(s) — advisory mode, not failing the build",
+            report.failures()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("gate FAILED with {} regression(s)", report.failures());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,179 @@
+//! Statistical scenario bench: runs every named workload scenario K times
+//! and emits median/p95/p99 + spread per scenario into
+//! `BENCH_scenarios.json` (always — that file is the deliverable, and the
+//! committed copy is the baseline `bench_gate` defends).
+//!
+//! ```text
+//! bench_scenarios [--repeat K] [--seed S] [--scenarios a,b,c] [--tiny]
+//!                 [--sessions N] [--rounds R] [--tcp] [--out NAME]
+//! ```
+//!
+//! * `--repeat` (default 5) — runs per scenario; statistics are computed
+//!   over these samples with the nearest-rank convention
+//!   (`pretzel_scenarios::Summary`).
+//! * `--seed` (default 7) — scenario seed; run i uses `seed + i` so runs
+//!   exercise different (but reproducible) event streams.
+//! * `--tiny` — `ScenarioConfig::tiny()` sizes, for CI smoke runs.
+//! * `--tcp` — drive the fleet over loopback TCP instead of in-process
+//!   memory channels.
+//! * `--out` (default `scenarios`) — write `BENCH_<NAME>.json`, so CI can
+//!   emit a smoke record without clobbering the committed baseline.
+//!
+//! Schema: see `docs/BENCHMARKS.md`.
+
+use pretzel_bench::{arg_value, print_header, print_row, write_bench_json_reported, JsonValue};
+use pretzel_scenarios::{
+    all_scenarios, run_scenario, scenario_by_name, RunOptions, Scenario, ScenarioConfig,
+    ScenarioOutcome, Summary, TransportMode,
+};
+
+fn summary_json(s: &Summary) -> JsonValue {
+    JsonValue::obj([
+        ("median", JsonValue::Num(s.median)),
+        ("p95", JsonValue::Num(s.p95)),
+        ("p99", JsonValue::Num(s.p99)),
+        ("min", JsonValue::Num(s.min)),
+        ("max", JsonValue::Num(s.max)),
+        ("mean", JsonValue::Num(s.mean)),
+        ("spread_pct", JsonValue::Num(s.spread_pct)),
+    ])
+}
+
+fn main() {
+    let repeat: usize = arg_value("--repeat")
+        .map(|v| v.parse().expect("--repeat takes an integer"))
+        .unwrap_or(5)
+        .max(1);
+    let seed: u64 = arg_value("--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(7);
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let mut config = if tiny {
+        ScenarioConfig::tiny()
+    } else {
+        ScenarioConfig::default()
+    };
+    if let Some(sessions) = arg_value("--sessions") {
+        config.sessions = sessions.parse().expect("--sessions takes an integer");
+    }
+    if let Some(rounds) = arg_value("--rounds") {
+        config.rounds = rounds.parse().expect("--rounds takes an integer");
+    }
+    let transport = if std::env::args().any(|a| a == "--tcp") {
+        TransportMode::Tcp
+    } else {
+        TransportMode::Memory
+    };
+    let out_name = arg_value("--out").unwrap_or_else(|| "scenarios".into());
+
+    let scenarios: Vec<Box<dyn Scenario>> = match arg_value("--scenarios") {
+        None => all_scenarios(config),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                scenario_by_name(name.trim(), config)
+                    .unwrap_or_else(|| panic!("unknown scenario {name:?}"))
+            })
+            .collect(),
+    };
+
+    println!(
+        "scenario bench: {} scenario(s), repeat={repeat}, seed={seed}, \
+         sessions={}, rounds={}, transport={}",
+        scenarios.len(),
+        config.sessions,
+        config.rounds,
+        match transport {
+            TransportMode::Memory => "memory",
+            TransportMode::Tcp => "tcp",
+        },
+    );
+    println!();
+    let widths = [24, 8, 14, 14, 12, 10, 10];
+    print_header(
+        &[
+            "scenario",
+            "emails",
+            "med em/s",
+            "p95 em/s",
+            "p99 wall",
+            "spread",
+            "ok/failed",
+        ],
+        &widths,
+    );
+
+    let options = RunOptions { transport };
+    let mut records = Vec::new();
+    for scenario in &scenarios {
+        let outcomes: Vec<ScenarioOutcome> = (0..repeat)
+            .map(|i| run_scenario(scenario.as_ref(), seed + i as u64, &options))
+            .collect();
+        let throughput: Vec<f64> = outcomes.iter().map(ScenarioOutcome::throughput).collect();
+        let wall_ms: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.wall.as_secs_f64() * 1e3)
+            .collect();
+        let tput = Summary::from_samples(&throughput);
+        let wall = Summary::from_samples(&wall_ms);
+        let last = outcomes.last().expect("repeat >= 1");
+
+        print_row(
+            &[
+                scenario.name().to_string(),
+                last.fingerprint.emails_total.to_string(),
+                format!("{:.0}", tput.median),
+                format!("{:.0}", tput.p95),
+                format!("{:.1} ms", wall.p99),
+                format!("{:.1}%", tput.spread_pct),
+                format!("{}/{}", last.completed, last.failed),
+            ],
+            &widths,
+        );
+
+        records.push(JsonValue::obj([
+            ("name", JsonValue::Str(scenario.name().into())),
+            (
+                "params",
+                JsonValue::Obj(
+                    scenario
+                        .params()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), JsonValue::Int(v)))
+                        .collect(),
+                ),
+            ),
+            ("emails", JsonValue::Int(last.fingerprint.emails_total)),
+            ("completed", JsonValue::Int(last.completed as u64)),
+            ("failed", JsonValue::Int(last.failed as u64)),
+            ("emails_per_sec", summary_json(&tput)),
+            ("wall_ms", summary_json(&wall)),
+            (
+                "samples_emails_per_sec",
+                JsonValue::Arr(throughput.iter().map(|&x| JsonValue::Num(x)).collect()),
+            ),
+        ]));
+    }
+
+    let record = JsonValue::obj([
+        ("bench", JsonValue::Str("scenarios".into())),
+        (
+            "schema_version",
+            JsonValue::Int(pretzel_bench::gate::SCHEMA_VERSION),
+        ),
+        (
+            "transport",
+            JsonValue::Str(
+                match transport {
+                    TransportMode::Memory => "memory",
+                    TransportMode::Tcp => "tcp",
+                }
+                .into(),
+            ),
+        ),
+        ("repeat", JsonValue::Int(repeat as u64)),
+        ("seed", JsonValue::Int(seed)),
+        ("scenarios", JsonValue::Arr(records)),
+    ]);
+    write_bench_json_reported(&out_name, &record);
+}

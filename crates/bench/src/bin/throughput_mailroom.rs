@@ -23,6 +23,12 @@
 //! `BENCH_throughput_mailroom_batch.json` so the sequential record is not
 //! overwritten.
 //!
+//! `--repeat K` runs every fleet measurement K times and reports the
+//! nearest-rank **median** (the headline number), best-of-K, and the
+//! min–max spread — the same statistical convention as `bench_scenarios`
+//! and `docs/BENCHMARKS.md`; earlier versions silently kept the fastest
+//! run.
+//!
 //! On a multi-core host the per-session work is independent, so aggregate
 //! throughput should scale with min(sessions, workers, cores); on a
 //! single-core host the columns stay flat — the table prints the measured
@@ -51,6 +57,7 @@ use pretzel_classifiers::{NGramExtractor, SparseVector};
 use pretzel_core::session::EmailPayload;
 use pretzel_core::topic::CandidateMode;
 use pretzel_core::{PretzelConfig, ProviderModelSuite, Scale};
+use pretzel_scenarios::Summary;
 use pretzel_server::{
     serve_tcp_sessions, ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig,
 };
@@ -201,14 +208,15 @@ fn run_sequential_table(
     num_features: usize,
     tcp: bool,
 ) {
-    let widths = [10, 8, 10, 12, 12, 12];
+    let widths = [10, 8, 10, 12, 12, 10, 12];
     print_header(
         &[
             "sessions",
             "emails",
             "wall (s)",
-            "emails/sec",
-            "speedup",
+            "med em/s",
+            "best em/s",
+            "spread",
             "bytes/email",
         ],
         &widths,
@@ -217,7 +225,7 @@ fn run_sequential_table(
     let mut baseline_throughput: Option<f64> = None;
     let mut json_rows = Vec::new();
     for &n_sessions in sessions {
-        let run = best_of(repeat, || {
+        let runs = repeated(repeat, || {
             run_fleet(
                 suite,
                 config,
@@ -230,20 +238,16 @@ fn run_sequential_table(
                 tcp,
             )
         });
-        let speedup = match baseline_throughput {
-            Some(base) => format!("{:.2}x", run.throughput / base),
-            None => {
-                baseline_throughput = Some(run.throughput);
-                "1.00x".to_string()
-            }
-        };
+        let run = &runs.median;
+        baseline_throughput.get_or_insert(runs.summary.median);
         print_row(
             &[
                 format!("{n_sessions}"),
                 format!("{}", run.total_emails),
                 format!("{:.2}", run.wall),
-                format!("{:.1}", run.throughput),
-                speedup,
+                format!("{:.1}", runs.summary.median),
+                format!("{:.1}", runs.summary.max),
+                format!("{:.1}%", runs.summary.spread_pct),
                 human_bytes(run.bytes_per_email),
             ],
             &widths,
@@ -252,9 +256,25 @@ fn run_sequential_table(
             ("sessions", JsonValue::Int(n_sessions as u64)),
             ("emails", JsonValue::Int(run.total_emails)),
             ("wall_s", JsonValue::Num(run.wall)),
-            ("emails_per_sec", JsonValue::Num(run.throughput)),
+            ("emails_per_sec", JsonValue::Num(runs.summary.median)),
+            ("emails_per_sec_best", JsonValue::Num(runs.summary.max)),
+            (
+                "emails_per_sec_spread_pct",
+                JsonValue::Num(runs.summary.spread_pct),
+            ),
             ("bytes_per_email", JsonValue::Num(run.bytes_per_email)),
         ]));
+    }
+    if let Some(base) = baseline_throughput {
+        let last = json_rows
+            .last()
+            .and_then(|row| row.get("emails_per_sec"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(base);
+        println!(
+            "\nmedian-throughput scaling vs 1st row: {:.2}x",
+            last / base
+        );
     }
     maybe_write_bench_json(
         "throughput_mailroom",
@@ -293,7 +313,7 @@ fn run_batch_comparison(
     num_features: usize,
     tcp: bool,
 ) {
-    let widths = [10, 8, 14, 14, 12, 12];
+    let widths = [10, 8, 14, 14, 12, 10, 12];
     print_header(
         &[
             "sessions",
@@ -301,6 +321,7 @@ fn run_batch_comparison(
             "seq em/s",
             "batch em/s",
             "speedup",
+            "spread",
             "bytes/email",
         ],
         &widths,
@@ -308,7 +329,7 @@ fn run_batch_comparison(
 
     let mut json_rows = Vec::new();
     for &n_sessions in sessions {
-        let seq = best_of(repeat, || {
+        let seq = repeated(repeat, || {
             run_fleet(
                 suite,
                 config,
@@ -321,7 +342,7 @@ fn run_batch_comparison(
                 tcp,
             )
         });
-        let batched = best_of(repeat, || {
+        let batched = repeated(repeat, || {
             run_fleet(
                 suite,
                 config,
@@ -334,28 +355,51 @@ fn run_batch_comparison(
                 tcp,
             )
         });
-        let speedup = batched.throughput / seq.throughput;
+        // Median-vs-median: the speedup claim inherits the robustness of
+        // its inputs instead of comparing two lucky runs.
+        let speedup = batched.summary.median / seq.summary.median;
+        let spread = batched.summary.spread_pct.max(seq.summary.spread_pct);
         print_row(
             &[
                 format!("{n_sessions}"),
-                format!("{}", batched.total_emails),
-                format!("{:.1}", seq.throughput),
-                format!("{:.1}", batched.throughput),
+                format!("{}", batched.median.total_emails),
+                format!("{:.1}", seq.summary.median),
+                format!("{:.1}", batched.summary.median),
                 format!("{speedup:.2}x"),
-                human_bytes(batched.bytes_per_email),
+                format!("{spread:.1}%"),
+                human_bytes(batched.median.bytes_per_email),
             ],
             &widths,
         );
         json_rows.push(JsonValue::obj([
             ("sessions", JsonValue::Int(n_sessions as u64)),
-            ("emails", JsonValue::Int(batched.total_emails)),
-            ("seq_emails_per_sec", JsonValue::Num(seq.throughput)),
-            ("batch_emails_per_sec", JsonValue::Num(batched.throughput)),
+            ("emails", JsonValue::Int(batched.median.total_emails)),
+            ("seq_emails_per_sec", JsonValue::Num(seq.summary.median)),
+            ("seq_emails_per_sec_best", JsonValue::Num(seq.summary.max)),
+            (
+                "seq_emails_per_sec_spread_pct",
+                JsonValue::Num(seq.summary.spread_pct),
+            ),
+            (
+                "batch_emails_per_sec",
+                JsonValue::Num(batched.summary.median),
+            ),
+            (
+                "batch_emails_per_sec_best",
+                JsonValue::Num(batched.summary.max),
+            ),
+            (
+                "batch_emails_per_sec_spread_pct",
+                JsonValue::Num(batched.summary.spread_pct),
+            ),
             ("batch_speedup", JsonValue::Num(speedup)),
-            ("seq_bytes_per_email", JsonValue::Num(seq.bytes_per_email)),
+            (
+                "seq_bytes_per_email",
+                JsonValue::Num(seq.median.bytes_per_email),
+            ),
             (
                 "batch_bytes_per_email",
-                JsonValue::Num(batched.bytes_per_email),
+                JsonValue::Num(batched.median.bytes_per_email),
             ),
         ]));
     }
@@ -381,18 +425,27 @@ fn run_batch_comparison(
     );
 }
 
-/// Repeats a noisy fleet measurement and keeps the fastest run (standard
-/// minimum-wall-clock noise reduction: scheduler hiccups only ever slow a
-/// run down, so the minimum is the cleanest estimate on a busy host).
-fn best_of(repeat: usize, mut run: impl FnMut() -> FleetRun) -> FleetRun {
-    let mut best = run();
-    for _ in 1..repeat {
-        let candidate = run();
-        if candidate.throughput > best.throughput {
-            best = candidate;
-        }
-    }
-    best
+/// Repeats a noisy fleet measurement and summarizes **all** runs instead of
+/// silently keeping the fastest: the headline number is the run whose
+/// throughput is the nearest-rank median, with best-of-K and the min–max
+/// spread reported alongside (matching the statistical convention of
+/// `bench_scenarios` / `BENCH_scenarios.json`).
+struct RepeatedRuns {
+    /// The run whose throughput equals the nearest-rank median.
+    median: FleetRun,
+    /// Statistics over the per-run throughput samples.
+    summary: Summary,
+}
+
+fn repeated(repeat: usize, mut run: impl FnMut() -> FleetRun) -> RepeatedRuns {
+    let runs: Vec<FleetRun> = (0..repeat).map(|_| run()).collect();
+    let samples: Vec<f64> = runs.iter().map(|r| r.throughput).collect();
+    let summary = Summary::from_samples(&samples);
+    let median = runs
+        .into_iter()
+        .find(|r| r.throughput == summary.median)
+        .expect("the nearest-rank median is one of the samples");
+    RepeatedRuns { median, summary }
 }
 
 /// One fleet run's measurements.

@@ -17,6 +17,8 @@
 //!
 //! EXPERIMENTS.md records the scale used for the committed numbers.
 
+pub mod gate;
+
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -146,6 +148,209 @@ impl JsonValue {
         self.render(&mut out);
         out
     }
+
+    /// Parses a JSON document — the inverse of [`JsonValue::to_json`],
+    /// hand-rolled for the same reason the renderer is. `null` parses to
+    /// `JsonValue::Num(f64::NAN)`, mirroring how the renderer emits
+    /// non-finite numbers, so render → parse → render is a fixpoint.
+    /// Integers without fraction/exponent that fit in `u64` become
+    /// [`JsonValue::Int`].
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Num` as-is, `Int` widened. `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            JsonValue::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (`Int` only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at offset {}",
+            char::from(want),
+            *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Num(f64::NAN))
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let mut chars = std::str::from_utf8(&bytes[*pos..])
+        .map_err(|_| "invalid UTF-8 in string".to_string())?
+        .char_indices();
+    while let Some((offset, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += offset + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'b')) => out.push('\u{0008}'),
+                Some((_, 'f')) => out.push('\u{000c}'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape digit")?;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number bytes");
+    if text.is_empty() {
+        return Err(format!("expected a value at offset {start}"));
+    }
+    if !text.contains(['.', 'e', 'E', '-']) {
+        if let Ok(int) = text.parse::<u64>() {
+            return Ok(JsonValue::Int(int));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|e| format!("bad number {text:?}: {e}"))
 }
 
 /// Writes `value` to `BENCH_<name>.json` in the working directory, returning
@@ -296,6 +501,43 @@ mod tests {
             "{\"name\":\"a \\\"quoted\\\"\\nline\",\"n\":42,\"ratio\":2.5,\
              \"nan\":null,\"ok\":true,\"rows\":[1,2]}"
         );
+    }
+
+    #[test]
+    fn json_parsing_inverts_rendering() {
+        let v = JsonValue::obj([
+            ("name", JsonValue::Str("a \"quoted\"\nline".into())),
+            ("n", JsonValue::Int(42)),
+            ("ratio", JsonValue::Num(2.5)),
+            ("neg", JsonValue::Num(-3.25)),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("ok", JsonValue::Bool(true)),
+            ("empty_obj", JsonValue::Obj(vec![])),
+            (
+                "rows",
+                JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Bool(false)]),
+            ),
+        ]);
+        let text = v.to_json();
+        let parsed = JsonValue::parse(&text).unwrap();
+        // render → parse → render is a fixpoint (NaN ↔ null included).
+        assert_eq!(parsed.to_json(), text);
+        assert_eq!(parsed.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(parsed.get("ratio").unwrap().as_f64(), Some(2.5));
+        assert_eq!(parsed.get("neg").unwrap().as_f64(), Some(-3.25));
+        assert_eq!(
+            parsed.get("name").unwrap().as_str(),
+            Some("a \"quoted\"\nline")
+        );
+        assert_eq!(parsed.get("rows").unwrap().as_arr().unwrap().len(), 2);
+        assert!(parsed.get("nan").unwrap().as_f64().unwrap().is_nan());
+
+        // Whitespace tolerated; structural garbage is not.
+        assert!(JsonValue::parse(" { \"a\" : [ 1 , 2 ] } ").is_ok());
+        assert!(JsonValue::parse("{\"a\":1,}").is_err());
+        assert!(JsonValue::parse("{\"a\":1} tail").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("").is_err());
     }
 
     #[test]

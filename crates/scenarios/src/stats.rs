@@ -1,0 +1,112 @@
+//! Order statistics for repeated benchmark runs.
+//!
+//! Every statistical claim in `BENCH_scenarios.json` (and in the fixed
+//! `throughput_mailroom --repeat` reporting) flows through [`Summary`], so
+//! the convention is defined exactly once: **nearest-rank percentiles** over
+//! the raw samples — no interpolation, no trimming — plus min/max/mean and a
+//! min–max spread expressed as a percentage of the median. Nearest-rank is
+//! deliberately conservative for small K (p95 of 5 samples is the worst
+//! sample), which is what a regression gate wants.
+
+/// Summary statistics over one scenario's repeated samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Nearest-rank 50th percentile.
+    pub median: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// `100 * (max - min) / median` — the run-to-run noise of this record,
+    /// used by the regression gate as its noise floor (0 when the median
+    /// is 0).
+    pub spread_pct: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample set.
+    ///
+    /// # Panics
+    /// Panics on an empty slice — a bench run that produced no samples is a
+    /// harness bug, not a statistic.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let median = percentile(&sorted, 50.0);
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        Summary {
+            median,
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+            min,
+            max,
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            spread_pct: if median > 0.0 {
+                100.0 * (max - min) / median
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty slice: the
+/// smallest sample such that at least `q`% of the data is ≤ it.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_is_every_statistic() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.p95, 42.0);
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.spread_pct, 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        // 10 samples: p50 is the 5th, p95 the 10th, p99 the 10th.
+        let samples: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let s = Summary::from_samples(&samples);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.p95, 10.0);
+        assert_eq!(s.p99, 10.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.mean, 5.5);
+        assert!((s.spread_pct - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_of_samples_is_irrelevant() {
+        let a = Summary::from_samples(&[3.0, 1.0, 2.0]);
+        let b = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.median, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_sample_set_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

@@ -15,6 +15,10 @@
 //!   §6.1/§6.3 numbers are produced (see the [`meter`] module docs for the
 //!   exact counting semantics).
 //!
+//! [`PacedChannel`] is a further decorator that stalls a configurable delay
+//! before every send — fault injection for slow-loris workload scenarios
+//! (see the [`paced`] module docs).
+//!
 //! For serving many connections, [`TcpAcceptor`] wraps a listening socket
 //! and yields one framed [`TcpChannel`] per inbound connection; the
 //! `pretzel_server` mailroom builds its multi-session dispatch loop on it.
@@ -31,12 +35,14 @@
 pub mod batch;
 mod memory;
 pub mod meter;
+pub mod paced;
 mod tcp;
 pub mod wire;
 
 pub use batch::{pack_frames, unpack_frames};
 pub use memory::{memory_pair, MemoryChannel};
 pub use meter::{Meter, MeteredChannel};
+pub use paced::PacedChannel;
 pub use tcp::{TcpAcceptor, TcpChannel};
 pub use wire::{
     negotiate, Capabilities, CodecChannel, HandshakeAck, HandshakeError, HandshakeOffer,

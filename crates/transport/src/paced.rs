@@ -1,0 +1,98 @@
+//! Frame pacing: a [`Channel`] decorator that stalls before every send.
+//!
+//! This is the transport half of the *slow-loris* scenario gadget (see the
+//! `pretzel_scenarios` crate): a client that trickles its frames out with a
+//! fixed delay between them occupies a provider worker for the whole stretch
+//! of its session while contributing almost no throughput. Wrapping any
+//! [`Channel`] in a [`PacedChannel`] injects exactly that behaviour without
+//! touching protocol code — the frames themselves are byte-identical, only
+//! their timing changes, so verdicts and meter totals stay reproducible
+//! while wall-clock measurements feel the stall.
+//!
+//! The pacing is deliberately on the *send* side: a stalling client delays
+//! its own requests (and therefore the provider worker blocked in `recv`),
+//! which is how a real slow client degrades a thread-per-session server.
+
+use std::time::Duration;
+
+use crate::{Channel, Result};
+
+/// A [`Channel`] decorator that sleeps for a fixed delay before each send.
+///
+/// `PacedChannel::new(inner, Duration::ZERO)` is behaviourally identical to
+/// the bare channel (no sleep is issued at all), so callers can apply the
+/// wrapper unconditionally and tune the delay per scenario.
+pub struct PacedChannel<C: Channel> {
+    inner: C,
+    delay: Duration,
+}
+
+impl<C: Channel> PacedChannel<C> {
+    /// Wraps `inner`, stalling `delay` before every outbound frame.
+    pub fn new(inner: C, delay: Duration) -> Self {
+        PacedChannel { inner, delay }
+    }
+
+    /// The configured per-frame stall.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    /// Unwraps the decorator, returning the underlying channel.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Channel> Channel for PacedChannel<C> {
+    fn send(&mut self, msg: &[u8]) -> Result<()> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        self.inner.recv()
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory_pair;
+    use std::time::Instant;
+
+    #[test]
+    fn frames_are_unchanged_and_delayed() {
+        let (a, mut b) = memory_pair();
+        let mut paced = PacedChannel::new(a, Duration::from_millis(5));
+        let start = Instant::now();
+        paced.send(b"slow").unwrap();
+        paced.send(b"loris").unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "two sends must stall at least twice the delay"
+        );
+        assert_eq!(b.recv().unwrap(), b"slow");
+        assert_eq!(b.recv().unwrap(), b"loris");
+    }
+
+    #[test]
+    fn zero_delay_is_transparent() {
+        let (a, mut b) = memory_pair();
+        let mut paced = PacedChannel::new(a, Duration::ZERO);
+        assert_eq!(paced.delay(), Duration::ZERO);
+        paced.send(b"fast").unwrap();
+        b.send(b"reply").unwrap();
+        assert_eq!(paced.recv().unwrap(), b"reply");
+        let mut inner = paced.into_inner();
+        inner.send(b"bare").unwrap();
+        assert_eq!(b.recv().unwrap(), b"fast");
+        assert_eq!(b.recv().unwrap(), b"bare");
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`server`] — the provider mailroom: a multi-session serving layer
 //!   (worker pool, bounded intake, per-session metering) over the function
 //!   modules.
+//! * [`scenarios`] — named, seeded workload generators (steady, bursty,
+//!   heavy-tail, churn, slow-loris, pool-exhaustion, mixed-fleet) that drive
+//!   a mailroom fleet for integration tests and statistical benchmarks.
 //! * [`rlwe`], [`paillier`], [`gc`], [`sdp`], [`bignum`], [`primitives`],
 //!   [`transport`] — cryptographic and systems substrates.
 
@@ -24,6 +27,7 @@ pub use pretzel_gc as gc;
 pub use pretzel_paillier as paillier;
 pub use pretzel_primitives as primitives;
 pub use pretzel_rlwe as rlwe;
+pub use pretzel_scenarios as scenarios;
 pub use pretzel_sdp as sdp;
 pub use pretzel_search as search;
 pub use pretzel_server as server;

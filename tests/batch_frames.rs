@@ -1,0 +1,81 @@
+//! Property coverage for the batch frame codec
+//! ([`pretzel::transport::pack_frames`] / `unpack_frames`): packing is
+//! invertible, and *every* corruption of a packed blob — truncation at any
+//! boundary, a single flipped bit, or outright random bytes — either parses
+//! back to something that re-encodes byte-identically or surfaces as a clean
+//! [`TransportError::MalformedBatch`]. Never a panic, never a silent
+//! misparse.
+
+use pretzel::transport::{pack_frames, unpack_frames, TransportError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Up to 8 frames of up to 64 bytes each: enough to cover empty frames,
+/// empty batches, and multi-frame blobs without slowing the suite down.
+fn frames_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    vec(vec(any::<u8>(), 0..64usize), 0..8usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `unpack_frames` is the inverse of `pack_frames`.
+    #[test]
+    fn pack_then_unpack_round_trips(frames in frames_strategy()) {
+        let blob = pack_frames(&frames);
+        let parsed = unpack_frames(&blob).expect("a fresh pack must parse");
+        prop_assert_eq!(parsed, frames);
+    }
+
+    /// Every strict prefix of a packed blob is rejected as malformed: the
+    /// codec validates the count and every length prefix against the bytes
+    /// actually present, so a cut-off batch can never half-parse.
+    #[test]
+    fn every_truncation_is_a_clean_malformed_error(frames in frames_strategy()) {
+        let blob = pack_frames(&frames);
+        for cut in 0..blob.len() {
+            match unpack_frames(&blob[..cut]) {
+                Err(TransportError::MalformedBatch(_)) => {}
+                other => prop_assert!(
+                    false,
+                    "truncation to {cut}/{} bytes must be MalformedBatch, got {other:?}",
+                    blob.len()
+                ),
+            }
+        }
+    }
+
+    /// A single flipped bit either fails validation cleanly or yields a
+    /// parse that re-encodes to exactly the mutated blob — i.e. the flip
+    /// landed inside payload bytes and the structure is genuinely still
+    /// valid. Anything else would be a silent misparse.
+    #[test]
+    fn bit_flips_never_panic_or_misparse(
+        frames in frames_strategy(),
+        bit in 0..4096usize,
+    ) {
+        let mut blob = pack_frames(&frames);
+        let bit = bit % (blob.len() * 8);
+        blob[bit / 8] ^= 1 << (bit % 8);
+        match unpack_frames(&blob) {
+            Err(TransportError::MalformedBatch(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            Ok(parsed) => prop_assert_eq!(
+                pack_frames(&parsed),
+                blob,
+                "an accepted mutation must re-encode canonically"
+            ),
+        }
+    }
+
+    /// Arbitrary byte soup: `unpack_frames` never panics, and anything it
+    /// accepts re-encodes byte-identically.
+    #[test]
+    fn arbitrary_bytes_never_panic(blob in vec(any::<u8>(), 0..256usize)) {
+        match unpack_frames(&blob) {
+            Err(TransportError::MalformedBatch(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            Ok(parsed) => prop_assert_eq!(pack_frames(&parsed), blob),
+        }
+    }
+}

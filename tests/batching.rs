@@ -8,8 +8,7 @@
 
 use std::sync::Arc;
 
-use pretzel::classifiers::nb::GrNbTrainer;
-use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+use pretzel::classifiers::SparseVector;
 use pretzel::core::registry::{
     ClientContext, ClientModule, FunctionModule, ProtocolRegistry, ProviderModule, WireTag,
 };
@@ -17,57 +16,16 @@ use pretzel::core::session::EmailPayload;
 use pretzel::core::spam::AheVariant;
 use pretzel::core::topic::CandidateMode;
 use pretzel::core::{PretzelConfig, PretzelError, ProviderModelSuite};
-use pretzel::datasets::ling_spam_like;
-use pretzel::server::{
-    ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig, ServerError,
-};
+use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomConfig, ServerError};
 use pretzel::transport::{memory_pair, Channel};
 use rand::RngCore;
 
 mod common;
-use common::test_rng;
+use common::{connect_client, ling_suite, test_rng, FleetRecord};
 
 const ROUNDS_PER_SESSION: usize = 3;
 /// Larger than any session's round count: no round ever computes inline.
 const UNBOUNDED: usize = ROUNDS_PER_SESSION + 4;
-
-fn suite() -> ProviderModelSuite {
-    let mut spec = ling_spam_like(0.08);
-    spec.shared_vocab = 120;
-    spec.class_vocab = 60;
-    spec.doc_len = (20, 60);
-    let corpus = spec.generate();
-    let model = GrNbTrainer::default().train(&corpus.examples, corpus.num_features, 2);
-
-    let extractor = NGramExtractor::new(3, 64);
-    let virus_examples: Vec<LabeledExample> = (0..20u8)
-        .flat_map(|i| {
-            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
-            bad.push(i);
-            let good = format!("meeting notes attachment {i}");
-            [
-                LabeledExample {
-                    features: extractor.extract(&bad),
-                    label: 1,
-                },
-                LabeledExample {
-                    features: extractor.extract(good.as_bytes()),
-                    label: 0,
-                },
-            ]
-        })
-        .collect();
-    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
-
-    ProviderModelSuite {
-        spam: model.clone(),
-        topic: model,
-        topic_mode: CandidateMode::Full,
-        virus: virus_model,
-        virus_extractor: extractor,
-        config: PretzelConfig::test(),
-    }
-}
 
 /// The four per-kind payload scripts of the mixed fleet, in the order the
 /// sessions are submitted.
@@ -113,22 +71,12 @@ fn scripts() -> Vec<(ClientSpec, Vec<EmailPayload>)> {
     ]
 }
 
-/// Everything a batch must not change: the verdict transcript and the
-/// per-session round/byte accounting.
-#[derive(Debug, PartialEq, Eq)]
-struct FleetRecord {
-    verdicts: Vec<String>,
-    emails_total: u64,
-    /// `(kind, emails, bytes_sent, bytes_received, messages)` per session.
-    meters: Vec<(Option<WireTag>, u64, u64, u64, u64)>,
-}
-
 /// Serves the mixed fleet sequentially on one worker (deterministic RNG
 /// streams), each client submitting its rounds either one at a time or as a
 /// single coalesced batch.
 fn run_fleet(budget: usize, batched: bool) -> FleetRecord {
     let mailroom = Mailroom::start(
-        suite(),
+        ling_suite(),
         MailroomConfig::builder()
             .workers(1)
             .queue_capacity(4)
@@ -139,10 +87,8 @@ fn run_fleet(budget: usize, batched: bool) -> FleetRecord {
 
     let mut verdicts = Vec::new();
     for (s, (spec, payloads)) in scripts().into_iter().enumerate() {
-        let (provider_end, client_end) = memory_pair();
-        mailroom.submit(provider_end).unwrap();
         let mut rng = test_rng(500 + s as u64);
-        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let mut client = connect_client(&mailroom, &spec, &mut rng);
         client.precompute(budget, &mut rng);
         if batched {
             for verdict in client.process_batch(&payloads, &mut rng).unwrap() {
@@ -159,15 +105,7 @@ fn run_fleet(budget: usize, batched: bool) -> FleetRecord {
 
     let report = mailroom.shutdown();
     assert_eq!(report.completed(), 4, "all four sessions must complete");
-    FleetRecord {
-        verdicts,
-        emails_total: report.emails_total,
-        meters: report
-            .sessions
-            .iter()
-            .map(|s| (s.kind, s.emails, s.bytes_sent, s.bytes_received, s.messages))
-            .collect(),
-    }
+    FleetRecord::new(verdicts, &report)
 }
 
 /// The batching acceptance test: batched and sequential serving produce
@@ -351,7 +289,7 @@ fn mailroom_serves_registered_modules_and_rejects_unknown_tags() {
         .with_module(Arc::new(EchoLenFunction))
         .unwrap();
     let mailroom = Mailroom::start_with_registry(
-        suite(),
+        ling_suite(),
         registry,
         MailroomConfig {
             workers: 1,
@@ -369,11 +307,9 @@ fn mailroom_serves_registered_modules_and_rejects_unknown_tags() {
 
     // Session 2: the custom module, driven through the normal client stack
     // with both the sequential and the (default one-at-a-time) batch path.
-    let (provider_end, client_end) = memory_pair();
-    mailroom.submit(provider_end).unwrap();
     let mut rng = test_rng(77);
     let spec = ClientSpec::for_module(Arc::new(EchoLenFunction), PretzelConfig::test());
-    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    let mut client = connect_client(&mailroom, &spec, &mut rng);
     assert_eq!(client.wire_tag(), EchoLenFunction::WIRE_TAG);
     assert_eq!(client.display_name(), "echo-len");
     let payloads = vec![
@@ -412,7 +348,7 @@ fn mailroom_serves_registered_modules_and_rejects_unknown_tags() {
 #[test]
 fn degenerate_batch_counts_are_rejected() {
     let mailroom = Mailroom::start(
-        suite(),
+        ling_suite(),
         MailroomConfig {
             workers: 1,
             queue_capacity: 2,
@@ -420,11 +356,9 @@ fn degenerate_batch_counts_are_rejected() {
             ..MailroomConfig::default()
         },
     );
-    let (provider_end, client_end) = memory_pair();
-    mailroom.submit(provider_end).unwrap();
     let mut rng = test_rng(88);
     let spec = ClientSpec::spam(PretzelConfig::test());
-    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    let mut client = connect_client(&mailroom, &spec, &mut rng);
 
     // Empty batches are a client-side no-op: no traffic, no verdicts.
     assert!(client.process_batch(&[], &mut rng).unwrap().is_empty());

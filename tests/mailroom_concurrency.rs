@@ -4,13 +4,11 @@
 
 use std::time::{Duration, Instant};
 
-use pretzel::classifiers::nb::GrNbTrainer;
-use pretzel::classifiers::{NGramExtractor, SparseVector, Trainer};
+use pretzel::classifiers::SparseVector;
 use pretzel::core::spam::SpamFunction;
 use pretzel::core::spam::{AheVariant, SpamClient, SpamProvider};
 use pretzel::core::topic::CandidateMode;
-use pretzel::core::{PretzelConfig, ProviderModelSuite, WireTag};
-use pretzel::datasets::ling_spam_like;
+use pretzel::core::{PretzelConfig, WireTag};
 use pretzel::server::{
     ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig, ServerError,
     SessionState,
@@ -18,58 +16,11 @@ use pretzel::server::{
 use pretzel::transport::{memory_pair, run_two_party, Channel};
 
 mod common;
-use common::test_rng;
-
-/// A provider model suite trained on a small deterministic Ling-spam-shaped
-/// corpus (only the spam model matters for these tests; topic/virus are
-/// minimal). The vocabulary is shrunk so that 32 protocol setups — 16
-/// baseline + 16 fleet sessions — stay fast.
-fn spam_suite() -> (
-    ProviderModelSuite,
-    Vec<pretzel::classifiers::LabeledExample>,
-) {
-    let mut spec = ling_spam_like(0.08);
-    spec.shared_vocab = 120;
-    spec.class_vocab = 60;
-    spec.doc_len = (20, 60);
-    let corpus = spec.generate();
-    let (train, test) = corpus.train_test_split(0.6, 7);
-    let model = GrNbTrainer::default().train(&train, corpus.num_features, 2);
-    // The virus model lives in the extractor's bucket space, not the token
-    // vocabulary, so it needs its own tiny training set.
-    let extractor = NGramExtractor::new(3, 64);
-    let virus_examples: Vec<pretzel::classifiers::LabeledExample> = (0..20u8)
-        .flat_map(|i| {
-            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
-            bad.push(i);
-            let good = format!("meeting notes attachment {i}");
-            [
-                pretzel::classifiers::LabeledExample {
-                    features: extractor.extract(&bad),
-                    label: 1,
-                },
-                pretzel::classifiers::LabeledExample {
-                    features: extractor.extract(good.as_bytes()),
-                    label: 0,
-                },
-            ]
-        })
-        .collect();
-    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
-    let suite = ProviderModelSuite {
-        spam: model.clone(),
-        topic: model,
-        topic_mode: CandidateMode::Full,
-        virus: virus_model,
-        virus_extractor: extractor,
-        config: PretzelConfig::test(),
-    };
-    (suite, test)
-}
+use common::{ling_suite_with_test_split, test_rng};
 
 #[test]
 fn teardown_mid_protocol_fails_one_session_not_the_mailroom() {
-    let (suite, emails) = spam_suite();
+    let (suite, emails) = ling_suite_with_test_split();
     let mailroom = Mailroom::start(
         suite,
         MailroomConfig {
@@ -144,7 +95,7 @@ fn teardown_mid_protocol_fails_one_session_not_the_mailroom() {
 
 #[test]
 fn full_queue_rejects_immediately_instead_of_blocking() {
-    let (suite, _) = spam_suite();
+    let (suite, _) = ling_suite_with_test_split();
     let mailroom = Mailroom::start(
         suite,
         MailroomConfig {
@@ -221,7 +172,7 @@ fn sixteen_concurrent_sessions_match_the_single_session_baseline() {
     const SESSIONS: usize = 16;
     const EMAILS_PER_SESSION: usize = 3;
 
-    let (suite, test_emails) = spam_suite();
+    let (suite, test_emails) = ling_suite_with_test_split();
     assert!(test_emails.len() >= SESSIONS * EMAILS_PER_SESSION);
     let inboxes: Vec<Vec<SparseVector>> = (0..SESSIONS)
         .map(|s| {
@@ -327,7 +278,7 @@ fn sixteen_concurrent_sessions_match_the_single_session_baseline() {
 fn mixed_fleet_of_all_four_kinds_reconciles_per_kind_accounting() {
     const PER_KIND: usize = 4;
 
-    let (suite, emails) = spam_suite();
+    let (suite, emails) = ling_suite_with_test_split();
     let config = PretzelConfig::test();
     let mailroom = Mailroom::start(
         suite,

@@ -10,73 +10,19 @@
 //! All three runs must produce byte-identical verdicts and identical meter
 //! payload counts.
 
-use pretzel::classifiers::nb::GrNbTrainer;
-use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+use pretzel::classifiers::SparseVector;
 use pretzel::core::spam::AheVariant;
 use pretzel::core::topic::CandidateMode;
-use pretzel::core::{PretzelConfig, ProviderModelSuite, WireTag};
-use pretzel::datasets::ling_spam_like;
-use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig};
-use pretzel::transport::memory_pair;
+use pretzel::core::PretzelConfig;
+use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomConfig};
 
 mod common;
-use common::test_rng;
+use common::{connect_client, ling_suite, test_rng, FleetRecord};
 
 const EMAILS_PER_SESSION: usize = 3;
 /// Stands in for an unbounded pool: strictly larger than every round count
 /// in the run, so no online round ever computes inline.
 const UNBOUNDED: usize = EMAILS_PER_SESSION + 4;
-
-fn suite() -> ProviderModelSuite {
-    let mut spec = ling_spam_like(0.08);
-    spec.shared_vocab = 120;
-    spec.class_vocab = 60;
-    spec.doc_len = (20, 60);
-    let corpus = spec.generate();
-    let model = GrNbTrainer::default().train(&corpus.examples, corpus.num_features, 2);
-
-    // The virus model lives in the extractor's bucket space, not the token
-    // vocabulary, so it needs its own tiny training set.
-    let extractor = NGramExtractor::new(3, 64);
-    let virus_examples: Vec<LabeledExample> = (0..20u8)
-        .flat_map(|i| {
-            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
-            bad.push(i);
-            let good = format!("meeting notes attachment {i}");
-            [
-                LabeledExample {
-                    features: extractor.extract(&bad),
-                    label: 1,
-                },
-                LabeledExample {
-                    features: extractor.extract(good.as_bytes()),
-                    label: 0,
-                },
-            ]
-        })
-        .collect();
-    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
-
-    ProviderModelSuite {
-        spam: model.clone(),
-        topic: model,
-        topic_mode: CandidateMode::Full,
-        virus: virus_model,
-        virus_extractor: extractor,
-        config: PretzelConfig::test(),
-    }
-}
-
-/// Everything observable about one fleet run that the pool budget must not
-/// change: the verdict transcript and the per-session meter payload counts.
-#[derive(Debug, PartialEq, Eq)]
-struct FleetRecord {
-    verdicts: Vec<String>,
-    /// `(kind wire tag, emails, bytes_sent, bytes_received, messages)` per
-    /// session, in submission order.
-    meters: Vec<(Option<WireTag>, u64, u64, u64, u64)>,
-    emails_total: u64,
-}
 
 /// Serves one spam (Baseline AHE, so the Paillier randomizer pool is
 /// exercised), one topic (client-side garbling pool), and one virus session
@@ -86,7 +32,7 @@ struct FleetRecord {
 fn run_fleet(budget: usize) -> FleetRecord {
     let config = PretzelConfig::test();
     let mailroom = Mailroom::start(
-        suite(),
+        ling_suite(),
         MailroomConfig::builder()
             .workers(1)
             .queue_capacity(3)
@@ -102,11 +48,9 @@ fn run_fleet(budget: usize) -> FleetRecord {
 
     // Session 1: spam, Baseline variant — the client pools `r^n` randomizers.
     {
-        let (provider_end, client_end) = memory_pair();
-        mailroom.submit(provider_end).unwrap();
         let mut rng = test_rng(70);
         let spec = ClientSpec::spam(config.clone()).with_variant(AheVariant::Baseline);
-        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let mut client = connect_client(&mailroom, &spec, &mut rng);
         client.precompute(budget, &mut rng);
         assert_eq!(
             client.pool_depth(),
@@ -127,13 +71,11 @@ fn run_fleet(budget: usize) -> FleetRecord {
 
     // Session 2: topic — the client pools pre-garbled argmax circuits.
     {
-        let (provider_end, client_end) = memory_pair();
-        mailroom.submit(provider_end).unwrap();
         let mut rng = test_rng(71);
         let spec = ClientSpecBuilder::topic(config.clone())
             .topic_mode(CandidateMode::Full)
             .build();
-        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let mut client = connect_client(&mailroom, &spec, &mut rng);
         client.precompute(budget, &mut rng);
         for _ in 0..EMAILS_PER_SESSION {
             let candidates = client.extract_topic(&topic_email, &mut rng).unwrap();
@@ -144,11 +86,9 @@ fn run_fleet(budget: usize) -> FleetRecord {
 
     // Session 3: virus — provider-side garbling pool via the spam machinery.
     {
-        let (provider_end, client_end) = memory_pair();
-        mailroom.submit(provider_end).unwrap();
         let mut rng = test_rng(72);
         let spec = ClientSpec::virus(config);
-        let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+        let mut client = connect_client(&mailroom, &spec, &mut rng);
         client.precompute(budget, &mut rng);
         for _ in 0..EMAILS_PER_SESSION {
             let is_malicious = client.scan_attachment(attachment, &mut rng).unwrap();
@@ -171,15 +111,7 @@ fn run_fleet(budget: usize) -> FleetRecord {
         );
     }
 
-    FleetRecord {
-        verdicts,
-        meters: report
-            .sessions
-            .iter()
-            .map(|s| (s.kind, s.emails, s.bytes_sent, s.bytes_received, s.messages))
-            .collect(),
-        emails_total: report.emails_total,
-    }
+    FleetRecord::new(verdicts, &report)
 }
 
 /// The satellite acceptance test: pool size 0, 1, and ∞ (here: larger than

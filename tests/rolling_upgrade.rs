@@ -8,58 +8,17 @@
 //! frames on the wire); [`MailroomReport::by_version`] splits the fleet
 //! accounting by protocol generation.
 
-use pretzel::classifiers::nb::GrNbTrainer;
-use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
+use pretzel::classifiers::SparseVector;
 use pretzel::core::session::EmailPayload;
 use pretzel::core::topic::CandidateMode;
-use pretzel::core::{PretzelConfig, ProviderModelSuite};
-use pretzel::datasets::ling_spam_like;
-use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomClient, MailroomConfig};
-use pretzel::transport::memory_pair;
+use pretzel::core::PretzelConfig;
+use pretzel::server::{ClientSpec, ClientSpecBuilder, Mailroom, MailroomConfig};
 use pretzel::transport::wire::{Capabilities, ProtocolVersion};
 
 mod common;
-use common::test_rng;
+use common::{connect_client, ling_suite, test_rng};
 
 const ROUNDS_PER_SESSION: usize = 3;
-
-fn suite() -> ProviderModelSuite {
-    let mut spec = ling_spam_like(0.08);
-    spec.shared_vocab = 120;
-    spec.class_vocab = 60;
-    spec.doc_len = (20, 60);
-    let corpus = spec.generate();
-    let model = GrNbTrainer::default().train(&corpus.examples, corpus.num_features, 2);
-
-    let extractor = NGramExtractor::new(3, 64);
-    let virus_examples: Vec<LabeledExample> = (0..20u8)
-        .flat_map(|i| {
-            let mut bad = vec![0x4d, 0x5a, 0x90, 0x00, 0xde, 0xad];
-            bad.push(i);
-            let good = format!("meeting notes attachment {i}");
-            [
-                LabeledExample {
-                    features: extractor.extract(&bad),
-                    label: 1,
-                },
-                LabeledExample {
-                    features: extractor.extract(good.as_bytes()),
-                    label: 0,
-                },
-            ]
-        })
-        .collect();
-    let virus_model = GrNbTrainer::default().train(&virus_examples, extractor.buckets, 2);
-
-    ProviderModelSuite {
-        spam: model.clone(),
-        topic: model,
-        topic_mode: CandidateMode::Full,
-        virus: virus_model,
-        virus_extractor: extractor,
-        config: PretzelConfig::test(),
-    }
-}
 
 /// The per-kind payload scripts, one per built-in function module, in
 /// submission order. Each kind appears twice in a fleet run — once as a
@@ -119,7 +78,7 @@ fn spec_for_kind(kind: &str, legacy: bool) -> ClientSpec {
 /// sessions and transparently degrades to sequential rounds on v1.
 fn run_fleet(legacy_pattern: [bool; 2]) -> (Vec<String>, pretzel::server::MailroomReport) {
     let mailroom = Mailroom::start(
-        suite(),
+        ling_suite(),
         MailroomConfig::builder()
             .workers(1)
             .queue_capacity(8)
@@ -131,11 +90,9 @@ fn run_fleet(legacy_pattern: [bool; 2]) -> (Vec<String>, pretzel::server::Mailro
     let mut session_idx = 0usize;
     for (kind, payloads) in scripts() {
         for &legacy in &legacy_pattern {
-            let (provider_end, client_end) = memory_pair();
-            mailroom.submit(provider_end).unwrap();
             let mut rng = test_rng(900 + session_idx as u64);
             let spec = spec_for_kind(kind, legacy);
-            let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+            let mut client = connect_client(&mailroom, &spec, &mut rng);
 
             let profile = client.negotiated();
             if legacy {

@@ -12,13 +12,12 @@ use pretzel::core::search::SearchFunction;
 use pretzel::core::session::{ClientSession, EmailPayload, ProviderSession, Verdict};
 use pretzel::core::spam::AheVariant;
 use pretzel::core::spam::SpamFunction;
-use pretzel::core::topic::CandidateMode;
-use pretzel::core::{ClientContext, PretzelConfig, ProtocolRegistry, ProviderModelSuite, WireTag};
-use pretzel::server::{ClientSpec, Mailroom, MailroomClient, MailroomConfig};
-use pretzel::transport::{memory_pair, run_two_party};
+use pretzel::core::{ClientContext, PretzelConfig, ProtocolRegistry, WireTag};
+use pretzel::server::{ClientSpec, Mailroom, MailroomConfig};
+use pretzel::transport::run_two_party;
 
 mod common;
-use common::test_rng;
+use common::{connect_client, test_rng, tiny_suite};
 
 /// One client seed drives every run, so the SSE master key — and therefore
 /// every label, sealed id, and verdict — is identical across runs.
@@ -49,29 +48,6 @@ fn script() -> Vec<EmailPayload> {
     ops
 }
 
-/// A model suite for the mailroom runs; search sessions only use the config,
-/// so tiny untrained-quality models are fine for the unused modules.
-fn suite() -> ProviderModelSuite {
-    use pretzel::classifiers::nb::GrNbTrainer;
-    use pretzel::classifiers::{LabeledExample, NGramExtractor, SparseVector, Trainer};
-
-    let examples: Vec<LabeledExample> = (0..8)
-        .map(|i| LabeledExample {
-            features: SparseVector::from_pairs(vec![(i % 4, 2u32)]),
-            label: i % 2,
-        })
-        .collect();
-    let model = GrNbTrainer::default().train(&examples, 4, 2);
-    ProviderModelSuite {
-        spam: model.clone(),
-        topic: model.clone(),
-        topic_mode: CandidateMode::Full,
-        virus: model,
-        virus_extractor: NGramExtractor::new(3, 64),
-        config: PretzelConfig::test(),
-    }
-}
-
 /// Renders a verdict transcript; equality of these strings is the
 /// byte-identical acceptance criterion.
 fn render(verdicts: &[Verdict]) -> Vec<String> {
@@ -81,7 +57,7 @@ fn render(verdicts: &[Verdict]) -> Vec<String> {
 /// Runs the script over bare in-process sessions (no mailroom) with the
 /// given provider-side precompute budget.
 fn run_direct(budget: usize) -> Vec<String> {
-    let suite_p = suite();
+    let suite_p = tiny_suite();
     let config = suite_p.config.clone();
     let rounds = script().len();
     let (provider_res, client_res) = run_two_party(
@@ -123,7 +99,7 @@ fn run_direct(budget: usize) -> Vec<String> {
 /// given budget.
 fn run_mailroom(budget: usize) -> Vec<String> {
     let mailroom = Mailroom::start(
-        suite(),
+        tiny_suite(),
         MailroomConfig::builder()
             .workers(1)
             .queue_capacity(2)
@@ -131,11 +107,9 @@ fn run_mailroom(budget: usize) -> Vec<String> {
             .precompute_budget(budget)
             .build(),
     );
-    let (provider_end, client_end) = memory_pair();
-    mailroom.submit(provider_end).unwrap();
     let mut rng = test_rng(CLIENT_SEED);
     let spec = ClientSpec::search(PretzelConfig::test());
-    let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+    let mut client = connect_client(&mailroom, &spec, &mut rng);
     let verdicts: Vec<Verdict> = script()
         .iter()
         .map(|op| client.process(op, &mut rng).unwrap())
@@ -227,7 +201,7 @@ fn search_and_spam_sessions_share_one_mailroom() {
     use pretzel::classifiers::SparseVector;
 
     let mailroom = Mailroom::start(
-        suite(),
+        tiny_suite(),
         MailroomConfig {
             workers: 2,
             queue_capacity: 4,
@@ -236,15 +210,12 @@ fn search_and_spam_sessions_share_one_mailroom() {
         },
     );
 
-    let (provider_end, client_end) = memory_pair();
-    mailroom.submit(provider_end).unwrap();
     let mut rng = test_rng(93);
-    let mut search_client = MailroomClient::connect(
-        client_end,
+    let mut search_client = connect_client(
+        &mailroom,
         &ClientSpec::search(PretzelConfig::test()),
         &mut rng,
-    )
-    .unwrap();
+    );
     search_client
         .index_email(8, "tax season reminder", &mut rng)
         .unwrap();
@@ -253,15 +224,12 @@ fn search_and_spam_sessions_share_one_mailroom() {
         vec![8]
     );
 
-    let (provider_end, client_end) = memory_pair();
-    mailroom.submit(provider_end).unwrap();
     let mut rng_s = test_rng(94);
-    let mut spam_client = MailroomClient::connect(
-        client_end,
+    let mut spam_client = connect_client(
+        &mailroom,
         &ClientSpec::spam(PretzelConfig::test()),
         &mut rng_s,
-    )
-    .unwrap();
+    );
     let email = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
     spam_client.classify_spam(&email, &mut rng_s).unwrap();
 
