@@ -1,0 +1,250 @@
+//! A/B microbench: the fixed-limb Montgomery engine vs the dynamic
+//! `Vec`-backed reference, at the widths the Paillier hot path actually
+//! runs — the CRT square `p²` and the public modulus square `n²` — plus an
+//! end-to-end decrypt and randomizer-production comparison on real keys.
+//!
+//! Both engines compute identical results (pinned by the equivalence suite
+//! in `pretzel_bignum/tests/fixed_vs_dynamic.rs`); this bin measures what
+//! the fixed path buys. Always emits `BENCH_bignum.json`; validated and
+//! gated in CI by `bench_gate --validate-bignum [--min-speedup X]`.
+//!
+//! ```sh
+//! cargo run --release -p pretzel_bench --bin bench_bignum
+//! cargo run --release -p pretzel_bench --bin bench_bignum -- \
+//!     --paillier-bits 128 --iters 20 --out bignum_smoke
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pretzel_bench::gate::SCHEMA_VERSION;
+use pretzel_bench::{
+    arg_value, human_us, print_header, print_row, write_bench_json_reported, JsonValue,
+};
+use pretzel_bignum::{gen_prime, AutoMontgomery, BigUint};
+use pretzel_paillier::keygen;
+
+fn main() {
+    let paillier_bits: usize = arg_value("--paillier-bits")
+        .map(|v| v.parse().expect("--paillier-bits takes a number"))
+        .unwrap_or(512);
+    let iters: usize = arg_value("--iters")
+        .map(|v| v.parse().expect("--iters takes a number"))
+        .unwrap_or(200);
+    let out = arg_value("--out").unwrap_or_else(|| "bignum".into());
+
+    println!("Fixed-limb vs dynamic Montgomery — {paillier_bits}-bit Paillier\n");
+
+    let mut rng = StdRng::seed_from_u64(0xB16_0001);
+    let sk = keygen(paillier_bits, &mut rng);
+    let pk = sk.public();
+
+    // The two modulus widths the Paillier hot path exercises: the CRT
+    // square p² (half-size exponentiations in decrypt) and n² (encrypt,
+    // randomizer production, homomorphic ops).
+    let p = gen_prime(paillier_bits / 2, &mut rng);
+    let p_squared = p.clone() * p.clone();
+    let n_squared = pk.n().clone() * pk.n().clone();
+    let targets = [
+        ("p_squared", p_squared, p.clone() - BigUint::one()),
+        ("n_squared", n_squared, pk.n().clone()),
+    ];
+
+    let widths = [12, 6, 6, 11, 13, 13, 9, 12, 12, 9];
+    print_header(
+        &[
+            "modulus",
+            "bits",
+            "limbs",
+            "backend",
+            "mul dyn",
+            "mul fixed",
+            "mul x",
+            "pow dyn",
+            "pow fixed",
+            "pow x",
+        ],
+        &widths,
+    );
+
+    let mut width_rows = Vec::new();
+    for (label, modulus, exp) in &targets {
+        let auto = AutoMontgomery::new(modulus);
+        let dynamic = auto.to_dynamic();
+        let a = BigUint::random_below(&mut rng, modulus);
+        let b = BigUint::random_below(&mut rng, modulus);
+
+        // mulmod is sub-microsecond: oversample relative to pow.
+        let mul_iters = iters * 50;
+        let (mul_dyn, mul_fixed) = time_pair(
+            mul_iters,
+            || {
+                black_box(dynamic.mul(black_box(&a), black_box(&b)));
+            },
+            || {
+                black_box(auto.mul(black_box(&a), black_box(&b)));
+            },
+        );
+        let (pow_dyn, pow_fixed) = time_pair(
+            iters,
+            || {
+                black_box(dynamic.pow(black_box(&a), black_box(exp)));
+            },
+            || {
+                black_box(auto.pow(black_box(&a), black_box(exp)));
+            },
+        );
+        let mul_speedup = mul_dyn.as_secs_f64() / mul_fixed.as_secs_f64();
+        let pow_speedup = pow_dyn.as_secs_f64() / pow_fixed.as_secs_f64();
+
+        print_row(
+            &[
+                (*label).into(),
+                format!("{}", modulus.bits()),
+                format!("{}", modulus.limbs().len()),
+                auto.backend().into(),
+                format!("{:.0}ns", mul_dyn.as_secs_f64() * 1e9),
+                format!("{:.0}ns", mul_fixed.as_secs_f64() * 1e9),
+                format!("{mul_speedup:.2}x"),
+                human_us(pow_dyn),
+                human_us(pow_fixed),
+                format!("{pow_speedup:.2}x"),
+            ],
+            &widths,
+        );
+        width_rows.push(JsonValue::obj([
+            ("label", JsonValue::Str((*label).into())),
+            ("bits", JsonValue::Int(modulus.bits() as u64)),
+            ("limbs", JsonValue::Int(modulus.limbs().len() as u64)),
+            ("backend", JsonValue::Str(auto.backend().into())),
+            ("mulmod_dyn_ns", nanos(mul_dyn)),
+            ("mulmod_fixed_ns", nanos(mul_fixed)),
+            ("mulmod_speedup", JsonValue::Num(mul_speedup)),
+            ("pow_dyn_us", micros(pow_dyn)),
+            ("pow_fixed_us", micros(pow_fixed)),
+            ("pow_speedup", JsonValue::Num(pow_speedup)),
+        ]));
+    }
+
+    // End-to-end: CRT decrypt and randomizer production on real keys,
+    // fixed engines vs the same key forced onto the dynamic path.
+    let sk_dyn = sk.force_dynamic();
+    let pk_dyn = sk_dyn.public();
+    let dec_iters = iters.clamp(1, 50);
+    let cts: Vec<_> = (0..dec_iters)
+        .map(|i| pk.encrypt_u64(i as u64 * 7 + 1, &mut rng).unwrap())
+        .collect();
+    let mut i = 0;
+    let mut j = 0;
+    let (dec_dyn, dec_fixed) = time_pair(
+        dec_iters,
+        || {
+            black_box(sk_dyn.decrypt(&cts[i % cts.len()]).unwrap());
+            i += 1;
+        },
+        || {
+            black_box(sk.decrypt(&cts[j % cts.len()]).unwrap());
+            j += 1;
+        },
+    );
+    let dec_speedup = dec_dyn.as_secs_f64() / dec_fixed.as_secs_f64();
+
+    let rand_iters = dec_iters;
+    let mut rng_dyn = StdRng::seed_from_u64(0xB16_0002);
+    let mut rng_fixed = StdRng::seed_from_u64(0xB16_0002);
+    let (rand_dyn, rand_fixed) = time_pair(
+        rand_iters,
+        || {
+            black_box(pk_dyn.sample_randomizer(&mut rng_dyn));
+        },
+        || {
+            black_box(pk.sample_randomizer(&mut rng_fixed));
+        },
+    );
+    let rand_speedup = rand_dyn.as_secs_f64() / rand_fixed.as_secs_f64();
+
+    println!();
+    let widths = [24, 13, 13, 9];
+    print_header(&["operation", "dynamic", "fixed", "speedup"], &widths);
+    print_row(
+        &[
+            "decrypt (CRT)".into(),
+            human_us(dec_dyn),
+            human_us(dec_fixed),
+            format!("{dec_speedup:.2}x"),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "randomizer (r^n)".into(),
+            human_us(rand_dyn),
+            human_us(rand_fixed),
+            format!("{rand_speedup:.2}x"),
+        ],
+        &widths,
+    );
+
+    let json = JsonValue::obj([
+        ("bench", JsonValue::Str("bignum".into())),
+        ("schema_version", JsonValue::Int(SCHEMA_VERSION)),
+        ("paillier_bits", JsonValue::Int(paillier_bits as u64)),
+        ("iters", JsonValue::Int(iters as u64)),
+        ("mont_backend", JsonValue::Str(pk.mont_backend().into())),
+        ("widths", JsonValue::Arr(width_rows)),
+        (
+            "decrypt",
+            JsonValue::obj([
+                ("dyn_us", micros(dec_dyn)),
+                ("fixed_us", micros(dec_fixed)),
+                ("speedup", JsonValue::Num(dec_speedup)),
+            ]),
+        ),
+        (
+            "randomizer",
+            JsonValue::obj([
+                ("dyn_us", micros(rand_dyn)),
+                ("fixed_us", micros(rand_fixed)),
+                ("speedup", JsonValue::Num(rand_speedup)),
+            ]),
+        ),
+    ]);
+    write_bench_json_reported(&out, &json);
+}
+
+/// Mean duration of `f` over `iters` calls.
+fn mean_of(iters: usize, f: &mut impl FnMut()) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters.max(1) as u32
+}
+
+/// A/B timing: five interleaved repetitions (a, b, a, b, …) so clock drift
+/// and background load hit both sides alike, reporting the per-side best
+/// mean. The best rep is the standard microbenchmark lower bound (what
+/// `timeit` reports): scheduler preemption, frequency throttling, and
+/// allocator noise only ever add time, so the minimum is the least-noisy
+/// estimate of the code's actual cost, and interleaving guarantees both
+/// sides got a shot at the same machine states.
+fn time_pair(iters: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (Duration, Duration) {
+    let mut a_best = Duration::MAX;
+    let mut b_best = Duration::MAX;
+    for _ in 0..5 {
+        a_best = a_best.min(mean_of(iters, &mut a));
+        b_best = b_best.min(mean_of(iters, &mut b));
+    }
+    (a_best, b_best)
+}
+
+fn micros(d: Duration) -> JsonValue {
+    JsonValue::Num(d.as_secs_f64() * 1e6)
+}
+
+fn nanos(d: Duration) -> JsonValue {
+    JsonValue::Num(d.as_secs_f64() * 1e9)
+}

@@ -4,7 +4,13 @@
 //! bench_gate --baseline FILE --candidate FILE
 //!            [--max-regression-pct PCT] [--advisory]
 //! bench_gate --validate FILE
+//! bench_gate --validate-bignum FILE [--min-speedup X]
 //! ```
+//!
+//! `--validate-bignum` checks a `BENCH_bignum.json` record; with
+//! `--min-speedup X` it additionally fails when any width's fixed-vs-dynamic
+//! mulmod/pow speedup falls below `X` — the CI defence for the fixed-limb
+//! engine's advantage.
 //!
 //! Exit codes: `0` pass, `1` gate failure (suppressed to a warning by
 //! `--advisory`), `2` usage or schema error. Decision rules (medians gate,
@@ -13,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use pretzel_bench::gate::{compare, validate_schema, GatePolicy, GateStatus};
+use pretzel_bench::gate::{compare, validate_bignum, validate_schema, GatePolicy, GateStatus};
 use pretzel_bench::{arg_value, print_header, print_row, JsonValue};
 
 fn load(path: &str) -> Result<JsonValue, String> {
@@ -30,7 +36,61 @@ fn load(path: &str) -> Result<JsonValue, String> {
     Ok(record)
 }
 
+/// True when the record is schema-valid on its own and only the
+/// `--min-speedup` gate failed — that's a perf regression (exit 1), not a
+/// usage/schema error (exit 2).
+fn errors_are_speedup_only(record: &JsonValue, min_speedup: f64) -> bool {
+    min_speedup > 0.0 && validate_bignum(record, 0.0).is_ok()
+}
+
 fn main() -> ExitCode {
+    if let Some(path) = arg_value("--validate-bignum") {
+        let min_speedup = match arg_value("--min-speedup") {
+            None => 0.0,
+            Some(s) => match s.parse::<f64>() {
+                Ok(x) if x >= 0.0 && x.is_finite() => x,
+                _ => {
+                    eprintln!("--min-speedup takes a non-negative number, got {s:?}");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        let record = match std::fs::read_to_string(&path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| {
+                JsonValue::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))
+            }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match validate_bignum(&record, min_speedup) {
+            Ok(()) => {
+                if min_speedup > 0.0 {
+                    println!("{path}: schema OK, all speedups >= {min_speedup:.2}x");
+                } else {
+                    println!("{path}: schema OK");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                eprintln!("{path}: bignum gate failed:");
+                for error in errors {
+                    eprintln!("  - {error}");
+                }
+                // Schema problems are usage errors (2); an eroded speedup is
+                // a gate failure (1).
+                if errors_are_speedup_only(&record, min_speedup) {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::from(2)
+                }
+            }
+        };
+    }
+
     if let Some(path) = arg_value("--validate") {
         return match load(&path) {
             Ok(_) => {

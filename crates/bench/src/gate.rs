@@ -211,6 +211,103 @@ pub fn validate_schema(record: &JsonValue) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a `BENCH_bignum.json` record (emitted by `bench_bignum`) and —
+/// when `min_speedup > 0` — gates the fixed-limb engine's advantage: every
+/// width row's `mulmod_speedup` and `pow_speedup` must be at least
+/// `min_speedup`, so a regression that erases the fixed path's win fails CI
+/// even though absolute timings vary across machines.
+pub fn validate_bignum(record: &JsonValue, min_speedup: f64) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    if !field_errors(record, "<root>", &mut errors) {
+        return Err(errors);
+    }
+    match record.get("bench").and_then(JsonValue::as_str) {
+        Some("bignum") => {}
+        other => errors.push(format!("bench: expected \"bignum\", got {other:?}")),
+    }
+    match record.get("schema_version").and_then(JsonValue::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        other => errors.push(format!(
+            "schema_version: expected {SCHEMA_VERSION}, got {other:?}"
+        )),
+    }
+    for key in ["paillier_bits", "iters"] {
+        if record.get(key).and_then(JsonValue::as_u64).is_none() {
+            errors.push(format!("{key}: missing or non-integer"));
+        }
+    }
+    let widths = match record.get("widths").and_then(JsonValue::as_arr) {
+        Some(arr) if !arr.is_empty() => arr,
+        Some(_) => {
+            errors.push("widths: empty".into());
+            &[]
+        }
+        None => {
+            errors.push("widths: missing or not an array".into());
+            &[]
+        }
+    };
+    for (i, row) in widths.iter().enumerate() {
+        let label = row
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| {
+                errors.push(format!("widths[{i}].label: missing or non-string"));
+                format!("#{i}")
+            });
+        for key in ["bits", "limbs"] {
+            if row.get(key).and_then(JsonValue::as_u64).is_none() {
+                errors.push(format!("widths[{label}].{key}: missing or non-integer"));
+            }
+        }
+        if row.get("backend").and_then(JsonValue::as_str).is_none() {
+            errors.push(format!("widths[{label}].backend: missing or non-string"));
+        }
+        for key in [
+            "mulmod_dyn_ns",
+            "mulmod_fixed_ns",
+            "mulmod_speedup",
+            "pow_dyn_us",
+            "pow_fixed_us",
+            "pow_speedup",
+        ] {
+            match row.get(key).and_then(JsonValue::as_f64) {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                Some(_) => errors.push(format!("widths[{label}].{key}: not finite/positive")),
+                None => errors.push(format!("widths[{label}].{key}: missing or non-numeric")),
+            }
+        }
+        if min_speedup > 0.0 {
+            for key in ["mulmod_speedup", "pow_speedup"] {
+                if let Some(s) = row.get(key).and_then(JsonValue::as_f64) {
+                    if s.is_finite() && s < min_speedup {
+                        errors.push(format!(
+                            "widths[{label}].{key}: {s:.2}x is below the required \
+                             {min_speedup:.2}x — fixed-limb advantage regressed"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(decrypt) = record.get("decrypt") {
+        for key in ["dyn_us", "fixed_us", "speedup"] {
+            match decrypt.get(key).and_then(JsonValue::as_f64) {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                _ => errors.push(format!("decrypt.{key}: missing or non-positive")),
+            }
+        }
+    } else {
+        errors.push("decrypt: missing".into());
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn scenario_entries(record: &JsonValue) -> Vec<(&str, &JsonValue)> {
     record
         .get("scenarios")
@@ -412,6 +509,74 @@ mod tests {
         let report = compare(&baseline, &empty, &GatePolicy::default());
         assert!(!report.passed());
         assert_eq!(report.rows[0].status, GateStatus::MissingFromCandidate);
+    }
+
+    /// Builds a schema-valid bignum record with the given speedups.
+    fn bignum_record(mulmod_speedup: f64, pow_speedup: f64) -> JsonValue {
+        JsonValue::obj([
+            ("bench", JsonValue::Str("bignum".into())),
+            ("schema_version", JsonValue::Int(SCHEMA_VERSION)),
+            ("paillier_bits", JsonValue::Int(512)),
+            ("iters", JsonValue::Int(200)),
+            (
+                "widths",
+                JsonValue::Arr(vec![JsonValue::obj([
+                    ("label", JsonValue::Str("n_squared".into())),
+                    ("bits", JsonValue::Int(1024)),
+                    ("limbs", JsonValue::Int(16)),
+                    ("backend", JsonValue::Str("fixed:16".into())),
+                    ("mulmod_dyn_ns", JsonValue::Num(900.0)),
+                    ("mulmod_fixed_ns", JsonValue::Num(900.0 / mulmod_speedup)),
+                    ("mulmod_speedup", JsonValue::Num(mulmod_speedup)),
+                    ("pow_dyn_us", JsonValue::Num(800.0)),
+                    ("pow_fixed_us", JsonValue::Num(800.0 / pow_speedup)),
+                    ("pow_speedup", JsonValue::Num(pow_speedup)),
+                ])]),
+            ),
+            (
+                "decrypt",
+                JsonValue::obj([
+                    ("dyn_us", JsonValue::Num(150.0)),
+                    ("fixed_us", JsonValue::Num(60.0)),
+                    ("speedup", JsonValue::Num(2.5)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn bignum_validation_accepts_emitted_shape() {
+        let rec = bignum_record(3.0, 2.8);
+        assert!(validate_bignum(&rec, 0.0).is_ok());
+        let reparsed = JsonValue::parse(&rec.to_json()).unwrap();
+        assert!(validate_bignum(&reparsed, 0.0).is_ok());
+    }
+
+    #[test]
+    fn bignum_validation_names_missing_fields() {
+        let mut bad = bignum_record(3.0, 2.8);
+        if let JsonValue::Obj(pairs) = &mut bad {
+            pairs.retain(|(k, _)| k != "decrypt");
+        }
+        let errors = validate_bignum(&bad, 0.0).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("decrypt")));
+        // A scenarios record is not a bignum record.
+        let errors = validate_bignum(&record(1000.0, 4.0, 8), 0.0).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("bench")));
+    }
+
+    #[test]
+    fn bignum_min_speedup_gates_the_fixed_advantage() {
+        // Comfortably above the bar: passes.
+        assert!(validate_bignum(&bignum_record(3.0, 2.8), 2.0).is_ok());
+        // mulmod speedup eroded below the bar: fails and says why.
+        let errors = validate_bignum(&bignum_record(1.4, 2.8), 2.0).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("mulmod_speedup")));
+        // pow speedup eroded: also fails.
+        let errors = validate_bignum(&bignum_record(3.0, 1.1), 2.0).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("pow_speedup")));
+        // With the gate disabled (0), the same record is schema-valid.
+        assert!(validate_bignum(&bignum_record(1.4, 1.1), 0.0).is_ok());
     }
 
     #[test]

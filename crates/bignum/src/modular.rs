@@ -27,16 +27,16 @@ pub fn mod_mul(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
 /// `base^exp mod modulus`.
 ///
 /// Dispatches to Montgomery exponentiation for odd moduli (the common case
-/// for RSA/Paillier/DH moduli) and to square-and-multiply with explicit
-/// reductions otherwise.
+/// for RSA/Paillier/DH moduli) — through the fixed-limb engine when the
+/// modulus width is supported (see [`crate::AutoMontgomery`]) — and to
+/// square-and-multiply with explicit reductions otherwise.
 pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
     assert!(!modulus.is_zero(), "mod_pow: zero modulus");
     if modulus.is_one() {
         return BigUint::zero();
     }
     if modulus.is_odd() {
-        let mont = Montgomery::new(modulus.clone());
-        return mont.pow(base, exp);
+        return crate::AutoMontgomery::new(modulus).pow(base, exp);
     }
     // Generic square-and-multiply for even moduli (rare in this codebase).
     let mut result = BigUint::one();
@@ -157,6 +157,8 @@ pub struct Montgomery {
     limbs: usize,
     /// -n^{-1} mod 2^64.
     n_prime: u64,
+    /// R mod n — the Montgomery form of 1 (exponentiation accumulator seed).
+    r1: BigUint,
     /// R^2 mod n, used to convert into Montgomery form.
     r2: BigUint,
 }
@@ -169,19 +171,15 @@ impl Montgomery {
         let limbs = modulus.limbs().len();
         let n0 = modulus.limbs()[0];
         let n_prime = inv64(n0).wrapping_neg();
-        // R^2 mod n computed by repeated doubling of R mod n.
-        let r_mod_n = (BigUint::one() << (64 * limbs)) % modulus.clone();
-        let mut r2 = r_mod_n;
-        for _ in 0..(64 * limbs) {
-            r2 = r2.clone() + r2;
-            if r2 >= modulus {
-                r2 = r2 - modulus.clone();
-            }
-        }
+        // R mod n and R² mod n by direct division — setup-time only, and far
+        // cheaper than the former 64·limbs doubling loop.
+        let r1 = (BigUint::one() << (64 * limbs)) % &modulus;
+        let r2 = (BigUint::one() << (128 * limbs)) % &modulus;
         Montgomery {
             n: modulus,
             limbs,
             n_prime,
+            r1,
             r2,
         }
     }
@@ -193,7 +191,11 @@ impl Montgomery {
 
     /// Converts `x` into Montgomery form (`x * R mod n`).
     pub fn to_mont(&self, x: &BigUint) -> BigUint {
-        self.mont_mul(&(x.clone() % self.n.clone()), &self.r2)
+        if *x < self.n {
+            self.mont_mul(x, &self.r2)
+        } else {
+            self.mont_mul(&x.div_rem(&self.n).1, &self.r2)
+        }
     }
 
     /// Converts a Montgomery-form value back to the ordinary representation.
@@ -202,26 +204,40 @@ impl Montgomery {
     }
 
     /// Montgomery product: `a * b * R^{-1} mod n` (CIOS method).
+    ///
+    /// Operands may be shorter than the modulus (missing high limbs are
+    /// zero); the length normalization happens once up front, not per limb
+    /// in the inner loop.
     pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let s = self.limbs;
         let n = self.n.limbs();
         let a_limbs = a.limbs();
         let b_limbs = b.limbs();
+        let b_len = b_limbs.len().min(s);
+        let b_limbs = &b_limbs[..b_len];
         let mut t = vec![0u64; s + 2];
 
         for i in 0..s {
-            let ai = *a_limbs.get(i).unwrap_or(&0);
-            // t += ai * b
-            let mut carry = 0u128;
-            for (j, tj) in t.iter_mut().enumerate().take(s) {
-                let bj = *b_limbs.get(j).unwrap_or(&0);
-                let cur = *tj as u128 + (ai as u128) * (bj as u128) + carry;
-                *tj = cur as u64;
-                carry = cur >> 64;
+            // Multiply phase: t += ai * b over b's significant limbs only.
+            // Skipped entirely for ai = 0 (including a's implicit zero high
+            // limbs); the reduction phase below still runs every iteration
+            // because each one divides t by 2^64.
+            let ai = a_limbs.get(i).copied().unwrap_or(0);
+            if ai != 0 {
+                let mut carry = 0u128;
+                for (tj, &bj) in t.iter_mut().zip(b_limbs.iter()) {
+                    let cur = *tj as u128 + (ai as u128) * (bj as u128) + carry;
+                    *tj = cur as u64;
+                    carry = cur >> 64;
+                }
+                let mut j = b_len;
+                while carry != 0 {
+                    let cur = t[j] as u128 + carry;
+                    t[j] = cur as u64;
+                    carry = cur >> 64;
+                    j += 1;
+                }
             }
-            let cur = t[s] as u128 + carry;
-            t[s] = cur as u64;
-            t[s + 1] = (cur >> 64) as u64;
 
             // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
             let m = t[0].wrapping_mul(self.n_prime);
@@ -251,10 +267,11 @@ impl Montgomery {
     /// form.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
-            return BigUint::one() % self.n.clone();
+            // n > 2 is a construction invariant, so 1 mod n = 1.
+            return BigUint::one();
         }
         let base_m = self.to_mont(base);
-        let mut acc = self.to_mont(&BigUint::one());
+        let mut acc = self.r1.clone();
         for i in (0..exp.bits()).rev() {
             acc = self.mont_mul(&acc, &acc);
             if exp.bit(i) {
@@ -273,7 +290,7 @@ impl Montgomery {
 }
 
 /// Inverse of an odd `u64` modulo 2^64 (Newton iteration).
-fn inv64(x: u64) -> u64 {
+pub(crate) fn inv64(x: u64) -> u64 {
     debug_assert!(x & 1 == 1);
     let mut inv = x; // correct to 3 bits
     for _ in 0..6 {

@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use pretzel_bignum::{gen_safe_prime, BigUint, Montgomery};
+use pretzel_bignum::{gen_safe_prime, AutoMontgomery, BigUint};
 
 /// A multiplicative group modulo a safe prime `p = 2q + 1`, with generator
 /// `g = 4` (a generator of the order-`q` subgroup of quadratic residues).
@@ -12,7 +12,7 @@ pub struct DhGroup {
     p: BigUint,
     q: BigUint,
     g: BigUint,
-    mont: Montgomery,
+    mont: AutoMontgomery,
 }
 
 impl DhGroup {
@@ -34,13 +34,19 @@ impl DhGroup {
     /// Builds a group from a safe prime.
     pub fn from_safe_prime(p: BigUint) -> Self {
         let q = (p.clone() - BigUint::one()) >> 1;
-        let mont = Montgomery::new(p.clone());
+        let mont = AutoMontgomery::new(&p);
         DhGroup {
             p,
             q,
             g: BigUint::from(4u64),
             mont,
         }
+    }
+
+    /// Which Montgomery engine backs the group arithmetic
+    /// (`"fixed:<limbs>"` or `"dynamic"`).
+    pub fn mont_backend(&self) -> &'static str {
+        self.mont.backend()
     }
 
     /// Small group for unit tests (NOT secure).
@@ -130,5 +136,7 @@ mod tests {
         let group = DhGroup::rfc3526_1536();
         assert_eq!(group.modulus().bits(), 1536);
         assert_eq!(group.element_bytes(), 192);
+        // 1536 bits = 24 limbs — a supported fixed width.
+        assert_eq!(group.mont_backend(), "fixed:24");
     }
 }

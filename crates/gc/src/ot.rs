@@ -17,7 +17,7 @@
 
 use rand::Rng;
 
-use pretzel_bignum::{gen_safe_prime, mod_inv, BigUint, Montgomery};
+use pretzel_bignum::{gen_safe_prime, mod_inv, AutoMontgomery, BigUint};
 use pretzel_primitives::{sha256, xor_in_place};
 use pretzel_transport::Channel;
 
@@ -35,7 +35,7 @@ pub struct OtGroup {
     q: BigUint,
     /// Generator of the order-q subgroup.
     g: BigUint,
-    mont: Montgomery,
+    mont: AutoMontgomery,
 }
 
 impl OtGroup {
@@ -59,7 +59,7 @@ impl OtGroup {
     /// Builds a group from a safe prime `p` with generator `g = 4`.
     pub fn from_safe_prime(p: BigUint) -> Self {
         let q = (p.clone() - BigUint::one()) >> 1;
-        let mont = Montgomery::new(p.clone());
+        let mont = AutoMontgomery::new(&p);
         OtGroup {
             p,
             q,

@@ -21,7 +21,8 @@
 //! per-email path, and this crate supports both halves of that split:
 //!
 //! * **Decryption** runs CRT-style: two half-size exponentiations mod `p²`
-//!   and `q²` over precomputed [`Montgomery`] contexts, recombined with
+//!   and `q²` over precomputed [`pretzel_bignum::AutoMontgomery`] contexts
+//!   (fixed-limb engines when the width is supported), recombined with
 //!   Garner's formula. The one-exponentiation reference path is kept as
 //!   [`SecretKey::decrypt_inline`] for cross-checking and benchmarks.
 //! * **Encryption** can draw its randomizer `rⁿ mod n²` from a
@@ -34,7 +35,7 @@ use std::collections::VecDeque;
 
 use rand::Rng;
 
-use pretzel_bignum::{crt_combine, gen_prime, mod_inv, BigUint, Montgomery};
+use pretzel_bignum::{crt_combine, gen_prime, mod_inv, AutoMontgomery, BigUint};
 
 /// Errors from Paillier operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +62,7 @@ impl std::error::Error for PaillierError {}
 pub struct PublicKey {
     n: BigUint,
     n_squared: BigUint,
-    mont_n2: Montgomery,
+    mont_n2: AutoMontgomery,
 }
 
 impl PartialEq for PublicKey {
@@ -78,8 +79,9 @@ impl Eq for PublicKey {}
 struct CrtPrime {
     /// The prime factor (`p` or `q`).
     prime: BigUint,
-    /// Montgomery context mod `prime²` (precomputed once at key generation).
-    mont_sq: Montgomery,
+    /// Montgomery context mod `prime²` (precomputed once at key generation;
+    /// fixed-limb whenever the prime size hits a supported width).
+    mont_sq: AutoMontgomery,
     /// The half-size exponent `prime - 1`.
     exp: BigUint,
     /// `L_prime(g^(prime-1) mod prime²)⁻¹ mod prime`, with
@@ -97,10 +99,19 @@ impl CrtPrime {
         let h = mod_inv(&l_val, prime).ok()?;
         Some(CrtPrime {
             prime: prime.clone(),
-            mont_sq: Montgomery::new(sq),
+            mont_sq: AutoMontgomery::new(&sq),
             exp,
             h,
         })
+    }
+
+    fn force_dynamic(&self) -> CrtPrime {
+        CrtPrime {
+            prime: self.prime.clone(),
+            mont_sq: self.mont_sq.to_dynamic(),
+            exp: self.exp.clone(),
+            h: self.h.clone(),
+        }
     }
 
     /// The plaintext residue of `c` modulo this prime.
@@ -180,12 +191,30 @@ impl PublicKey {
             return Err(PaillierError::InvalidCiphertext);
         }
         let n_squared = n.clone() * n.clone();
-        let mont_n2 = Montgomery::new(n_squared.clone());
+        let mont_n2 = AutoMontgomery::new(&n_squared);
         Ok(PublicKey {
             n,
             n_squared,
             mont_n2,
         })
+    }
+
+    /// Which Montgomery engine backs the `n²` arithmetic: `"fixed:<limbs>"`
+    /// for the allocation-free fixed-limb path, `"dynamic"` for the
+    /// `Vec`-backed fallback. Exposed for benches and inspection tests.
+    pub fn mont_backend(&self) -> &'static str {
+        self.mont_n2.backend()
+    }
+
+    /// A copy of this key with every Montgomery context forced onto the
+    /// dynamic reference path — the A/B comparator for `bench_bignum`.
+    /// Produces byte-identical ciphertexts/plaintexts, just slower.
+    pub fn force_dynamic(&self) -> PublicKey {
+        PublicKey {
+            n: self.n.clone(),
+            n_squared: self.n_squared.clone(),
+            mont_n2: self.mont_n2.to_dynamic(),
+        }
     }
 
     /// Bit length of the modulus.
@@ -325,6 +354,26 @@ impl SecretKey {
     /// The corresponding public key.
     pub fn public(&self) -> &PublicKey {
         &self.public
+    }
+
+    /// Engine labels for the CRT `p²`/`q²` contexts (see
+    /// [`PublicKey::mont_backend`]).
+    pub fn crt_backends(&self) -> (&'static str, &'static str) {
+        (self.crt_p.mont_sq.backend(), self.crt_q.mont_sq.backend())
+    }
+
+    /// A copy of this key with every Montgomery context (public `n²` and
+    /// both CRT squares) forced onto the dynamic reference path — the A/B
+    /// comparator for `bench_bignum`. Decrypts identically, just slower.
+    pub fn force_dynamic(&self) -> SecretKey {
+        SecretKey {
+            lambda: self.lambda.clone(),
+            mu: self.mu.clone(),
+            crt_p: self.crt_p.force_dynamic(),
+            crt_q: self.crt_q.force_dynamic(),
+            p_inv_q: self.p_inv_q.clone(),
+            public: self.public.force_dynamic(),
+        }
     }
 
     /// Decrypts a ciphertext to its plaintext in `[0, n)`.
@@ -467,7 +516,7 @@ pub fn keygen<R: Rng + ?Sized>(n_bits: usize, rng: &mut R) -> SecretKey {
         let p1 = p.clone() - BigUint::one();
         let q1 = q.clone() - BigUint::one();
         let lambda = p1.lcm(&q1);
-        let mont_n2 = Montgomery::new(n_squared.clone());
+        let mont_n2 = AutoMontgomery::new(&n_squared);
 
         // mu = (L(g^lambda mod n^2))^{-1} mod n, with g = n + 1:
         // g^lambda mod n^2 = 1 + n*lambda mod n^2, so L(..) = lambda mod n.
@@ -685,6 +734,37 @@ mod tests {
         assert!(sk.decrypt(&at_bound).is_err());
         // The canonical ciphertext still decrypts.
         assert_eq!(sk.decrypt_u64(&c).unwrap(), 77);
+    }
+
+    /// Regression test for the fixed-limb rewrite: at 256-bit keys every
+    /// Montgomery context sits on the fixed path, and the `>= n²` range
+    /// guard (PR 3) must still reject non-canonical ciphertexts there —
+    /// with the forced-dynamic twin agreeing on every verdict.
+    #[test]
+    fn n_squared_guard_holds_on_fixed_limb_path() {
+        let sk = test_key();
+        let pk = sk.public();
+        // 256-bit n → 512-bit n² (8 limbs); 128-bit primes → 4-limb squares.
+        assert_eq!(pk.mont_backend(), "fixed:8");
+        assert_eq!(sk.crt_backends(), ("fixed:4", "fixed:4"));
+
+        let mut rng = rand::thread_rng();
+        let c = pk.encrypt_u64(77, &mut rng).unwrap();
+        let shifted = Ciphertext {
+            value: c.value().clone() + pk.n().clone() * pk.n().clone(),
+        };
+        assert_eq!(
+            sk.decrypt(&shifted).unwrap_err(),
+            PaillierError::InvalidCiphertext
+        );
+
+        let dyn_sk = sk.force_dynamic();
+        assert_eq!(dyn_sk.public().mont_backend(), "dynamic");
+        assert_eq!(dyn_sk.crt_backends(), ("dynamic", "dynamic"));
+        assert!(dyn_sk.decrypt(&shifted).is_err());
+        // Canonical ciphertexts decrypt identically on both engines.
+        assert_eq!(sk.decrypt_u64(&c).unwrap(), 77);
+        assert_eq!(dyn_sk.decrypt_u64(&c).unwrap(), 77);
     }
 
     /// Pooled and inline encryption must produce ciphertexts that decrypt to
