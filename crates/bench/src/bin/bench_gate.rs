@@ -5,12 +5,20 @@
 //!            [--max-regression-pct PCT] [--advisory]
 //! bench_gate --validate FILE
 //! bench_gate --validate-bignum FILE [--min-speedup X]
+//! bench_gate --validate-phase-split FILE [--min-bank-speedup X] [--at-sessions N]
 //! ```
 //!
 //! `--validate-bignum` checks a `BENCH_bignum.json` record; with
 //! `--min-speedup X` it additionally fails when any width's fixed-vs-dynamic
 //! mulmod/pow speedup falls below `X` — the CI defence for the fixed-limb
 //! engine's advantage.
+//!
+//! `--validate-phase-split` checks a `BENCH_phase_split.json` record; with
+//! `--min-bank-speedup X` it additionally fails when the `online` (spam)
+//! row at `--at-sessions` (default 64) has a cold-over-bank speedup below
+//! `X` — the CI defence for the precompute bank's high-concurrency
+//! advantage. The `search_online` table is schema-checked only: its banked
+//! saving per query sits below fleet scheduling noise at bench parameters.
 //!
 //! Exit codes: `0` pass, `1` gate failure (suppressed to a warning by
 //! `--advisory`), `2` usage or schema error. Decision rules (medians gate,
@@ -19,7 +27,9 @@
 
 use std::process::ExitCode;
 
-use pretzel_bench::gate::{compare, validate_bignum, validate_schema, GatePolicy, GateStatus};
+use pretzel_bench::gate::{
+    compare, validate_bignum, validate_phase_split, validate_schema, GatePolicy, GateStatus,
+};
 use pretzel_bench::{arg_value, print_header, print_row, JsonValue};
 
 fn load(path: &str) -> Result<JsonValue, String> {
@@ -44,6 +54,67 @@ fn errors_are_speedup_only(record: &JsonValue, min_speedup: f64) -> bool {
 }
 
 fn main() -> ExitCode {
+    if let Some(path) = arg_value("--validate-phase-split") {
+        let min_bank_speedup = match arg_value("--min-bank-speedup") {
+            None => 0.0,
+            Some(s) => match s.parse::<f64>() {
+                Ok(x) if x >= 0.0 && x.is_finite() => x,
+                _ => {
+                    eprintln!("--min-bank-speedup takes a non-negative number, got {s:?}");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        let at_sessions = match arg_value("--at-sessions") {
+            None => 64,
+            Some(s) => match s.parse::<u64>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--at-sessions takes a positive integer, got {s:?}");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        let record = match std::fs::read_to_string(&path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| {
+                JsonValue::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))
+            }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match validate_phase_split(&record, min_bank_speedup, at_sessions) {
+            Ok(()) => {
+                if min_bank_speedup > 0.0 {
+                    println!(
+                        "{path}: schema OK, bank speedups at {at_sessions} sessions >= \
+                         {min_bank_speedup:.2}x"
+                    );
+                } else {
+                    println!("{path}: schema OK");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                eprintln!("{path}: phase-split gate failed:");
+                for error in errors {
+                    eprintln!("  - {error}");
+                }
+                // Schema problems are usage errors (2); an eroded bank
+                // speedup (or a missing gated row) is a gate failure (1).
+                if min_bank_speedup > 0.0 && validate_phase_split(&record, 0.0, at_sessions).is_ok()
+                {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::from(2)
+                }
+            }
+        };
+    }
+
     if let Some(path) = arg_value("--validate-bignum") {
         let min_speedup = match arg_value("--min-speedup") {
             None => 0.0,

@@ -308,6 +308,111 @@ pub fn validate_bignum(record: &JsonValue, min_speedup: f64) -> Result<(), Vec<S
     }
 }
 
+/// Validates a `BENCH_phase_split.json` record: identifying fields, the
+/// Paillier micro block, and the per-fleet-size `online` / `search_online`
+/// rows including the precompute-bank columns. With `min_bank_speedup > 0`,
+/// the `online` table must additionally contain a row at exactly
+/// `at_sessions` sessions whose `bank_speedup` (cold over bank-served
+/// latency) is at least the floor — the CI defence for the fleet bank's
+/// high-concurrency win, i.e. the warm-mode dip the bank was built to
+/// remove. The `search_online` table is schema-checked but carries no
+/// speedup floor: a banked zero encryption saves only ~15% of a query at
+/// bench parameters, below the run-to-run spread of an oversubscribed
+/// fleet's wall-clock, so a floor there would gate on scheduler noise.
+pub fn validate_phase_split(
+    record: &JsonValue,
+    min_bank_speedup: f64,
+    at_sessions: u64,
+) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    if !field_errors(record, "<root>", &mut errors) {
+        return Err(errors);
+    }
+    match record.get("bench").and_then(JsonValue::as_str) {
+        Some("phase_split") => {}
+        other => errors.push(format!("bench: expected \"phase_split\", got {other:?}")),
+    }
+    for key in ["paillier_bits", "emails_per_session"] {
+        if record.get(key).and_then(JsonValue::as_u64).is_none() {
+            errors.push(format!("{key}: missing or non-integer"));
+        }
+    }
+    if let Some(paillier) = record.get("paillier") {
+        for key in [
+            "decrypt_inline_us",
+            "decrypt_crt_us",
+            "decrypt_speedup",
+            "encrypt_inline_us",
+            "encrypt_pooled_us",
+            "encrypt_speedup",
+        ] {
+            match paillier.get(key).and_then(JsonValue::as_f64) {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                _ => errors.push(format!("paillier.{key}: missing or non-positive")),
+            }
+        }
+    } else {
+        errors.push("paillier: missing".into());
+    }
+    for (table, unit) in [("online", "email"), ("search_online", "query")] {
+        let rows = match record.get(table).and_then(JsonValue::as_arr) {
+            Some(arr) if !arr.is_empty() => arr,
+            Some(_) => {
+                errors.push(format!("{table}: empty"));
+                continue;
+            }
+            None => {
+                errors.push(format!("{table}: missing or not an array"));
+                continue;
+            }
+        };
+        for (i, row) in rows.iter().enumerate() {
+            if row.get("sessions").and_then(JsonValue::as_u64).is_none() {
+                errors.push(format!("{table}[{i}].sessions: missing or non-integer"));
+            }
+            for key in [
+                format!("cold_us_per_{unit}"),
+                format!("warm_us_per_{unit}"),
+                format!("bank_us_per_{unit}"),
+                "speedup".to_string(),
+                "bank_speedup".to_string(),
+            ] {
+                match row.get(&key).and_then(JsonValue::as_f64) {
+                    Some(x) if x.is_finite() && x > 0.0 => {}
+                    _ => errors.push(format!("{table}[{i}].{key}: missing or non-positive")),
+                }
+            }
+        }
+        if min_bank_speedup > 0.0 && table == "online" {
+            let gated = rows
+                .iter()
+                .find(|row| row.get("sessions").and_then(JsonValue::as_u64) == Some(at_sessions));
+            match gated {
+                None => errors.push(format!(
+                    "{table}: no row at {at_sessions} sessions — regenerate the record with \
+                     --sessions including {at_sessions}"
+                )),
+                Some(row) => {
+                    if let Some(s) = row.get("bank_speedup").and_then(JsonValue::as_f64) {
+                        if s.is_finite() && s < min_bank_speedup {
+                            errors.push(format!(
+                                "{table}[sessions={at_sessions}].bank_speedup: {s:.2}x is below \
+                                 the required {min_bank_speedup:.2}x — the precompute bank's \
+                                 high-concurrency advantage regressed"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn scenario_entries(record: &JsonValue) -> Vec<(&str, &JsonValue)> {
     record
         .get("scenarios")

@@ -36,9 +36,15 @@
 //!   registered function modules, used by the `pretzel_server` mailroom to
 //!   multiplex many concurrent sessions; rounds run one at a time or as
 //!   coalesced batches.
+//! * [`bank`] — the fleet-wide precompute bank: per-kind artifact
+//!   reservoirs kept full by background producer threads scheduled over a
+//!   dependency DAG, consumed through the object-safe
+//!   [`bank::PrecomputeSource`] trait with work-stealing
+//!   draws and counted inline fallbacks.
 
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod config;
 pub mod costmodel;
 pub mod noprivate;
@@ -51,6 +57,10 @@ pub mod spam;
 pub mod topic;
 pub mod virus;
 
+pub use bank::{
+    BankConfig, BankReport, PoolStats, PrecomputeBank, PrecomputeSource, ReservoirId,
+    ReservoirSpec, ReservoirStats,
+};
 pub use config::{PretzelConfig, Scale};
 pub use noprivate::NoPrivProvider;
 pub use registry::{

@@ -30,6 +30,7 @@ use pretzel_classifiers::LinearModel;
 use pretzel_transport::wire::Capabilities;
 use pretzel_transport::Channel;
 
+use crate::bank::{PoolStats, PrecomputeSource, ReservoirSpec};
 use crate::config::PretzelConfig;
 use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
 use crate::spam::AheVariant;
@@ -83,10 +84,31 @@ pub trait ProviderModule: Send {
     /// Offline phase: tops this session's precomputation pools up to
     /// `budget` future rounds, returning the number of work units produced
     /// (0 when the module has no provider-side offline work).
+    ///
+    /// With a [`PrecomputeSource`] attached this inline path is a legacy
+    /// shim — the bank's background producers do the offline work and the
+    /// module draws per round instead.
     fn precompute(&mut self, budget: usize, rng: &mut dyn RngCore) -> usize;
 
     /// Rounds the offline pools can currently serve without inline work.
     fn pool_depth(&self) -> usize;
+
+    /// Hands the module a [`PrecomputeSource`] to draw artifacts from. The
+    /// module registers the reservoirs it consumes (releasing them on drop)
+    /// and prefers bank draws over its local pool refills from then on. The
+    /// default ignores the source — modules without bankable artifacts stay
+    /// correct unchanged.
+    fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        let _ = source;
+    }
+
+    /// Per-kind observability for this session's local pools, keyed by the
+    /// same kind names as the bank's reservoirs ([`PoolStats`]). The default
+    /// (no pools) reports nothing; [`ProviderModule::pool_depth`] remains
+    /// the aggregate of these depths for modules that override both.
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        Vec::new()
+    }
 
     /// Runs one per-email round. Returns a per-round provider output for
     /// modules whose result goes to the provider (the topic index,
@@ -201,6 +223,35 @@ pub trait FunctionModule: Send + Sync {
         variant: AheVariant,
         rng: &mut dyn RngCore,
     ) -> Result<Box<dyn ProviderModule>>;
+
+    /// The key-independent reservoirs this module wants a fleet-wide
+    /// [`crate::bank::PrecomputeBank`] to keep stocked (garbled tables for
+    /// its circuit shapes, base-OT sender state for its fixed group). The
+    /// serving layer registers these once at bank startup, before any
+    /// session exists. The default — no shared artifacts — keeps external
+    /// modules working unchanged.
+    fn fleet_plan(&self, suite: &ProviderModelSuite) -> Vec<ReservoirSpec> {
+        let _ = suite;
+        Vec::new()
+    }
+
+    /// [`FunctionModule::provider_setup`] with a [`PrecomputeSource`]
+    /// available *during* setup, for modules whose setup phase itself can
+    /// consume banked artifacts (e.g. base-OT sender state). The default
+    /// runs the plain setup and then attaches the source to the resulting
+    /// module, so every module gets the draw handle without overriding.
+    fn provider_setup_with_source(
+        &self,
+        channel: &mut dyn Channel,
+        suite: &ProviderModelSuite,
+        variant: AheVariant,
+        source: &Arc<dyn PrecomputeSource>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ProviderModule>> {
+        let mut module = self.provider_setup(channel, suite, variant, rng)?;
+        module.attach_source(Arc::clone(source));
+        Ok(module)
+    }
 
     /// Runs the client half of the setup phase, returning the reusable
     /// per-session client state.

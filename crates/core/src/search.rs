@@ -39,6 +39,8 @@
 //! truncation a detected protocol error rather than misdecoded results
 //! (`tests/adversarial.rs` pins both).
 
+use std::sync::Arc;
+
 use rand::{Rng, RngCore};
 
 use pretzel_primitives::sha256;
@@ -46,6 +48,10 @@ use pretzel_rlwe::{keygen, Ciphertext, Params, Plaintext, PublicKey, SecretKey};
 use pretzel_sse::{DocId, EncryptedIndex, SseClient, UpdateBatch};
 use pretzel_transport::{pack_frames, unpack_frames, Channel};
 
+use crate::bank::{
+    self, fingerprint64, PoolStats, PrecomputeSource, ReservoirId, ReservoirSpec,
+    KIND_ZERO_ENCRYPTIONS,
+};
 use crate::config::PretzelConfig;
 use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
 use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
@@ -110,6 +116,22 @@ pub struct SearchProvider {
     /// Offline-banked encryptions of zero, one per future query round.
     pool: Vec<Ciphertext>,
     capacity: usize,
+    /// Fleet-wide precompute source and this session's reservoir in it
+    /// (key-dependent: zero encryptions under the client's key).
+    source: Option<(Arc<dyn PrecomputeSource>, ReservoirId)>,
+    /// Query rounds that found both the local pool and the bank dry.
+    fallback_draws: u64,
+}
+
+impl Drop for SearchProvider {
+    fn drop(&mut self) {
+        // The zero-encryption reservoir is useless once this session's key
+        // is gone — release it so the bank retires it instead of producing
+        // for a dead key.
+        if let Some((source, id)) = self.source.take() {
+            source.release(&id);
+        }
+    }
 }
 
 impl SearchProvider {
@@ -133,7 +155,47 @@ impl SearchProvider {
             index: EncryptedIndex::new(),
             pool: Vec::new(),
             capacity,
+            source: None,
+            fallback_draws: 0,
         })
+    }
+
+    /// Hands this session a [`PrecomputeSource`] and registers its
+    /// key-dependent zero-encryption reservoir there: the producer closure
+    /// captures the client's public key, and the kind-level DAG schedules it
+    /// after the fleet's shared key-independent stock.
+    pub fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        let id = ReservoirId::zero_encryptions(fingerprint64(&self.pk.to_bytes()));
+        let pk = self.pk.clone();
+        source.register(
+            ReservoirSpec::new(
+                id,
+                Arc::new(move |rng: &mut dyn RngCore| {
+                    Box::new(pk.encrypt_zero(rng)) as bank::Artifact
+                }),
+            )
+            .after(bank::KEY_INDEPENDENT_KINDS),
+        );
+        if let Some((old, old_id)) = self.source.replace((source, id)) {
+            old.release(&old_id);
+        }
+    }
+
+    /// Draws one banked zero encryption, if a source is attached and stocked.
+    fn draw_banked_zero(&self) -> Option<Ciphertext> {
+        let (source, id) = self.source.as_ref()?;
+        source
+            .draw(id)
+            .and_then(|artifact| artifact.downcast::<Ciphertext>().ok())
+            .map(|boxed| *boxed)
+    }
+
+    /// Counts a query round that found every precomputed tier dry.
+    fn note_fallback(&mut self) {
+        self.fallback_draws += 1;
+        if let Some((source, id)) = &self.source {
+            source.record_fallback(id);
+        }
     }
 
     /// Offline phase: tops the pool of pre-encrypted response randomizers
@@ -235,10 +297,15 @@ impl SearchProvider {
                 let pt = Plaintext::encode(&self.params, &slots)
                     .map_err(|e| PretzelError::Ahe(e.to_string()))?;
                 // Online path: add the plaintext onto a pooled encryption of
-                // zero; fall back to a fresh inline encryption when dry.
-                let ct = match self.pool.pop() {
+                // zero — local pool first, then the fleet bank, then a fresh
+                // inline encryption as the counted pool-dry fallback.
+                let zero = self.pool.pop().or_else(|| self.draw_banked_zero());
+                let ct = match zero {
                     Some(zero) => self.pk.add_plain(&zero, &pt),
-                    None => self.pk.encrypt(&pt, rng),
+                    None => {
+                        self.note_fallback();
+                        self.pk.encrypt(&pt, rng)
+                    }
                 };
                 Ok((ct.to_bytes(), SearchOp::Answered(returned)))
             }
@@ -457,6 +524,18 @@ impl ProviderModule for SearchProvider {
 
     fn pool_depth(&self) -> usize {
         SearchProvider::pool_depth(self)
+    }
+
+    fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        SearchProvider::attach_source(self, source);
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        vec![PoolStats {
+            kind: KIND_ZERO_ENCRYPTIONS,
+            depth: self.pool.len() as u64,
+            fallback_draws: self.fallback_draws,
+        }]
     }
 
     fn process_round(

@@ -26,6 +26,8 @@
 //! the latency path — verdicts are identical either way, which
 //! `tests/phase_split.rs` and `tests/batching.rs` pin.
 
+use std::sync::Arc;
+
 use rand::{Rng, RngCore};
 
 use pretzel_classifiers::{LinearModel, NGramExtractor, SparseVector};
@@ -33,6 +35,7 @@ use pretzel_sse::DocId;
 use pretzel_transport::wire::NegotiatedProfile;
 use pretzel_transport::Channel;
 
+use crate::bank::{PoolStats, PrecomputeSource};
 use crate::config::PretzelConfig;
 use crate::registry::{ClientContext, ClientModule, ProtocolRegistry, ProviderModule, WireTag};
 use crate::spam::AheVariant;
@@ -122,6 +125,32 @@ impl ProviderSession {
         })
     }
 
+    /// [`ProviderSession::setup`] with a [`PrecomputeSource`] available from
+    /// the first setup frame onward: modules draw banked artifacts during
+    /// setup where possible (base-OT sender state) and register the
+    /// key-dependent reservoirs they will consume per round.
+    pub fn setup_with_source<C: Channel, R: Rng>(
+        registry: &ProtocolRegistry,
+        tag: WireTag,
+        channel: &mut C,
+        suite: &ProviderModelSuite,
+        variant: AheVariant,
+        source: &Arc<dyn PrecomputeSource>,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let module = registry.from_wire_tag(tag)?.provider_setup_with_source(
+            as_dyn_channel(channel),
+            suite,
+            variant,
+            source,
+            as_dyn_rng(rng),
+        )?;
+        Ok(ProviderSession {
+            module,
+            profile: NegotiatedProfile::legacy_v1(),
+        })
+    }
+
     /// Wraps an already-set-up provider endpoint (for drivers that hold the
     /// module directly instead of going through a registry).
     pub fn from_module(module: Box<dyn ProviderModule>) -> Self {
@@ -157,6 +186,19 @@ impl ProviderSession {
     /// `budget` future rounds, returning the number of work units produced
     /// (0 when the session's module has no provider-side offline work, e.g.
     /// topic sessions where the client garbles).
+    ///
+    /// This inline, on-the-serving-thread top-up is a legacy shim over the
+    /// session-local pools: attach a fleet-wide
+    /// [`crate::bank::PrecomputeBank`] instead (via
+    /// [`ProviderSession::attach_source`] or the mailroom's
+    /// `MailroomConfig::builder().bank(..)` wiring) and let background
+    /// producers do the offline work. Budget-driven sessions keep working
+    /// unchanged and produce byte-identical verdicts.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach a PrecomputeSource (fleet bank) instead; see \
+                pretzel_core::bank and MailroomConfig::builder().bank(..)"
+    )]
     pub fn precompute<R: Rng>(&mut self, budget: usize, rng: &mut R) -> usize {
         self.module.precompute(budget, as_dyn_rng(rng))
     }
@@ -164,6 +206,18 @@ impl ProviderSession {
     /// Rounds the offline pools can currently serve without inline work.
     pub fn pool_depth(&self) -> usize {
         self.module.pool_depth()
+    }
+
+    /// Hands the session's module a [`PrecomputeSource`] to draw precomputed
+    /// artifacts from (see [`ProviderModule::attach_source`]).
+    pub fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        self.module.attach_source(source);
+    }
+
+    /// Per-kind observability for this session's local pools
+    /// ([`ProviderModule::pool_stats`]).
+    pub fn pool_stats(&self) -> Vec<PoolStats> {
+        self.module.pool_stats()
     }
 
     /// Runs one per-email round. Returns the module's per-round provider
@@ -515,6 +569,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy per-session precompute shim
     fn search_session_roundtrip() {
         let suite_p = suite();
         let config = suite_p.config.clone();

@@ -26,17 +26,21 @@
 //! per-email path drains those pools and falls back to inline computation
 //! when they run dry, so pool depth never affects correctness — only latency.
 
+use std::sync::Arc;
+
 use rand::{Rng, RngCore};
 
 use pretzel_classifiers::{LinearModel, QuantizedModel, SparseVector};
 use pretzel_gc::{
-    spam_compare_circuit, to_bits, Circuit, GarblingPool, OutputMode, YaoEvaluator, YaoGarbler,
+    spam_compare_circuit, to_bits, Circuit, GarblingPool, OutputMode, PrecomputedGarbling,
+    YaoEvaluator, YaoGarbler,
 };
 use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
 use pretzel_sdp::rlwe_pack::{self, Packing};
 use pretzel_sdp::ModelMatrix;
 use pretzel_transport::{pack_frames, unpack_frames, Channel};
 
+use crate::bank::{self, PoolStats, PrecomputeSource, ReservoirId, ReservoirSpec, KIND_GARBLINGS};
 use crate::config::PretzelConfig;
 use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
 use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
@@ -84,6 +88,9 @@ pub struct SpamProvider {
     width: usize,
     /// Offline-garbled circuits awaiting their online rounds.
     ready: GarblingPool,
+    /// Fleet bank attachment: the shared source plus this session's garbling
+    /// reservoir (keyed by the structural circuit fingerprint).
+    source: Option<(Arc<dyn PrecomputeSource>, ReservoirId)>,
 }
 
 enum ClientCrypto {
@@ -188,6 +195,7 @@ impl SpamProvider {
             circuit: spam_compare_circuit(width),
             width,
             ready: GarblingPool::new(),
+            source: None,
         })
     }
 
@@ -202,6 +210,57 @@ impl SpamProvider {
     /// Emails the offline pool can currently serve without inline garbling.
     pub fn pool_depth(&self) -> usize {
         self.ready.depth()
+    }
+
+    /// Attaches a fleet-wide precompute source: registers this session's
+    /// comparison-circuit garbling reservoir (keyed by the structural
+    /// [`Circuit::fingerprint`]) so background producers keep it full, and
+    /// makes the online draw ladder consult the bank between the local pool
+    /// and the inline fallback. Re-attaching releases the prior registration.
+    pub fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        let id = ReservoirId::garblings(self.circuit.fingerprint());
+        let circuit = self.circuit.clone();
+        source.register(ReservoirSpec::new(
+            id,
+            Arc::new(move |rng: &mut dyn RngCore| {
+                Box::new(PrecomputedGarbling::garble(&circuit, rng)) as bank::Artifact
+            }),
+        ));
+        if let Some((old, old_id)) = self.source.replace((source, id)) {
+            old.release(&old_id);
+        }
+    }
+
+    /// Per-kind pool gauge: local garbling depth plus dry-draw fallbacks.
+    pub fn garbling_stats(&self) -> PoolStats {
+        PoolStats {
+            kind: KIND_GARBLINGS,
+            depth: self.ready.depth() as u64,
+            fallback_draws: self.ready.fallback_draws(),
+        }
+    }
+
+    /// Online draw ladder: local pool first, then a work-stealing bank draw,
+    /// then inline garbling (counted as a fallback both locally and, when a
+    /// bank is attached, at the bank).
+    fn draw_garbling<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PrecomputedGarbling {
+        if let Some(pre) = self.ready.try_draw() {
+            return pre;
+        }
+        if let Some((source, id)) = &self.source {
+            if let Some(artifact) = source.draw(id) {
+                if let Ok(pre) = artifact.downcast::<PrecomputedGarbling>() {
+                    if pre.matches(&self.circuit) {
+                        return *pre;
+                    }
+                }
+            }
+        }
+        self.ready.note_fallback();
+        if let Some((source, id)) = &self.source {
+            source.record_fallback(id);
+        }
+        PrecomputedGarbling::garble(&self.circuit, rng)
     }
 
     /// Decrypts one round's blinded (ham, spam) dot products and lays them
@@ -241,9 +300,9 @@ impl SpamProvider {
         let blob = channel.recv()?;
         let garbler_bits = self.garbler_bits_for(&blob)?;
 
-        // Online phase: draw an offline-garbled circuit if one is pooled,
-        // fall back to inline garbling otherwise.
-        let pre = self.ready.draw(&self.circuit, rng);
+        // Online phase: draw ladder — local pool, then the fleet bank, then
+        // inline garbling.
+        let pre = self.draw_garbling(rng);
         self.yao.run_precomputed(
             channel,
             &self.circuit,
@@ -280,7 +339,7 @@ impl SpamProvider {
             .iter()
             .map(|blob| self.garbler_bits_for(blob))
             .collect::<Result<Vec<_>>>()?;
-        let pres = self.ready.draw_many(&self.circuit, count, rng);
+        let pres: Vec<_> = (0..count).map(|_| self.draw_garbling(rng)).collect();
         self.yao.run_batch(
             channel,
             &self.circuit,
@@ -290,6 +349,43 @@ impl SpamProvider {
         )?;
         Ok(())
     }
+}
+
+impl Drop for SpamProvider {
+    fn drop(&mut self) {
+        if let Some((source, id)) = self.source.take() {
+            source.release(&id);
+        }
+    }
+}
+
+/// Fleet plan for the comparison-circuit garbling reservoirs: one spec per
+/// distinct circuit width the configured variants can produce (RLWE plain
+/// bits for the Pretzel variants, Paillier slot bits for the Baseline), so
+/// the bank's producers can pre-garble before any session's setup completes.
+/// Garbling is key-independent — the artifact binds only to the circuit
+/// shape — which is why these reservoirs sit at the root of the bank's
+/// dependency DAG.
+pub(crate) fn garbling_fleet_plan(config: &PretzelConfig) -> Vec<ReservoirSpec> {
+    let mut widths = vec![
+        config.rlwe_plain_bits as usize,
+        config.paillier_slot_bits as usize,
+    ];
+    widths.sort_unstable();
+    widths.dedup();
+    widths
+        .into_iter()
+        .map(|width| {
+            let circuit = spam_compare_circuit(width);
+            let id = ReservoirId::garblings(circuit.fingerprint());
+            ReservoirSpec::new(
+                id,
+                Arc::new(move |rng: &mut dyn RngCore| {
+                    Box::new(PrecomputedGarbling::garble(&circuit, rng)) as bank::Artifact
+                }),
+            )
+        })
+        .collect()
 }
 
 impl SpamClient {
@@ -571,6 +667,10 @@ impl FunctionModule for SpamFunction {
             rng,
         )?))
     }
+
+    fn fleet_plan(&self, suite: &ProviderModelSuite) -> Vec<ReservoirSpec> {
+        garbling_fleet_plan(&suite.config)
+    }
 }
 
 impl ProviderModule for SpamProvider {
@@ -588,6 +688,14 @@ impl ProviderModule for SpamProvider {
 
     fn pool_depth(&self) -> usize {
         SpamProvider::pool_depth(self)
+    }
+
+    fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        SpamProvider::attach_source(self, source);
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        vec![self.garbling_stats()]
     }
 
     fn process_round(

@@ -15,17 +15,20 @@
 //! decomposition (the "Pretzel (B′=B)" and Baseline configurations of
 //! Figures 10 and 11).
 
+use std::sync::Arc;
+
 use rand::{Rng, RngCore};
 
 use pretzel_classifiers::{LinearModel, SparseVector};
 use pretzel_gc::{
-    from_bits, to_bits, topic_argmax_circuit, Circuit, GarblingPool, OutputMode, YaoEvaluator,
-    YaoGarbler,
+    from_bits, to_bits, topic_argmax_circuit, Circuit, GarblingPool, OtGroup, OtSenderPrecomp,
+    OutputMode, YaoEvaluator, YaoGarbler,
 };
 use pretzel_sdp::paillier_pack::{self, PaillierPackParams};
 use pretzel_sdp::rlwe_pack::{self, Packing};
 use pretzel_transport::{pack_frames, unpack_frames, Channel};
 
+use crate::bank::{self, PrecomputeSource, ReservoirId, ReservoirSpec};
 use crate::config::PretzelConfig;
 use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
 use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
@@ -118,6 +121,25 @@ impl TopicProvider {
         mode: CandidateMode,
         rng: &mut R,
     ) -> Result<Self> {
+        Self::setup_with_ot_base(channel, model, config, variant, mode, None, rng)
+    }
+
+    /// Like [`TopicProvider::setup`], but consuming a pre-generated base-OT
+    /// sender artifact (the provider is the Yao *evaluator* here, and the
+    /// IKNP extension receiver plays the base-OT sender). The artifact must
+    /// have been generated for the session's OT group — only possible at
+    /// paper scale, where the group is the fixed RFC 3526 one — and a
+    /// mismatched or absent artifact falls back to inline base-OT
+    /// generation, which produces an identical protocol transcript shape.
+    pub fn setup_with_ot_base<C: Channel, R: Rng + ?Sized>(
+        channel: &mut C,
+        model: &LinearModel,
+        config: &PretzelConfig,
+        variant: AheVariant,
+        mode: CandidateMode,
+        base: Option<OtSenderPrecomp>,
+        rng: &mut R,
+    ) -> Result<Self> {
         let (_, matrix) = quantize_to_matrix(model, config.weight_bits);
         let categories = matrix.cols();
         let candidates = mode.count(categories);
@@ -178,7 +200,10 @@ impl TopicProvider {
 
         let index_width = index_width_for(categories);
         let group = config.ot_group(&seed);
-        let yao = YaoEvaluator::setup(channel, &group, rng)?;
+        let yao = match base.filter(|pre| pre.matches(&group)) {
+            Some(pre) => YaoEvaluator::setup_with_base(channel, &group, pre, rng)?,
+            None => YaoEvaluator::setup(channel, &group, rng)?,
+        };
         Ok(TopicProvider {
             crypto,
             yao,
@@ -712,6 +737,71 @@ impl FunctionModule for TopicFunction {
             ctx.candidate_model.clone(),
             rng,
         )?))
+    }
+
+    fn fleet_plan(&self, suite: &ProviderModelSuite) -> Vec<ReservoirSpec> {
+        base_ot_fleet_plan(&suite.config)
+    }
+
+    fn provider_setup_with_source(
+        &self,
+        mut channel: &mut dyn Channel,
+        suite: &ProviderModelSuite,
+        variant: AheVariant,
+        source: &Arc<dyn PrecomputeSource>,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn ProviderModule>> {
+        let base = draw_base_ot(source, &suite.config);
+        Ok(Box::new(TopicProvider::setup_with_ot_base(
+            &mut channel,
+            &suite.topic,
+            &suite.config,
+            variant,
+            suite.topic_mode,
+            base,
+            rng,
+        )?))
+    }
+}
+
+/// Fleet plan for the base-OT sender reservoir. Only meaningful at paper
+/// scale: test-scale OT groups are derived from each session's joint
+/// randomness, so no fleet-wide artifact can be generated ahead of a session.
+pub(crate) fn base_ot_fleet_plan(config: &PretzelConfig) -> Vec<ReservoirSpec> {
+    if config.ot_group_bits < 1536 {
+        return Vec::new();
+    }
+    let group = OtGroup::rfc3526_1536();
+    let id = ReservoirId::base_ots(group.fingerprint());
+    vec![ReservoirSpec::new(
+        id,
+        Arc::new(move |rng: &mut dyn RngCore| {
+            Box::new(OtSenderPrecomp::generate(&group, rng)) as bank::Artifact
+        }),
+    )]
+}
+
+/// Draws one pre-generated base-OT sender artifact for the fixed RFC 3526
+/// group, counting a bank fallback when the reservoir is dry. Returns `None`
+/// (inline generation) at test scale, where the group is session-derived.
+fn draw_base_ot(
+    source: &Arc<dyn PrecomputeSource>,
+    config: &PretzelConfig,
+) -> Option<OtSenderPrecomp> {
+    if config.ot_group_bits < 1536 {
+        return None;
+    }
+    let group = OtGroup::rfc3526_1536();
+    let id = ReservoirId::base_ots(group.fingerprint());
+    match source
+        .draw(&id)
+        .and_then(|artifact| artifact.downcast::<OtSenderPrecomp>().ok())
+    {
+        Some(pre) if pre.matches(&group) => Some(*pre),
+        _ => {
+            source.record_fallback(&id);
+            None
+        }
     }
 }
 

@@ -18,12 +18,15 @@
 //! provider never sees attachment bytes, and the client learns one bit per
 //! scan.
 
+use std::sync::Arc;
+
 use rand::{Rng, RngCore};
 
 use pretzel_classifiers::nb::GrNbTrainer;
 use pretzel_classifiers::{LabeledExample, LinearModel, NGramExtractor, SparseVector, Trainer};
 use pretzel_transport::Channel;
 
+use crate::bank::{PoolStats, PrecomputeSource, ReservoirSpec};
 use crate::config::PretzelConfig;
 use crate::registry::{ClientContext, ClientModule, FunctionModule, ProviderModule, WireTag};
 use crate::session::{EmailPayload, ProviderModelSuite, Verdict};
@@ -162,6 +165,13 @@ impl VirusScanProvider {
     pub fn pool_depth(&self) -> usize {
         self.inner.pool_depth()
     }
+
+    /// Attaches a fleet-wide precompute source (delegates to the spam
+    /// machinery this module reuses — the comparison circuits are identical,
+    /// so both modules draw from the same garbling reservoir).
+    pub fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        self.inner.attach_source(source);
+    }
 }
 
 /// Client endpoint of the virus-scanning module.
@@ -294,6 +304,12 @@ impl FunctionModule for VirusFunction {
             rng,
         )?))
     }
+
+    fn fleet_plan(&self, suite: &ProviderModelSuite) -> Vec<ReservoirSpec> {
+        // Same comparison circuits as spam — registering the shared garbling
+        // reservoirs again only bumps their refcounts.
+        crate::spam::garbling_fleet_plan(&suite.config)
+    }
 }
 
 impl ProviderModule for VirusScanProvider {
@@ -311,6 +327,14 @@ impl ProviderModule for VirusScanProvider {
 
     fn pool_depth(&self) -> usize {
         VirusScanProvider::pool_depth(self)
+    }
+
+    fn attach_source(&mut self, source: Arc<dyn PrecomputeSource>) {
+        VirusScanProvider::attach_source(self, source);
+    }
+
+    fn pool_stats(&self) -> Vec<PoolStats> {
+        vec![self.inner.garbling_stats()]
     }
 
     fn process_round(

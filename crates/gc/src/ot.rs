@@ -92,6 +92,19 @@ impl OtGroup {
         &self.p
     }
 
+    /// Stable 64-bit fingerprint of the group (FNV-1a over the encoded
+    /// modulus) — the key a fleet-wide precompute bank files base-OT sender
+    /// artifacts under, so artifacts generated for one group can never be
+    /// spent in another.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.encode(&self.p) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     fn pow_g(&self, exp: &BigUint) -> BigUint {
         self.mont.pow(&self.g, exp)
     }
@@ -137,6 +150,47 @@ fn key_from_element(group: &OtGroup, shared: &BigUint, index: u64) -> [u8; 32] {
     sha256(&data)
 }
 
+/// Peer-independent sender-side precomputation for one base-OT execution:
+/// the secret exponent `a`, the public value `A = g^a`, and the cached
+/// `A^{-a}` used to derive `k_1`. All three are independent of the
+/// receiver's messages, so they can be manufactured ahead of time by a
+/// background producer (a fleet-wide precompute bank) and spent at session
+/// setup — removing the expensive fixed-base and inverse exponentiations
+/// from the serving path.
+///
+/// Consume-once: each value must feed exactly one [`base_ot_send_precomputed`]
+/// execution (the API takes it by value).
+pub struct OtSenderPrecomp {
+    a: BigUint,
+    big_a: BigUint,
+    a_inv_pow_a: BigUint,
+    group_fingerprint: u64,
+}
+
+impl OtSenderPrecomp {
+    /// Runs the offline part of [`base_ot_send`] for `group`.
+    pub fn generate<R: Rng + ?Sized>(group: &OtGroup, rng: &mut R) -> Result<Self, GcError> {
+        let a = group.random_exponent(rng);
+        let big_a = group.pow_g(&a);
+        // A^{-a} is used to compute (B / A)^a as B^a * A^{-a}.
+        let a_inv = mod_inv(&big_a, &group.p).map_err(|_| GcError::Protocol("bad group".into()))?;
+        let a_inv_pow_a = group.pow(&a_inv, &a);
+        Ok(OtSenderPrecomp {
+            a,
+            big_a,
+            a_inv_pow_a,
+            group_fingerprint: group.fingerprint(),
+        })
+    }
+
+    /// True when this artifact was generated for exactly `group` — spending
+    /// it in a different group would break correctness and security, so
+    /// [`base_ot_send_precomputed`] rejects mismatches.
+    pub fn matches(&self, group: &OtGroup) -> bool {
+        self.group_fingerprint == group.fingerprint()
+    }
+}
+
 /// Sender side of `n` base OTs. `messages[i]` is the pair `(m0, m1)`; the
 /// receiver learns exactly one of each pair.
 pub fn base_ot_send<C: Channel>(
@@ -145,13 +199,30 @@ pub fn base_ot_send<C: Channel>(
     messages: &[([u8; OT_MSG_LEN], [u8; OT_MSG_LEN])],
     rng: &mut (impl Rng + ?Sized),
 ) -> Result<(), GcError> {
-    let a = group.random_exponent(rng);
-    let big_a = group.pow_g(&a);
-    channel.send(&group.encode(&big_a))?;
+    let pre = OtSenderPrecomp::generate(group, rng)?;
+    base_ot_send_precomputed(channel, group, pre, messages)
+}
 
-    // A^{-a} is used to compute (B / A)^a as B^a * A^{-a}.
-    let a_inv = mod_inv(&big_a, &group.p).map_err(|_| GcError::Protocol("bad group".into()))?;
-    let a_inv_pow_a = group.pow(&a_inv, &a);
+/// [`base_ot_send`] consuming an offline [`OtSenderPrecomp`] — the online
+/// half needs no RNG and performs no fixed-base exponentiation.
+pub fn base_ot_send_precomputed<C: Channel>(
+    channel: &mut C,
+    group: &OtGroup,
+    pre: OtSenderPrecomp,
+    messages: &[([u8; OT_MSG_LEN], [u8; OT_MSG_LEN])],
+) -> Result<(), GcError> {
+    if !pre.matches(group) {
+        return Err(GcError::Protocol(
+            "base-OT precomputation generated for a different group".into(),
+        ));
+    }
+    let OtSenderPrecomp {
+        a,
+        big_a,
+        a_inv_pow_a,
+        ..
+    } = pre;
+    channel.send(&group.encode(&big_a))?;
 
     let mut response = Vec::with_capacity(messages.len() * 2 * OT_MSG_LEN);
     for (i, (m0, m1)) in messages.iter().enumerate() {
@@ -251,6 +322,48 @@ mod tests {
                 "OT #{i} must not reveal the other message"
             );
         }
+    }
+
+    #[test]
+    fn precomputed_sender_serves_the_same_protocol() {
+        let group = test_group();
+        let group_b = group.clone();
+        let mut rng = rand::thread_rng();
+        let n = 4;
+        let messages: Vec<([u8; 32], [u8; 32])> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let choices: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+        // Offline half on a "producer thread" RNG, online half with no RNG.
+        let pre = OtSenderPrecomp::generate(&group, &mut rng).unwrap();
+        assert!(pre.matches(&group));
+        let msgs_for_sender = messages.clone();
+        let choices_for_recv = choices.clone();
+        let (send_res, recv_res) = run_two_party(
+            move |chan| base_ot_send_precomputed(chan, &group, pre, &msgs_for_sender),
+            move |chan| base_ot_receive(chan, &group_b, &choices_for_recv, &mut rand::thread_rng()),
+        );
+        send_res.unwrap();
+        let received = recv_res.unwrap();
+        for i in 0..n {
+            let expected = if choices[i] {
+                messages[i].1
+            } else {
+                messages[i].0
+            };
+            assert_eq!(received[i], expected, "OT #{i}");
+        }
+    }
+
+    #[test]
+    fn precomputation_for_a_foreign_group_is_rejected() {
+        let group = test_group();
+        let other = test_group();
+        assert_ne!(group.fingerprint(), other.fingerprint());
+        let pre = OtSenderPrecomp::generate(&other, &mut rand::thread_rng()).unwrap();
+        assert!(!pre.matches(&group));
+        let mut chan = pretzel_transport::memory_pair().0;
+        let err = base_ot_send_precomputed(&mut chan, &group, pre, &[]);
+        assert!(matches!(err, Err(GcError::Protocol(_))));
     }
 
     #[test]

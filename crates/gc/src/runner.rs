@@ -78,6 +78,7 @@ impl PrecomputedGarbling {
 #[derive(Default)]
 pub struct GarblingPool {
     ready: std::collections::VecDeque<PrecomputedGarbling>,
+    fallback_draws: u64,
 }
 
 impl GarblingPool {
@@ -109,11 +110,45 @@ impl GarblingPool {
     }
 
     /// Online phase: pops the oldest banked garbling, garbling inline when
-    /// the pool is dry.
+    /// the pool is dry (counted in [`GarblingPool::fallback_draws`]).
     pub fn draw<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) -> PrecomputedGarbling {
-        self.ready
-            .pop_front()
-            .unwrap_or_else(|| PrecomputedGarbling::garble(circuit, rng))
+        match self.ready.pop_front() {
+            Some(pre) => pre,
+            None => {
+                self.fallback_draws += 1;
+                PrecomputedGarbling::garble(circuit, rng)
+            }
+        }
+    }
+
+    /// Pops the oldest banked garbling without an inline fallback — the
+    /// first step of the pool-then-bank-then-inline draw ladder.
+    pub fn try_draw(&mut self) -> Option<PrecomputedGarbling> {
+        self.ready.pop_front()
+    }
+
+    /// Accepts a garbling produced elsewhere (a fleet-wide bank) if and only
+    /// if it matches `circuit`; mismatched artifacts are dropped and `false`
+    /// is returned.
+    pub fn accept(&mut self, pre: PrecomputedGarbling, circuit: &Circuit) -> bool {
+        if pre.matches(circuit) {
+            self.ready.push_back(pre);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws that found the pool dry and fell back to inline garbling since
+    /// the pool was created.
+    pub fn fallback_draws(&self) -> u64 {
+        self.fallback_draws
+    }
+
+    /// Records a dry draw that was satisfied outside the pool's own inline
+    /// path (a caller that fell back after the bank also came up dry).
+    pub fn note_fallback(&mut self) {
+        self.fallback_draws += 1;
     }
 
     /// Bulk online draw for a batched round: pops up to `count` banked
@@ -370,6 +405,20 @@ impl YaoEvaluator {
     ) -> Result<Self, GcError> {
         Ok(YaoEvaluator {
             ot: OtExtReceiver::setup(channel, group, rng)?,
+        })
+    }
+
+    /// [`YaoEvaluator::setup`] spending an offline
+    /// [`crate::ot::OtSenderPrecomp`] for the base-OT sender role the
+    /// evaluator plays in IKNP — transcript-compatible with an ordinary peer.
+    pub fn setup_with_base<C: Channel>(
+        channel: &mut C,
+        group: &OtGroup,
+        base: crate::ot::OtSenderPrecomp,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Result<Self, GcError> {
+        Ok(YaoEvaluator {
+            ot: OtExtReceiver::setup_with_base(channel, group, base, rng)?,
         })
     }
 

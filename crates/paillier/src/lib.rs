@@ -451,6 +451,7 @@ pub struct RandomnessPool {
     /// Modulus of the key the pooled randomizers were computed for.
     n: Option<BigUint>,
     factors: VecDeque<BigUint>,
+    fallback_draws: u64,
 }
 
 impl RandomnessPool {
@@ -485,12 +486,37 @@ impl RandomnessPool {
         added
     }
 
-    /// Pops one randomizer if the pool belongs to `pk` and is non-empty.
+    /// Accepts one randomizer produced elsewhere (a fleet-wide precompute
+    /// bank) for `pk`. Like [`RandomnessPool::refill`], a pool previously
+    /// bound to a different key is cleared and rebound first.
+    pub fn push(&mut self, pk: &PublicKey, rn: BigUint) {
+        if self.n.as_ref() != Some(&pk.n) {
+            self.factors.clear();
+            self.n = Some(pk.n.clone());
+        }
+        self.factors.push_back(rn);
+    }
+
+    /// Draws that found the pool dry (or bound to a different key) and fell
+    /// back to an inline exponentiation in [`PublicKey::encrypt_pooled`].
+    pub fn fallback_draws(&self) -> u64 {
+        self.fallback_draws
+    }
+
+    /// Pops one randomizer if the pool belongs to `pk` and is non-empty;
+    /// counts the dry draw otherwise.
     fn take_for(&mut self, pk: &PublicKey) -> Option<BigUint> {
         if self.n.as_ref() != Some(&pk.n) {
+            self.fallback_draws += 1;
             return None;
         }
-        self.factors.pop_front()
+        match self.factors.pop_front() {
+            Some(rn) => Some(rn),
+            None => {
+                self.fallback_draws += 1;
+                None
+            }
+        }
     }
 }
 

@@ -39,8 +39,8 @@ use pretzel_datasets::ling_spam_like;
 
 pub use custom::{DigestFunction, DIGEST_WIRE_TAG};
 pub use library::{
-    BurstyArrivals, HeavyTailSizes, MixedFleetSkew, PoolExhaustionStorm, SessionChurn, SlowLoris,
-    Steady,
+    BurstyArrivals, HeavyTailSizes, MixedFleetSkew, PoolExhaustionStorm, PrefilledBankStorm,
+    SessionChurn, SlowLoris, Steady,
 };
 pub use plan::{RoundOp, ScenarioPlan, SessionEnd, SessionPlan};
 pub use runner::{
@@ -118,6 +118,7 @@ pub fn all_scenarios(config: ScenarioConfig) -> Vec<Box<dyn Scenario>> {
         Box::new(library::SessionChurn(config)),
         Box::new(library::SlowLoris(config)),
         Box::new(library::PoolExhaustionStorm(config)),
+        Box::new(library::PrefilledBankStorm(config)),
         Box::new(library::MixedFleetSkew(config)),
     ]
 }
@@ -276,5 +277,24 @@ mod tests {
         let a = run_scenario(&scenario, 11, &RunOptions::default());
         let b = run_scenario(&scenario, 11, &RunOptions::default());
         assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    /// The bank-mode storm is deterministic despite its background
+    /// producer threads: the prefilled stock covers the whole demand, so
+    /// the fallback counters — the only place producer timing could leak
+    /// into the fingerprint — pin to zero on every run.
+    #[test]
+    fn prefilled_bank_storm_reproduces_with_zero_fallbacks() {
+        let scenario = library::PrefilledBankStorm(ScenarioConfig::tiny());
+        let a = run_scenario(&scenario, 11, &RunOptions::default());
+        let b = run_scenario(&scenario, 11, &RunOptions::default());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert!(
+            a.fingerprint
+                .by_kind
+                .iter()
+                .all(|(_, totals)| totals.fallback_draws == 0),
+            "a reservoir prefilled past total demand never serves inline"
+        );
     }
 }

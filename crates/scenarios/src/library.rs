@@ -11,6 +11,7 @@
 //! | `session-churn` | clients vanish mid-protocol with no goodbye |
 //! | `slow-loris` | stalling clients pin workers between frames |
 //! | `pool-exhaustion-storm` | batch storms outrun the precompute budget |
+//! | `prefilled-bank-storm` | the same storm absorbed by a prefilled fleet bank |
 //! | `mixed-fleet-skew` | all four built-ins + a custom module, skewed, v1/v2 interleaved |
 //!
 //! The per-session RNG streams are split from the scenario seed with the
@@ -21,10 +22,11 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use pretzel_classifiers::SparseVector;
+use pretzel_core::bank::KIND_GARBLINGS;
 use pretzel_core::session::EmailPayload;
 use pretzel_core::topic::CandidateMode;
 use pretzel_core::PretzelConfig;
-use pretzel_server::{ClientSpec, ClientSpecBuilder, MailroomConfig};
+use pretzel_server::{BankConfig, ClientSpec, ClientSpecBuilder, MailroomConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -491,12 +493,88 @@ impl Scenario for PoolExhaustionStorm {
                 }
             })
             .collect();
+        // This scenario deliberately pins the deprecated inline shim: its
+        // whole point is pool-miss pressure on the per-session budget.
+        // [`PrefilledBankStorm`] is the bank-mode counterpart.
+        #[allow(deprecated)]
+        let mailroom = MailroomConfig::builder()
+            .workers(2)
+            .queue_capacity(self.0.sessions.max(1))
+            .rng_seed(seed)
+            .precompute_budget(Self::BUDGET)
+            .build();
+        ScenarioPlan { mailroom, sessions }
+    }
+}
+
+/// The bank-mode answer to [`PoolExhaustionStorm`]: the same one-batch
+/// storm, but the mailroom fronts a fleet-wide precompute bank whose
+/// garbling reservoirs are prefilled past the entire storm's demand
+/// before any session is admitted. Spam and virus sessions share circuit
+/// fingerprints, so the storm drains one stock from both sides — and with
+/// targets at least the total draw count, no round ever garbles inline
+/// and every fallback counter pins to zero deterministically.
+pub struct PrefilledBankStorm(pub ScenarioConfig);
+
+impl Scenario for PrefilledBankStorm {
+    fn name(&self) -> &'static str {
+        "prefilled-bank-storm"
+    }
+    fn summary(&self) -> &'static str {
+        "the fleet bank absorbs the batch storm the inline budget cannot"
+    }
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sessions", self.0.sessions as u64),
+            ("rounds", self.0.rounds as u64),
+            ("target", (self.0.sessions * self.0.rounds * 2) as u64),
+        ]
+    }
+    fn plan(&self, seed: u64) -> ScenarioPlan {
+        let sessions = (0..self.0.sessions)
+            .map(|i| {
+                let client_seed = session_seed(seed, i);
+                let mut rng = StdRng::seed_from_u64(client_seed);
+                let scan = i % 2 == 1;
+                let (label, payloads): (_, Vec<EmailPayload>) = if scan {
+                    (
+                        "virus",
+                        (0..self.0.rounds * 2)
+                            .map(|_| attachment_email(&mut rng, 32))
+                            .collect(),
+                    )
+                } else {
+                    (
+                        "spam",
+                        (0..self.0.rounds * 2)
+                            .map(|_| token_email(&mut rng, 16))
+                            .collect(),
+                    )
+                };
+                let rounds = vec![RoundOp::Batch(payloads)];
+                SessionPlan {
+                    label,
+                    spec: spec_for_kind(label, false),
+                    client_seed,
+                    arrival_delay: Duration::ZERO,
+                    frame_pace: Duration::ZERO,
+                    rounds,
+                    end: SessionEnd::Finish,
+                }
+            })
+            .collect();
+        // Every garbling reservoir is prefilled to the storm's entire
+        // demand, so even if the producers never refill mid-run the last
+        // draw still finds stock.
+        let demand = self.0.sessions * self.0.rounds * 2;
         ScenarioPlan {
             mailroom: MailroomConfig::builder()
                 .workers(2)
                 .queue_capacity(self.0.sessions.max(1))
                 .rng_seed(seed)
-                .precompute_budget(Self::BUDGET)
+                .bank(BankConfig::default().rng_seed(seed ^ 0xBA9C))
+                .bank_producers(1)
+                .reservoir_target(KIND_GARBLINGS, demand)
                 .build(),
             sessions,
         }

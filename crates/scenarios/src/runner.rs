@@ -139,6 +139,14 @@ pub fn run_scenario(scenario: &dyn Scenario, seed: u64, options: &RunOptions) ->
     let plan = scenario.plan(seed);
     let mailroom =
         Mailroom::start_with_registry(scenario_suite(), scenario_registry(), plan.mailroom.clone());
+    // Bank-enabled plans prefill their fleet reservoirs before the clock
+    // starts: scenario statistics measure online serving, not the offline
+    // phase, and a deterministic fingerprint needs the stock in place.
+    assert!(
+        mailroom.wait_until_bank_full(Duration::from_secs(120)),
+        "{}: precompute bank never reached its targets",
+        scenario.name()
+    );
 
     let start = Instant::now();
     let transcripts: Vec<Vec<String>> = match options.transport {

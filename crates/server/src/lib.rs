@@ -85,6 +85,7 @@ pub use mailroom::{
     serve_tcp_sessions, KindTotals, Mailroom, MailroomConfig, MailroomConfigBuilder,
     MailroomReport, SessionId, SessionState, SessionStats,
 };
+pub use pretzel_core::bank::{BankConfig, BankReport, ReservoirStats};
 pub use queue::{BoundedQueue, PushError};
 
 use pretzel_core::PretzelError;

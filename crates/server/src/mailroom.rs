@@ -32,14 +32,19 @@
 //!    established session state; [`crate::ROUND_BATCH`] (carrying a `u32`
 //!    count) starts one coalesced batch of rounds;
 //!    [`crate::ROUND_BYE`] ends the session.
-//!    After setup and again after every round, the worker runs the session's
-//!    **offline phase** ([`pretzel_core::ProviderSession::precompute`]) up to
-//!    [`MailroomConfig::precompute_budget`] pooled rounds — the top-up
-//!    overlaps with the client's own per-email computation and network
-//!    round trips, so the next round's garbling is already banked when its
-//!    request arrives. The current pool depth is published on the session's
-//!    [`Meter`] ([`Meter::set_pool_depth`]) and surfaces in
-//!    [`SessionStats::pool_depth`] and [`MailroomReport::pool_depth_total`].
+//!    The session's **offline phase** runs one of two ways. With a fleet
+//!    precompute bank configured ([`MailroomConfigBuilder::bank`]),
+//!    background producer threads keep shared per-kind reservoirs full and
+//!    the session draws artifacts from them on demand (work-stealing, with
+//!    an inline fallback when a reservoir runs dry). Without a bank, the
+//!    worker runs the legacy inline top-up after setup and again after
+//!    every round ([`pretzel_core::ProviderSession::precompute`], up to the
+//!    deprecated [`MailroomConfig::precompute_budget`] pooled rounds) — the
+//!    top-up overlaps with the client's own per-email computation and
+//!    network round trips. Either way the pool gauges are published on the
+//!    session's [`Meter`] ([`Meter::set_pool_gauge`]) and surface in
+//!    [`SessionStats::pool_depth`]/[`SessionStats::pools`] and
+//!    [`MailroomReport::pool_depth_total`]/[`MailroomReport::reservoir_depth`].
 //! 5. **Teardown** — on `BYE` the session completes; on any error (including
 //!    the client vanishing mid-protocol) it is marked failed, the worker
 //!    drops the channel and simply moves on to the next queued session — one
@@ -53,11 +58,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use pretzel_core::bank::{
+    BankConfig, BankReport, PrecomputeBank, PrecomputeSource, ReservoirStats,
+};
 use pretzel_core::registry::{ProtocolRegistry, WireTag};
 use pretzel_core::session::{variant_from_byte, ProviderModelSuite, ProviderSession};
 use pretzel_core::spam::AheVariant;
@@ -65,7 +74,7 @@ use pretzel_transport::wire::{
     negotiate, Capabilities, CodecChannel, HandshakeAck, HandshakeError, HandshakeOffer,
     NegotiatedProfile, NegotiationPolicy, ProtocolVersion,
 };
-use pretzel_transport::{Channel, Meter, MeteredChannel, TcpAcceptor};
+use pretzel_transport::{Channel, Meter, MeteredChannel, PoolKindGauge, TcpAcceptor};
 
 use crate::queue::{BoundedQueue, PushError};
 use crate::{
@@ -94,7 +103,24 @@ pub struct MailroomConfig {
     /// [`pretzel_core::ProviderSession::precompute`]). `0` disables the
     /// offline phase; every round then computes inline. Verdicts and wire
     /// bytes are identical at any budget — only latency moves.
+    ///
+    /// Deprecated: inline per-session budgets steal worker time from the
+    /// online path. Attach a fleet-wide [`BankConfig`] instead
+    /// ([`MailroomConfigBuilder::bank`]); when a bank is configured this
+    /// budget is ignored and background producers keep the reservoirs full.
+    /// The shim stays verdict- and wire-identical to the bank path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure a fleet-wide precompute bank via \
+                MailroomConfig::builder().bank(..) instead of per-session \
+                inline budgets"
+    )]
     pub precompute_budget: usize,
+    /// Fleet-wide precompute bank. `None` (the default) keeps the legacy
+    /// inline offline phase; `Some` starts background producer threads that
+    /// keep per-kind reservoirs full, and workers draw from them instead of
+    /// precomputing inline.
+    pub bank: Option<BankConfig>,
     /// Newest protocol version this mailroom serves. v1 is always served
     /// (the legacy handshake has no version field to refuse), so lowering
     /// this to [`ProtocolVersion::V1`] simulates a not-yet-upgraded
@@ -118,6 +144,7 @@ impl MailroomConfig {
 }
 
 impl Default for MailroomConfig {
+    #[allow(deprecated)] // the legacy budget keeps its default until removal
     fn default() -> Self {
         MailroomConfig {
             workers: std::thread::available_parallelism()
@@ -126,6 +153,7 @@ impl Default for MailroomConfig {
             queue_capacity: 64,
             rng_seed: 0x4d41_494c_524f_4f4d, // "MAILROOM"
             precompute_budget: 2,
+            bank: None,
             max_version: ProtocolVersion::MAX,
             capabilities: Capabilities::KNOWN,
         }
@@ -158,8 +186,48 @@ impl MailroomConfigBuilder {
     }
 
     /// Sets the offline-phase precompute budget.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure a fleet-wide precompute bank via \
+                MailroomConfigBuilder::bank instead of per-session inline \
+                budgets"
+    )]
+    #[allow(deprecated)] // writes the equally-deprecated config field
     pub fn precompute_budget(mut self, budget: usize) -> Self {
         self.config.precompute_budget = budget;
+        self
+    }
+
+    /// Enables the fleet-wide precompute bank with the given configuration.
+    /// Workers then draw offline artifacts from shared reservoirs kept full
+    /// by background producer threads, and the deprecated per-session
+    /// inline budget is ignored.
+    pub fn bank(mut self, bank: BankConfig) -> Self {
+        self.config.bank = Some(bank);
+        self
+    }
+
+    /// Sets the bank's background producer thread count, enabling the bank
+    /// with defaults if it was not configured yet.
+    pub fn bank_producers(mut self, threads: usize) -> Self {
+        let bank = self.config.bank.take().unwrap_or_default();
+        self.config.bank = Some(bank.producer_threads(threads));
+        self
+    }
+
+    /// Sets the target depth for one reservoir kind, enabling the bank with
+    /// defaults if it was not configured yet.
+    pub fn reservoir_target(mut self, kind: &'static str, target: usize) -> Self {
+        let bank = self.config.bank.take().unwrap_or_default();
+        self.config.bank = Some(bank.target(kind, target));
+        self
+    }
+
+    /// Sets the bank's low/high watermarks (percent of target), enabling the
+    /// bank with defaults if it was not configured yet.
+    pub fn bank_watermarks(mut self, low_pct: u32, high_pct: u32) -> Self {
+        let bank = self.config.bank.take().unwrap_or_default();
+        self.config.bank = Some(bank.watermarks(low_pct, high_pct));
         self
     }
 
@@ -228,8 +296,30 @@ pub struct SessionStats {
     /// Messages exchanged in both directions.
     pub messages: u64,
     /// Offline-phase pool depth at snapshot time: rounds the session can
-    /// serve from precomputed state without inline garbling.
+    /// serve from precomputed state without inline garbling. Equals the sum
+    /// of the per-kind depths in [`SessionStats::pools`] when the session's
+    /// module reports per-kind gauges.
     pub pool_depth: u64,
+    /// Per-kind pool gauges (depth and dry-draw fallbacks), sorted by kind
+    /// name — the same `KIND_*` naming scheme
+    /// [`pretzel_core::bank::ReservoirId`] uses. Empty for modules that
+    /// never report per-kind stats.
+    pub pools: Vec<(&'static str, PoolKindGauge)>,
+    /// Draws that found every pool (local and bank) dry and computed inline,
+    /// summed over this session's kinds.
+    pub fallback_draws: u64,
+}
+
+impl SessionStats {
+    /// Depth of one artifact kind's pool at snapshot time (0 when the kind
+    /// never reported) — the per-kind counterpart of
+    /// [`SessionStats::pool_depth`].
+    pub fn reservoir_depth(&self, kind: &str) -> u64 {
+        self.pools
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, g)| g.depth)
+    }
 }
 
 struct SessionRecord {
@@ -258,6 +348,8 @@ impl SessionRecord {
             bytes_received: self.meter.bytes_received(),
             messages: self.meter.messages_sent() + self.meter.messages_received(),
             pool_depth: self.meter.pool_depth(),
+            pools: self.meter.pool_gauges(),
+            fallback_draws: self.meter.fallback_draws(),
         }
     }
 }
@@ -282,6 +374,9 @@ struct Shared {
     accepting: AtomicBool,
     rng_seed: u64,
     precompute_budget: usize,
+    /// Work-stealing handle onto the fleet precompute bank; `None` keeps the
+    /// legacy inline offline phase.
+    bank_source: Option<Arc<dyn PrecomputeSource>>,
     max_version: ProtocolVersion,
     capabilities: Capabilities,
 }
@@ -311,6 +406,8 @@ pub struct KindTotals {
     pub messages: u64,
     /// Final offline-pool depth summed over this kind's sessions.
     pub pool_depth: u64,
+    /// Pool-dry fallback draws summed over this kind's sessions.
+    pub fallback_draws: u64,
 }
 
 impl KindTotals {
@@ -321,6 +418,7 @@ impl KindTotals {
         self.bytes_received += s.bytes_received;
         self.messages += s.messages;
         self.pool_depth += s.pool_depth;
+        self.fallback_draws += s.fallback_draws;
     }
 }
 
@@ -340,6 +438,10 @@ pub struct MailroomReport {
     /// Sum of every session's final offline-pool depth — precomputed rounds
     /// banked but never consumed (shutdown waste / warm-pool headroom).
     pub pool_depth_total: u64,
+    /// Final per-reservoir accounting of the fleet precompute bank, drained
+    /// at shutdown (empty when no bank was configured). Sorted by kind then
+    /// parameter fingerprint.
+    pub reservoirs: Vec<ReservoirStats>,
 }
 
 impl MailroomReport {
@@ -383,6 +485,29 @@ impl MailroomReport {
         by_version.into_iter().collect()
     }
 
+    /// Fleet-wide banked depth for one artifact kind at shutdown: the
+    /// per-kind counterpart of [`MailroomReport::pool_depth_total`]. Sums
+    /// the kind's depth across every session's local pools plus the bank's
+    /// reservoirs of that kind.
+    pub fn reservoir_depth(&self, kind: &str) -> u64 {
+        let sessions: u64 = self.sessions.iter().map(|s| s.reservoir_depth(kind)).sum();
+        let bank: u64 = self
+            .reservoirs
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.depth)
+            .sum();
+        sessions + bank
+    }
+
+    /// Total pool-dry fallback draws across the fleet: draws that fell
+    /// through both the session-local pools and the bank and computed
+    /// inline. Counted once, session-side (the bank's own per-reservoir
+    /// counters track the same events from the other end).
+    pub fn fallback_draws_total(&self) -> u64 {
+        self.sessions.iter().map(|s| s.fallback_draws).sum()
+    }
+
     /// Average payload bytes per served email across the fleet (0 when no
     /// email was served).
     pub fn bytes_per_email(&self) -> f64 {
@@ -400,6 +525,7 @@ impl MailroomReport {
 pub struct Mailroom {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    bank: Option<PrecomputeBank>,
 }
 
 impl Mailroom {
@@ -420,6 +546,20 @@ impl Mailroom {
         config: MailroomConfig,
     ) -> Self {
         assert!(config.workers >= 1, "a mailroom needs at least one worker");
+        // Start the bank (if configured) and register every module's fleet
+        // plan before any worker can run a session, so key-independent
+        // production begins immediately.
+        let bank = config.bank.clone().map(PrecomputeBank::start);
+        if let Some(bank) = &bank {
+            for module in registry.modules() {
+                for spec in module.fleet_plan(&suite) {
+                    bank.register(spec);
+                }
+            }
+        }
+        let bank_source = bank.as_ref().map(|b| b.handle());
+        #[allow(deprecated)] // legacy inline budget, served until removal
+        let precompute_budget = config.precompute_budget;
         let shared = Arc::new(Shared {
             suite,
             registry,
@@ -430,7 +570,8 @@ impl Mailroom {
             emails_total: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
             rng_seed: config.rng_seed,
-            precompute_budget: config.precompute_budget,
+            precompute_budget,
+            bank_source,
             max_version: config.max_version,
             capabilities: config.capabilities,
         });
@@ -443,7 +584,11 @@ impl Mailroom {
                     .expect("spawn mailroom worker")
             })
             .collect();
-        Mailroom { shared, workers }
+        Mailroom {
+            shared,
+            workers,
+            bank,
+        }
     }
 
     /// Submits a connected client channel as a new session.
@@ -533,6 +678,22 @@ impl Mailroom {
         self.shared.queue.len()
     }
 
+    /// Live snapshot of the fleet precompute bank's reservoirs. Empty when
+    /// no bank was configured.
+    pub fn bank_report(&self) -> BankReport {
+        self.bank.as_ref().map(|b| b.report()).unwrap_or_default()
+    }
+
+    /// Blocks until every bank reservoir reaches its high watermark or the
+    /// timeout elapses; returns whether the bank is full. Vacuously `true`
+    /// without a bank. Benchmarks call this before the timed window so warm
+    /// runs measure the draw path, not cold production.
+    pub fn wait_until_bank_full(&self, timeout: Duration) -> bool {
+        self.bank
+            .as_ref()
+            .is_none_or(|b| b.wait_until_full(timeout))
+    }
+
     /// Graceful shutdown: refuses new submissions, serves every queued and
     /// in-flight session to completion, joins the workers, and returns the
     /// final accounting.
@@ -542,6 +703,13 @@ impl Mailroom {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Drain the bank after the workers: producer threads park and join,
+        // and the final per-reservoir accounting lands in the report.
+        let reservoirs = self
+            .bank
+            .take()
+            .map(|bank| bank.shutdown().reservoirs)
+            .unwrap_or_default();
         let sessions = self.stats();
         let pool_depth_total = sessions.iter().map(|s| s.pool_depth).sum();
         MailroomReport {
@@ -552,6 +720,7 @@ impl Mailroom {
             fleet_messages: self.shared.fleet.messages_sent()
                 + self.shared.fleet.messages_received(),
             pool_depth_total,
+            reservoirs,
         }
     }
 }
@@ -672,22 +841,42 @@ fn run_session(
 
     // One independent, reproducible randomness stream per session.
     let mut rng = StdRng::seed_from_u64(shared.rng_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut session = ProviderSession::setup(
-        &shared.registry,
-        tag,
-        &mut channel,
-        &shared.suite,
-        variant,
-        &mut rng,
-    )?
+    let mut session = match &shared.bank_source {
+        Some(source) => ProviderSession::setup_with_source(
+            &shared.registry,
+            tag,
+            &mut channel,
+            &shared.suite,
+            variant,
+            source,
+            &mut rng,
+        )?,
+        None => ProviderSession::setup(
+            &shared.registry,
+            tag,
+            &mut channel,
+            &shared.suite,
+            variant,
+            &mut rng,
+        )?,
+    }
     .with_profile(profile);
 
-    // Offline phase: bank precomputed rounds before the first email arrives
-    // (the client is busy with its own setup/feature work meanwhile), then
-    // top the pool back up after every round while the channel is idle.
+    // Offline phase. Without a bank, precompute inline before the first
+    // email arrives (the client is busy with its own setup/feature work
+    // meanwhile) and top the pool back up after every round while the
+    // channel is idle. With a bank, background producers do that work and
+    // the session draws from the shared reservoirs instead. Either way,
+    // publish the pool gauges on the session meter.
     let top_up = |session: &mut ProviderSession, rng: &mut StdRng| {
-        session.precompute(shared.precompute_budget, rng);
+        if shared.bank_source.is_none() {
+            #[allow(deprecated)] // the legacy inline shim, served until removal
+            session.precompute(shared.precompute_budget, rng);
+        }
         meter.set_pool_depth(session.pool_depth() as u64);
+        for stats in session.pool_stats() {
+            meter.set_pool_gauge(stats.kind, stats.depth, stats.fallback_draws);
+        }
     };
     top_up(&mut session, &mut rng);
 
@@ -1136,6 +1325,125 @@ mod tests {
         mailroom.shutdown();
     }
 
+    /// The fleet bank must be observationally equivalent to the inline shim:
+    /// identical verdicts and identical wire accounting — only the
+    /// provenance of offline artifacts changes. Also pins the per-kind
+    /// reservoir surfacing: gauges in `SessionStats::pools`, reservoirs in
+    /// the shutdown report, and the `reservoir_depth` accessor.
+    #[test]
+    fn bank_enabled_fleet_matches_the_inline_path() {
+        use pretzel_core::bank::{BankConfig, KIND_GARBLINGS, KIND_ZERO_ENCRYPTIONS};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        fn run(bank: bool) -> (Vec<String>, MailroomReport) {
+            let mut builder = MailroomConfig::builder()
+                .workers(1)
+                .queue_capacity(4)
+                .rng_seed(7);
+            if bank {
+                builder = builder
+                    .bank(BankConfig::default().rng_seed(0xBA2C))
+                    .bank_producers(1)
+                    .reservoir_target(KIND_GARBLINGS, 4)
+                    .reservoir_target(KIND_ZERO_ENCRYPTIONS, 8);
+            }
+            let mailroom = Mailroom::start(test_suite(), builder.build());
+            if bank {
+                assert!(
+                    mailroom.wait_until_bank_full(Duration::from_secs(60)),
+                    "producers fill the fleet-plan reservoirs before sessions start"
+                );
+            }
+
+            let mut verdicts = Vec::new();
+
+            // Spam session: provider-side garblings come from the bank.
+            {
+                let (provider_end, client_end) = memory_pair();
+                mailroom.submit(provider_end).unwrap();
+                let mut rng = StdRng::seed_from_u64(21);
+                let spec = ClientSpec::spam(PretzelConfig::test());
+                let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+                let spammy = SparseVector::from_pairs(vec![(0, 3), (1, 1)]);
+                let hammy = SparseVector::from_pairs(vec![(4, 2), (5, 2)]);
+                for email in [&spammy, &hammy] {
+                    let verdict = client.classify_spam(email, &mut rng).unwrap();
+                    verdicts.push(format!("spam:{verdict}"));
+                }
+                client.finish().unwrap();
+            }
+
+            // Search session: pre-encrypted responses come from the bank's
+            // key-dependent zero-encryption reservoir.
+            {
+                let (provider_end, client_end) = memory_pair();
+                mailroom.submit(provider_end).unwrap();
+                let mut rng = StdRng::seed_from_u64(22);
+                let spec = ClientSpec::search(PretzelConfig::test());
+                let mut client = MailroomClient::connect(client_end, &spec, &mut rng).unwrap();
+                client
+                    .index_email(10, "project pretzel kickoff agenda", &mut rng)
+                    .unwrap();
+                let mut hits = client.search_keyword("pretzel", &mut rng).unwrap();
+                hits.sort_unstable();
+                verdicts.push(format!("search:{hits:?}"));
+                client.finish().unwrap();
+            }
+
+            (verdicts, mailroom.shutdown())
+        }
+
+        let (inline_verdicts, inline_report) = run(false);
+        let (bank_verdicts, bank_report) = run(true);
+
+        assert_eq!(
+            inline_verdicts, bank_verdicts,
+            "bank-drawn artifacts must not change any verdict"
+        );
+        let rows = |r: &MailroomReport| -> Vec<(Option<WireTag>, u64, u64, u64, u64)> {
+            r.sessions
+                .iter()
+                .map(|s| (s.kind, s.emails, s.bytes_sent, s.bytes_received, s.messages))
+                .collect()
+        };
+        assert_eq!(
+            rows(&inline_report),
+            rows(&bank_report),
+            "wire accounting is independent of artifact provenance"
+        );
+
+        // The inline run never started a bank; the bank run surfaces its
+        // reservoirs in the shutdown report.
+        assert!(inline_report.reservoirs.is_empty());
+        assert!(bank_report
+            .reservoirs
+            .iter()
+            .any(|r| r.kind == KIND_GARBLINGS && r.produced > 0));
+        assert!(
+            bank_report.reservoir_depth(KIND_GARBLINGS) > 0,
+            "prefilled garblings outnumber the two rounds drawn"
+        );
+
+        // The spam session's garblings were prefetched before it started:
+        // every round drew from the bank, none fell back inline.
+        let spam = bank_report
+            .sessions
+            .iter()
+            .find(|s| s.kind == Some(SpamFunction::WIRE_TAG))
+            .unwrap();
+        assert_eq!(
+            spam.fallback_draws, 0,
+            "a full reservoir means zero inline garblings"
+        );
+        assert!(spam.pools.iter().any(|(kind, _)| *kind == KIND_GARBLINGS));
+        assert_eq!(
+            spam.reservoir_depth(KIND_GARBLINGS),
+            0,
+            "ready pool stays empty in bank mode"
+        );
+    }
+
     #[test]
     fn shutdown_refuses_new_submissions() {
         let mailroom = Mailroom::start(test_suite(), small_config(1, 4));
@@ -1146,6 +1454,7 @@ mod tests {
         let mailroom = Mailroom {
             shared,
             workers: Vec::new(),
+            bank: None,
         };
         let (provider_end, mut client_end) = memory_pair();
         assert!(matches!(

@@ -41,7 +41,7 @@ pub mod wire;
 
 pub use batch::{pack_frames, unpack_frames};
 pub use memory::{memory_pair, MemoryChannel};
-pub use meter::{Meter, MeteredChannel};
+pub use meter::{Meter, MeteredChannel, PoolKindGauge};
 pub use paced::PacedChannel;
 pub use tcp::{TcpAcceptor, TcpChannel};
 pub use wire::{

@@ -33,11 +33,23 @@
 //! traffic from a single handle. [`Meter::reset`] zeroes the gauge along
 //! with the counters.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::{Channel, Result};
+
+/// Per-kind precompute pool gauge: how deep one artifact kind's pool is and
+/// how many draws found every pool dry and computed inline. Written by the
+/// serving layer via [`Meter::set_pool_gauge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolKindGauge {
+    /// Rounds this kind can currently serve without inline work.
+    pub depth: u64,
+    /// Draws that fell through every pool and computed inline.
+    pub fallback_draws: u64,
+}
 
 #[derive(Default, Debug)]
 struct MeterInner {
@@ -46,6 +58,7 @@ struct MeterInner {
     messages_sent: u64,
     messages_received: u64,
     pool_depth: u64,
+    pool_kinds: BTreeMap<&'static str, PoolKindGauge>,
 }
 
 /// Shared counters for one endpoint of a metered channel.
@@ -91,23 +104,75 @@ impl Meter {
     }
 
     /// Precomputation pool depth gauge: how many future rounds the metered
-    /// endpoint has offline work banked for. Written by the serving layer
-    /// via [`Meter::set_pool_depth`]; 0 until someone sets it.
+    /// endpoint has offline work banked for. When per-kind gauges have been
+    /// written ([`Meter::set_pool_gauge`]) this aggregate delegates to their
+    /// sum; otherwise it returns the legacy scalar written by
+    /// [`Meter::set_pool_depth`] (0 until someone sets either).
     pub fn pool_depth(&self) -> u64 {
-        self.inner.lock().pool_depth
+        let g = self.inner.lock();
+        if g.pool_kinds.is_empty() {
+            g.pool_depth
+        } else {
+            g.pool_kinds.values().map(|k| k.depth).sum()
+        }
     }
 
-    /// Updates the pool depth gauge (a last-write-wins snapshot, unlike the
-    /// monotonic traffic counters).
+    /// Updates the aggregate pool depth gauge (a last-write-wins snapshot,
+    /// unlike the monotonic traffic counters). Superseded by the per-kind
+    /// [`Meter::set_pool_gauge`], which also carries fallback counts; once
+    /// any per-kind gauge is set, [`Meter::pool_depth`] ignores this scalar.
     pub fn set_pool_depth(&self, depth: u64) {
         self.inner.lock().pool_depth = depth;
     }
 
-    /// Resets all four counters (bytes and messages, both directions) and
-    /// the pool depth gauge to zero in one atomic step — no partially-reset
-    /// state is ever observable, even when other channels share this meter.
-    /// Typical use is zeroing the setup-phase traffic before measuring the
-    /// per-email phase.
+    /// Updates one artifact kind's pool gauge (last-write-wins snapshot,
+    /// keyed by the kind names precompute pools report — `"garblings"`,
+    /// `"zero_encryptions"`, …).
+    pub fn set_pool_gauge(&self, kind: &'static str, depth: u64, fallback_draws: u64) {
+        self.inner.lock().pool_kinds.insert(
+            kind,
+            PoolKindGauge {
+                depth,
+                fallback_draws,
+            },
+        );
+    }
+
+    /// One kind's pool gauge (zero if never set).
+    pub fn pool_gauge(&self, kind: &str) -> PoolKindGauge {
+        self.inner
+            .lock()
+            .pool_kinds
+            .get(kind)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Every per-kind pool gauge set so far, sorted by kind name.
+    pub fn pool_gauges(&self) -> Vec<(&'static str, PoolKindGauge)> {
+        self.inner
+            .lock()
+            .pool_kinds
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Total pool-dry fallback draws across all kinds.
+    pub fn fallback_draws(&self) -> u64 {
+        self.inner
+            .lock()
+            .pool_kinds
+            .values()
+            .map(|k| k.fallback_draws)
+            .sum()
+    }
+
+    /// Resets all four counters (bytes and messages, both directions), the
+    /// pool depth gauge, and every per-kind pool gauge to zero in one atomic
+    /// step — no partially-reset state is ever observable, even when other
+    /// channels share this meter. Typical use is zeroing the setup-phase
+    /// traffic before measuring the per-email phase.
     pub fn reset(&self) {
         *self.inner.lock() = MeterInner::default();
     }
@@ -204,6 +269,38 @@ mod tests {
         assert_eq!(meter.pool_depth(), 7, "gauge is shared across clones");
         clone.set_pool_depth(3);
         assert_eq!(meter.pool_depth(), 3, "last write wins");
+    }
+
+    #[test]
+    fn per_kind_gauges_delegate_the_aggregate_and_count_fallbacks() {
+        let meter = Meter::new();
+        meter.set_pool_depth(9); // legacy scalar, soon shadowed
+        meter.set_pool_gauge("garblings", 4, 1);
+        meter.set_pool_gauge("zero_encryptions", 3, 2);
+        assert_eq!(
+            meter.pool_depth(),
+            7,
+            "aggregate delegates to the per-kind sum once any kind is set"
+        );
+        assert_eq!(meter.pool_gauge("garblings").depth, 4);
+        assert_eq!(meter.pool_gauge("garblings").fallback_draws, 1);
+        assert_eq!(meter.pool_gauge("unset").depth, 0);
+        assert_eq!(meter.fallback_draws(), 3);
+        let gauges = meter.pool_gauges();
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0].0, "garblings", "sorted by kind name");
+        meter.set_pool_gauge("garblings", 0, 5);
+        assert_eq!(
+            meter.pool_gauge("garblings").fallback_draws,
+            5,
+            "last write wins"
+        );
+        meter.reset();
+        assert!(
+            meter.pool_gauges().is_empty(),
+            "reset clears per-kind gauges"
+        );
+        assert_eq!(meter.pool_depth(), 0);
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! tags are clean errors through the whole mailroom stack, and a
 //! custom-registered module serves alongside the built-ins.
 
+// Budget-sweep fleets here deliberately drive the deprecated per-session
+// precompute shim; see tests/precompute_bank.rs for the bank-mode pins.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use pretzel::classifiers::SparseVector;

@@ -10,6 +10,11 @@
 //! All three runs must produce byte-identical verdicts and identical meter
 //! payload counts.
 
+// This file exists to pin the deprecated per-session shim
+// (`precompute_budget` / `MailroomClient::precompute`) until it is removed;
+// the fleet-bank successor is pinned by tests/precompute_bank.rs.
+#![allow(deprecated)]
+
 use pretzel::classifiers::SparseVector;
 use pretzel::core::spam::AheVariant;
 use pretzel::core::topic::CandidateMode;

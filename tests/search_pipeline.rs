@@ -8,6 +8,11 @@
 //! transcripts: the offline pool is a latency knob, never a semantics knob,
 //! and the mailroom adds no observable behaviour over the bare protocol.
 
+// The budget sweep deliberately drives the deprecated per-session shim
+// (`ProviderSession::precompute` / `precompute_budget`); the fleet-bank
+// successor is pinned by tests/precompute_bank.rs.
+#![allow(deprecated)]
+
 use pretzel::core::search::SearchFunction;
 use pretzel::core::session::{ClientSession, EmailPayload, ProviderSession, Verdict};
 use pretzel::core::spam::AheVariant;
